@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure bench runs its experiment exactly once (``pedantic`` with one
+round): these are end-to-end simulations whose value is the printed series
+and the shape assertions, not statistical timing of a hot loop. The micro
+and ablation benches use normal benchmark rounds.
+"""
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))  # for tests.helpers
+
+from repro.experiments.figures import FigurePreset
+
+
+@pytest.fixture(scope="session")
+def quick_preset() -> FigurePreset:
+    """The quick preset: every paper trend at seconds scale."""
+    return FigurePreset.quick(seed=0)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(0)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Ablation — Chord selection algorithms (DESIGN.md §6.2).
+
+The O(n^2 k) dynamic program of Section V-A versus the fast solver of
+Section V-B (span oracle + Monge divide-and-conquer). Equal costs,
+asymptotically different run times.
+"""
+
+import random
+
+import pytest
+
+from tests.helpers import random_problem
+
+from repro.core.chord_selection import select_chord_dp, select_chord_fast
+
+
+def make_problem(peers=400, k=16):
+    return random_problem(random.Random(2), bits=32, peers=peers, cores=12, k=k)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem()
+
+
+def test_bench_chord_dp(benchmark, problem):
+    result = benchmark(select_chord_dp, problem)
+    assert len(result.auxiliary) == problem.k
+
+
+def test_bench_chord_fast(benchmark, problem):
+    result = benchmark(select_chord_fast, problem)
+    assert len(result.auxiliary) == problem.k
+
+
+def test_same_cost(problem):
+    assert select_chord_fast(problem).cost == pytest.approx(select_chord_dp(problem).cost)

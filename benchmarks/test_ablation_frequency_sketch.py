@@ -1,0 +1,79 @@
+"""Ablation — exact frequency tables vs streaming top-n sketches
+(DESIGN.md §6.3, paper Section III implementation note).
+
+A node with bounded memory tracks only the top-n destinations (reference
+[3]). This bench measures how much selection quality (the eq. 1 cost,
+evaluated against the *true* distribution) degrades as the Space-Saving
+sketch shrinks.
+"""
+
+import random
+
+import pytest
+
+from repro.core.chord_selection import select_chord
+from repro.core.cost import chord_cost
+from repro.core.frequency import ExactFrequencyTable, SpaceSavingSketch
+from repro.core.types import SelectionProblem
+from repro.util.ids import IdSpace
+from repro.workload.zipf import ZipfDistribution
+
+SPACE = IdSpace(24)
+SOURCE = 0
+K = 10
+
+
+def build_stream(num_peers=400, num_queries=30_000, alpha=1.2, seed=3):
+    rng = random.Random(seed)
+    peers = rng.sample(range(1, SPACE.size), num_peers)
+    zipf = ZipfDistribution(alpha, num_peers)
+    stream = [peers[zipf.sample_rank(rng) - 1] for __ in range(num_queries)]
+    truth = {}
+    for peer in stream:
+        truth[peer] = truth.get(peer, 0.0) + 1.0
+    return stream, truth
+
+
+STREAM, TRUTH = build_stream()
+CORES = frozenset(sorted(TRUTH)[:8])
+
+
+def cost_with_tracker(tracker, limit=None) -> float:
+    for peer in STREAM:
+        tracker.observe(peer)
+    problem = SelectionProblem(
+        space=SPACE,
+        source=SOURCE,
+        frequencies=tracker.snapshot(limit),
+        core_neighbors=CORES,
+        k=K,
+    )
+    result = select_chord(problem)
+    # Judge the selection against the full true distribution.
+    return chord_cost(SPACE, SOURCE, TRUTH, CORES, result.auxiliary)
+
+
+def test_bench_exact_tracker(benchmark):
+    cost = benchmark.pedantic(
+        cost_with_tracker, args=(ExactFrequencyTable(),), rounds=1, iterations=1
+    )
+    assert cost > 0
+
+
+@pytest.mark.parametrize("capacity", [256, 64, 16])
+def test_bench_space_saving(benchmark, capacity):
+    cost = benchmark.pedantic(
+        cost_with_tracker, args=(SpaceSavingSketch(capacity),), rounds=1, iterations=1
+    )
+    assert cost > 0
+
+
+def test_quality_degrades_gracefully():
+    """The sketch's selection cost approaches the exact tracker's as
+    capacity grows, and even a small sketch stays within 25% overhead."""
+    exact = cost_with_tracker(ExactFrequencyTable())
+    costs = {cap: cost_with_tracker(SpaceSavingSketch(cap)) for cap in (16, 64, 256)}
+    print(f"\n  exact: {exact:.0f}; sketch: {costs}")
+    assert costs[256] <= costs[16] * 1.001  # bigger sketches never much worse
+    assert costs[256] == pytest.approx(exact, rel=0.02)
+    assert costs[16] <= exact * 1.25

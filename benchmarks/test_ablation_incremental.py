@@ -1,0 +1,58 @@
+"""Ablation — incremental maintenance vs full recomputation
+(DESIGN.md §6.6, paper Section IV-C).
+
+The incremental algorithm touches only the O(b) trie vertices on the
+changed peer's path (O(b k) per update); a full rebuild is O(n k). Both
+must agree on the resulting cost.
+"""
+
+import random
+
+import pytest
+
+from repro.core.pastry_selection import IncrementalPastrySelector, select_pastry_greedy
+from repro.util.ids import IdSpace
+
+N_PEERS = 1200
+K = 12
+
+
+def build_selector(seed=7):
+    space = IdSpace(32)
+    rng = random.Random(seed)
+    peers = rng.sample(range(space.size), N_PEERS + 1)
+    selector = IncrementalPastrySelector(space, source=peers[0], core_neighbors=[], k=K)
+    for peer in peers[1:]:
+        selector.observe(peer, float(rng.randint(1, 100)))
+    return selector, peers[1:]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return build_selector()
+
+
+def test_bench_incremental_update(benchmark, setup):
+    selector, peers = setup
+    rng = random.Random(8)
+
+    def one_update():
+        selector.observe(peers[rng.randrange(len(peers))], 3.0)
+
+    benchmark(one_update)
+
+
+def test_bench_full_recompute(benchmark, setup):
+    selector, __ = setup
+    problem = selector.problem()
+    benchmark.pedantic(select_pastry_greedy, args=(problem,), rounds=3, iterations=1)
+
+
+def test_incremental_stays_optimal(setup):
+    selector, peers = setup
+    rng = random.Random(9)
+    for __ in range(25):
+        selector.observe(peers[rng.randrange(len(peers))], float(rng.randint(1, 50)))
+    incremental = selector.selection()
+    fresh = select_pastry_greedy(selector.problem())
+    assert incremental.cost == pytest.approx(fresh.cost)

@@ -1,0 +1,50 @@
+"""Ablation — pointer caching vs item caching vs replication
+(DESIGN.md §6.5, paper Sections I and II-C).
+
+Quantifies the paper's motivating argument: under frequent item updates,
+item caching serves stale answers and replication pays update traffic,
+while auxiliary peer pointers cut hops with neither cost.
+"""
+
+from conftest import run_once
+
+from repro.extensions.item_cache import simulate_item_churn
+from repro.extensions.replication import simulate_replication
+
+
+def test_bench_item_cache_comparison(benchmark):
+    reports = run_once(
+        benchmark,
+        simulate_item_churn,
+        n=48,
+        bits=18,
+        queries=2500,
+        update_probability=0.2,
+        seed=5,
+    )
+    print()
+    for report in reports.values():
+        print(f"  {report.summary()}")
+    assert reports["pointer"].stale_answer_rate == 0.0
+    assert reports["item-cache"].stale_answer_rate > 0.02
+    assert reports["pointer"].mean_hops < reports["none"].mean_hops
+
+
+def test_bench_replication_comparison(benchmark):
+    reports = run_once(
+        benchmark,
+        simulate_replication,
+        n=48,
+        bits=18,
+        queries=2000,
+        replicated_fraction=0.08,
+        replication_level=3,
+        seed=6,
+    )
+    print()
+    for report in reports.values():
+        print(f"  {report.summary()}")
+    assert reports["replication"].update_messages_per_update > 0
+    assert reports["pointer"].update_messages_per_update == 0
+    assert reports["pointer"].mean_hops < reports["none"].mean_hops
+    assert reports["replication"].mean_hops < reports["none"].mean_hops

@@ -1,0 +1,40 @@
+"""Ablation — Pastry selection algorithms (DESIGN.md §6.1).
+
+The paper gives two optimal algorithms: the O(n k^2) dynamic program
+(Section IV-A) and the O(n k) greedy built on nesting property (P)
+(Section IV-B). They must return identical costs; the greedy must be
+substantially faster. These benches document both.
+"""
+
+import random
+
+import pytest
+
+from tests.helpers import random_problem
+
+from repro.core.pastry_selection import select_pastry_dp, select_pastry_greedy
+
+
+def make_problem(peers=1500, k=24):
+    return random_problem(random.Random(1), bits=32, peers=peers, cores=16, k=k)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem()
+
+
+def test_bench_pastry_dp(benchmark, problem):
+    result = benchmark(select_pastry_dp, problem)
+    assert len(result.auxiliary) == problem.k
+
+
+def test_bench_pastry_greedy(benchmark, problem):
+    result = benchmark(select_pastry_greedy, problem)
+    assert len(result.auxiliary) == problem.k
+
+
+def test_same_cost_different_speed(problem):
+    dp = select_pastry_dp(problem)
+    greedy = select_pastry_greedy(problem)
+    assert greedy.cost == pytest.approx(dp.cost)

@@ -1,0 +1,63 @@
+"""Ablation — greedy vs locality-aware Pastry routing (DESIGN.md §6.4).
+
+The mechanism behind Figure 4: under locality-aware (FreePastry-style)
+routing, extra *random* pointers mostly lose the proximity contest, while
+frequency-aware pointers at exact destinations still deliver directly —
+so the optimal scheme's edge grows with k. Under greedy routing both
+pointer kinds cut hops, so the edge is flatter.
+"""
+
+from conftest import run_once
+
+from repro.sim.runner import ExperimentConfig, run_stable
+
+
+def cell(mode: str, k: int):
+    return run_stable(
+        ExperimentConfig(
+            overlay="pastry",
+            n=128,
+            k=k,
+            bits=20,
+            alpha=1.2,
+            queries=2500,
+            num_rankings=1,
+            seed=4,
+            pastry_mode=mode,
+        )
+    )
+
+
+def test_bench_proximity_mode(benchmark):
+    result = run_once(benchmark, cell, "proximity", 7)
+    assert result.improvement > 0
+
+
+def test_bench_greedy_mode(benchmark):
+    result = run_once(benchmark, cell, "greedy", 7)
+    assert result.improvement > 0
+
+
+def test_mode_shapes():
+    rows = {
+        (mode, k): cell(mode, k)
+        for mode in ("proximity", "greedy")
+        for k in (7, 21)
+    }
+    print()
+    for (mode, k), result in rows.items():
+        print(f"  {mode:9s} k={k:2d}: {result.summary()}")
+    # Both modes beat the oblivious baseline at every budget.
+    for row in rows.values():
+        assert row.improvement > 10.0
+    # Figure 4's mechanism: under proximity routing the optimal scheme's
+    # relative edge does not shrink when k triples...
+    assert rows[("proximity", 21)].improvement > rows[("proximity", 7)].improvement - 1.0
+    # ...and the deliver-direct tier means destination-exact auxiliary
+    # pointers serve proximity routing at least as well as prefix-greedy
+    # at large k (prefix-length gain is a poor proxy for numeric
+    # closeness, so pure greedy can *miss* the destination shortcut).
+    assert (
+        rows[("proximity", 21)].optimized.mean_hops
+        <= rows[("greedy", 21)].optimized.mean_hops + 0.05
+    )

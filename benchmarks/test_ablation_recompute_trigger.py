@@ -1,0 +1,41 @@
+"""Ablation — periodic vs drift-triggered recomputation (DESIGN.md §6,
+paper Section III's open scheduling question).
+
+Under gradually drifting popularity plus a flash crowd, the adaptive
+trigger should match periodic recomputation's lookup quality while
+spending materially fewer selection runs.
+"""
+
+from conftest import run_once
+
+from repro.extensions.adaptive import compare_maintenance_strategies
+
+
+def run_comparison():
+    return compare_maintenance_strategies(
+        n=48,
+        bits=18,
+        duration=500.0,
+        epoch=12.5,
+        queries_per_epoch=50,
+        swap_interval=25.0,
+        swap_count=5,
+        seed=99,
+        flash_crowd_windows=[(200.0, 150.0)],
+    )
+
+
+def test_bench_recompute_strategies(benchmark):
+    reports = run_once(benchmark, run_comparison)
+    print()
+    for report in reports.values():
+        print(f"  {report.summary()}")
+    periodic = reports["periodic"]
+    adaptive = reports["adaptive"]
+    static = reports["static"]
+    # Both refresh policies beat never-refreshing under drift.
+    assert periodic.mean_hops < static.mean_hops
+    assert adaptive.mean_hops < static.mean_hops
+    # Adaptive achieves comparable quality with a fraction of the work.
+    assert adaptive.mean_hops <= periodic.mean_hops * 1.10
+    assert adaptive.recomputations <= periodic.recomputations * 0.8

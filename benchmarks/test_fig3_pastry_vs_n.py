@@ -1,0 +1,31 @@
+"""Figure 3 — Pastry: % hop reduction vs number of nodes.
+
+Paper series: alpha in {1.2, 0.91}, k = log n, identical rankings, stable
+system. Shape targets: every point strongly positive, improvement grows
+with n, and the alpha=1.2 curve dominates alpha=0.91 (the paper reaches
+~49% and ~29% respectively at n = 2048).
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure3
+from repro.experiments.report import render_detail, render_table
+
+
+def test_figure3_pastry_vs_n(benchmark, quick_preset):
+    result = run_once(benchmark, figure3, quick_preset)
+    print()
+    print(render_table(result))
+    print(render_detail(result))
+
+    steep, mild = result.series
+    assert steep.label == "alpha=1.2"
+    # Every cell wins against the frequency-oblivious baseline.
+    for series in result.series:
+        for value in series.improvements():
+            assert value > 5.0, f"{series.label} improvement {value} too small"
+    # Improvement grows with n.
+    assert steep.improvements()[-1] > steep.improvements()[0]
+    # Higher skew -> bigger wins, at every n (paper's dominant curve).
+    for high, low in zip(steep.improvements(), mild.improvements()):
+        assert high > low

@@ -1,0 +1,31 @@
+"""Figure 4 — Pastry: % hop reduction vs number of auxiliary pointers.
+
+Paper series: k in {1, 2, 3} x log n at fixed n, locality-aware
+(FreePastry-style) routing. Shape target: the improvement *increases*
+with k — the paper's artifact of proximity-based next-hop choice, where
+extra frequency-aware pointers keep cutting hops but extra random ones
+mostly just improve per-hop latency.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure4
+from repro.experiments.report import render_detail, render_table
+
+
+def test_figure4_pastry_vs_k(benchmark, quick_preset):
+    result = run_once(benchmark, figure4, quick_preset)
+    print()
+    print(render_table(result))
+    print(render_detail(result))
+
+    steep, mild = result.series
+    for series in result.series:
+        for value in series.improvements():
+            assert value > 5.0
+    # The increasing-with-k trend (allow flat within half a point of noise).
+    assert steep.improvements()[-1] > steep.improvements()[0] - 0.5
+    assert mild.improvements()[-1] > mild.improvements()[0] - 0.5
+    # alpha=1.2 dominates alpha=0.91 everywhere.
+    for high, low in zip(steep.improvements(), mild.improvements()):
+        assert high > low

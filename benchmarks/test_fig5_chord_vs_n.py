@@ -1,0 +1,33 @@
+"""Figure 5 — Chord: % hop reduction vs number of nodes, stable and churn.
+
+Paper series: k = log n, alpha = 1.2, five per-node popularity rankings;
+one curve for a stable system, one under heavy churn (exponential 900 s
+sessions, 4 queries/s, stabilization every 25 s, recomputation every
+62.5 s). Shape targets: the stable curve reaches large reductions (the
+paper peaks at ~57%), churn shrinks but does not erase the win (~25% in
+the paper), and stable dominates churn at every n.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure5
+from repro.experiments.report import render_detail, render_table
+
+
+def test_figure5_chord_vs_n(benchmark, quick_preset):
+    result = run_once(benchmark, figure5, quick_preset)
+    print()
+    print(render_table(result))
+    print(render_detail(result))
+
+    stable, churn = result.series
+    assert stable.label == "stable"
+    # Both modes beat the oblivious baseline everywhere.
+    for series in result.series:
+        for value in series.improvements():
+            assert value > 3.0
+    # Stable reaches a substantial reduction at the largest n.
+    assert stable.improvements()[-1] > 20.0
+    # Churn costs improvement relative to stable at every n.
+    for s_value, c_value in zip(stable.improvements(), churn.improvements()):
+        assert c_value < s_value

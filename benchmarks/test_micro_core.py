@@ -1,0 +1,59 @@
+"""Micro-benchmarks: selection scaling and lookup throughput.
+
+Not tied to a paper figure; they document the constants behind the
+complexity claims (Sections IV-B and V-B) and the simulator's raw speed.
+"""
+
+import random
+
+import pytest
+
+from tests.helpers import random_problem
+
+from repro.chord.ring import ChordRing
+from repro.core.chord_selection import select_chord_fast
+from repro.core.pastry_selection import select_pastry_greedy
+from repro.pastry.network import PastryNetwork
+from repro.util.ids import IdSpace
+
+
+@pytest.mark.parametrize("peers", [100, 400, 1600])
+def test_bench_chord_fast_scaling(benchmark, peers):
+    problem = random_problem(random.Random(10), bits=32, peers=peers, cores=10, k=12)
+    benchmark.pedantic(select_chord_fast, args=(problem,), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("peers", [100, 400, 1600])
+def test_bench_pastry_greedy_scaling(benchmark, peers):
+    problem = random_problem(random.Random(11), bits=32, peers=peers, cores=10, k=12)
+    benchmark.pedantic(select_pastry_greedy, args=(problem,), rounds=3, iterations=1)
+
+
+def test_bench_chord_lookup_throughput(benchmark):
+    ring = ChordRing.build(512, space=IdSpace(24), seed=12)
+    sources = ring.alive_ids()
+    rng = random.Random(13)
+    keys = [rng.randrange(2**24) for __ in range(256)]
+    state = {"i": 0}
+
+    def lookup():
+        i = state["i"] = state["i"] + 1
+        result = ring.lookup(sources[i % len(sources)], keys[i % len(keys)], record_access=False)
+        assert result.succeeded
+
+    benchmark(lookup)
+
+
+def test_bench_pastry_lookup_throughput(benchmark):
+    network = PastryNetwork.build(512, space=IdSpace(24), seed=14)
+    sources = network.alive_ids()
+    rng = random.Random(15)
+    keys = [rng.randrange(2**24) for __ in range(256)]
+    state = {"i": 0}
+
+    def lookup():
+        i = state["i"] = state["i"] + 1
+        result = network.lookup(sources[i % len(sources)], keys[i % len(keys)], record_access=False)
+        assert result.succeeded
+
+    benchmark(lookup)

@@ -1,0 +1,38 @@
+"""Trade-off bench — lookup benefit vs maintenance traffic (paper §I).
+
+The paper's design argument: k ≈ log n auxiliary pointers roughly double
+the routing table (and thus the ping traffic) in exchange for a large cut
+in average hops. This bench prints the measured curve so the trade-off is
+a number, not an assertion.
+"""
+
+from conftest import run_once
+
+from repro.sim.maintenance import cost_benefit_curve
+
+
+def test_bench_cost_benefit_curve(benchmark):
+    curve = run_once(
+        benchmark,
+        cost_benefit_curve,
+        overlay="chord",
+        n=96,
+        bits=20,
+        queries=2000,
+        stabilize_interval=25.0,
+        seed=11,
+    )
+    print()
+    print("   k | improvement | mean table | pings/s (whole network)")
+    for point in curve:
+        print(
+            f"  {point.k:2d} | {point.improvement_pct:10.1f}% | "
+            f"{point.mean_table_size:10.1f} | {point.pings_per_second:8.1f}"
+        )
+    # Benefit arrives immediately; traffic grows linearly with budget.
+    assert curve[0].improvement_pct == 0.0
+    assert curve[1].improvement_pct > 10.0
+    assert curve[-1].pings_per_second > curve[0].pings_per_second
+    # The paper's sweet spot: k = log n buys most of the benefit for a
+    # fraction of the 3 log n traffic.
+    assert curve[1].improvement_pct > 0.5 * curve[-1].improvement_pct

@@ -1,0 +1,49 @@
+"""Adaptive recomputation under drifting popularity (paper Section III).
+
+"The algorithm can be invoked either periodically or based on some
+criteria that determines that the system has undergone a significant
+change." This example makes that choice concrete: popularity drifts
+continuously, a flash crowd hits mid-run, and three maintenance strategies
+compete — never recompute, recompute on the paper's 62.5 s schedule, or
+recompute only when a node's observed distribution has drifted past an
+L1 threshold.
+
+Run:  python examples/adaptive_maintenance.py      (about 20 seconds)
+"""
+
+from repro.extensions.adaptive import compare_maintenance_strategies
+
+
+def main() -> None:
+    print("Chord, n = 48, drifting zipf(1.2) popularity, flash crowd at t = 200 s")
+    print()
+    reports = compare_maintenance_strategies(
+        n=48,
+        bits=18,
+        duration=500.0,
+        epoch=12.5,
+        queries_per_epoch=50,
+        swap_interval=25.0,
+        swap_count=5,
+        drift_threshold=0.08,
+        seed=17,
+        flash_crowd_windows=[(200.0, 150.0)],
+    )
+    print("  strategy  | mean hops | selections spent")
+    for name in ("static", "periodic", "adaptive"):
+        report = reports[name]
+        print(f"  {name:9s} | {report.mean_hops:9.3f} | {report.recomputations:8d}")
+    periodic = reports["periodic"]
+    adaptive = reports["adaptive"]
+    saved = 100 * (1 - adaptive.recomputations / periodic.recomputations)
+    print()
+    print(
+        f"The drift trigger matches periodic quality within "
+        f"{abs(adaptive.mean_hops - periodic.mean_hops):.2f} hops while "
+        f"spending {saved:.0f}% fewer selection runs — recomputation effort\n"
+        f"concentrates exactly where the workload actually changed."
+    )
+
+
+if __name__ == "__main__":
+    main()

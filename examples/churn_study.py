@@ -1,0 +1,55 @@
+"""Churn sensitivity study (paper Section VI-C).
+
+The paper reports that auxiliary pointers keep helping under heavy churn
+(2 joins+leaves per second against 4 queries per second), though less than
+in a stable system. This script sweeps the mean node lifetime from
+"practically stable" down to "brutal" and reports the improvement, the
+failure rates and the timeout traffic at each level — the full
+discrete-event machinery: exponential sessions, staggered stabilization
+every 25 s, auxiliary recomputation every 62.5 s, online frequency
+learning, crash-induced state loss.
+
+Run:  python examples/churn_study.py        (about a minute)
+"""
+
+from repro.sim.runner import ChurnConfig, run_churn
+
+
+def main() -> None:
+    print("Chord, n = 64, k = log n, zipf(1.2); varying mean node lifetime")
+    print()
+    print("  lifetime (s) | improvement | fail% ours | fail% obl | timeouts/lookup")
+    for lifetime in (10_000.0, 900.0, 300.0, 120.0):
+        config = ChurnConfig(
+            overlay="chord",
+            n=64,
+            bits=20,
+            alpha=1.2,
+            seed=11,
+            duration=600.0,
+            warmup=150.0,
+            mean_uptime=lifetime,
+            mean_downtime=lifetime,
+        )
+        result = run_churn(config)
+        ours = result.optimized
+        base = result.baseline
+        timeouts = ours.total_timeouts / max(ours.lookups, 1)
+        print(
+            f"  {lifetime:12.0f} | {result.improvement:10.1f}% | "
+            f"{100 * ours.failure_rate:9.2f}% | {100 * base.failure_rate:8.2f}% | "
+            f"{timeouts:14.3f}"
+        )
+    print()
+    print(
+        "Shorter lifetimes mean staler tables: failures and timeouts rise\n"
+        "and the improvement shrinks, matching the paper's high-churn\n"
+        "observations (Figures 5 and 6). Once lifetimes approach the\n"
+        "maintenance intervals themselves (~2 minutes vs the 62.5 s\n"
+        "recomputation period), pointers go stale faster than they can be\n"
+        "refreshed and the benefit disappears entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

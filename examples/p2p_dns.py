@@ -1,0 +1,77 @@
+"""P2P DNS with mobile IP: the paper's motivating application (Section I).
+
+A DHT-based name service stores (domain -> IP) records. With mobile
+clients the *records* change frequently while the *servers* (peers) are
+stable — exactly the regime where item caching serves stale addresses but
+peer-pointer caching stays both fast and fresh.
+
+The script hashes realistic domain names into a Chord ring, drives a
+zipfian query mix, updates the IPs of popular mobile domains at a
+configurable rate, and compares three designs:
+
+* plain DHT lookups,
+* per-resolver item caching (classic DNS-style record caching),
+* the paper's auxiliary peer pointers.
+
+Run:  python examples/p2p_dns.py
+"""
+
+from repro.extensions.item_cache import simulate_item_churn
+from repro.util.ids import IdSpace
+
+
+def show_name_mapping() -> None:
+    """How domain names land on peers in the id space."""
+    space = IdSpace(24)
+    domains = [
+        "www.example.com",
+        "mobile.device-17.example.net",
+        "cdn.video.example.org",
+        "mail.example.com",
+    ]
+    print("  domain -> key (24-bit id space)")
+    for domain in domains:
+        print(f"    {domain:32s} -> 0x{space.hash_name(domain):06x}")
+
+
+def compare_designs() -> None:
+    """Hops and staleness under increasing record-update rates."""
+    print("  update rate | plain DHT | item cache (stale%) | peer pointers")
+    for update_probability in (0.0, 0.05, 0.2, 0.5):
+        reports = simulate_item_churn(
+            n=64,
+            bits=20,
+            alpha=1.2,
+            queries=3000,
+            update_probability=update_probability,
+            cache_capacity=32,
+            seed=7,
+        )
+        plain = reports["none"]
+        cache = reports["item-cache"]
+        pointer = reports["pointer"]
+        print(
+            f"  {update_probability:11.2f} | {plain.mean_hops:9.3f} | "
+            f"{cache.mean_hops:10.3f} ({100 * cache.stale_answer_rate:4.1f}%) | "
+            f"{pointer.mean_hops:8.3f} ({100 * pointer.stale_answer_rate:.0f}% stale)"
+        )
+
+
+def main() -> None:
+    print("P2P DNS for mobile environments (paper Section I)")
+    print()
+    print("1. Domain names hash onto the ring:")
+    show_name_mapping()
+    print()
+    print("2. Record churn punishes item caching, not pointer caching:")
+    compare_designs()
+    print()
+    print(
+        "Item caching answers faster but serves stale IPs as mobility grows;\n"
+        "auxiliary peer pointers cut hops with zero staleness — the paper's\n"
+        "argument for peer caching in name services."
+    )
+
+
+if __name__ == "__main__":
+    main()

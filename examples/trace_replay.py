@@ -1,0 +1,90 @@
+"""Record a query trace once, replay it against competing configurations.
+
+A/B-testing pointer-selection policies is only meaningful on *identical*
+workloads. This example records a zipfian query trace to a JSONL file,
+then replays the very same queries against three configurations of the
+same ring — no auxiliary pointers, the frequency-oblivious baseline, and
+the paper's optimal selection — and reports per-configuration hop
+percentiles, not just means.
+
+Run:  python examples/trace_replay.py
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro.chord.ring import ChordRing, oblivious_policy, optimal_policy
+from repro.sim.metrics import HopStatistics
+from repro.util.ids import IdSpace
+from repro.workload.items import ItemCatalog, PopularityModel
+from repro.workload.queries import QueryGenerator
+from repro.workload.trace import QueryTrace
+
+N = 96
+BITS = 20
+SEED = 23
+
+
+def build_ring():
+    return ChordRing.build(N, space=IdSpace(BITS), seed=SEED)
+
+
+def record_trace(path: Path) -> QueryTrace:
+    ring = build_ring()
+    catalog = ItemCatalog(ring.space, 4 * N, seed=SEED)
+    popularity = PopularityModel(catalog, alpha=1.2, num_rankings=1, seed=SEED)
+    generator = QueryGenerator(popularity, popularity.assign_rankings(ring.alive_ids()), random.Random(SEED))
+    trace = QueryTrace(metadata={"alpha": 1.2, "n": N, "seed": SEED})
+    alive = ring.alive_ids()
+    for query in generator.stream(4000, lambda: alive):
+        trace.record(len(trace) / 4.0, query.source, query.item)
+    trace.save(path)
+    return trace
+
+
+def replay(trace: QueryTrace, policy_name: str) -> HopStatistics:
+    ring = build_ring()
+    if policy_name != "none":
+        catalog = ItemCatalog(ring.space, 4 * N, seed=SEED)
+        popularity = PopularityModel(catalog, alpha=1.2, num_rankings=1, seed=SEED)
+        destinations = popularity.node_frequencies(0, ring.responsible)
+        for node_id in ring.alive_ids():
+            weights = dict(destinations)
+            weights.pop(node_id, None)
+            ring.seed_frequencies(node_id, weights)
+        policy = optimal_policy if policy_name == "optimal" else oblivious_policy
+        ring.recompute_all_auxiliary(9, policy, random.Random(SEED), frequency_limit=256)
+    stats = HopStatistics(keep_samples=True)
+    for result in trace.replay_onto(ring):
+        stats.record(result)
+    return stats
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "workload.jsonl"
+        trace = record_trace(path)
+        print(f"Recorded {len(trace)} queries to {path.name} "
+              f"({path.stat().st_size / 1024:.0f} KiB JSONL)")
+        loaded = QueryTrace.load(path)
+        print(f"Reloaded: {len(loaded)} queries, metadata {loaded.metadata}")
+        print()
+        print("  policy    | mean hops |  p50 |  p95 |  p99")
+        for policy_name in ("none", "oblivious", "optimal"):
+            stats = replay(loaded, policy_name)
+            print(
+                f"  {policy_name:9s} | {stats.mean_hops:9.3f} | "
+                f"{stats.percentile(0.5):4.0f} | {stats.percentile(0.95):4.0f} | "
+                f"{stats.percentile(0.99):4.0f}"
+            )
+    print()
+    print(
+        "Same queries, three pointer policies: the optimal scheme shifts\n"
+        "the whole latency distribution left — tails included — because a\n"
+        "pointer helps every query routed through it, not just the hottest."
+    )
+
+
+if __name__ == "__main__":
+    main()

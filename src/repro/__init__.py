@@ -1,0 +1,54 @@
+"""repro — reproduction of "Accelerating Lookups in P2P Systems using Peer
+Caching" (Deb, Linga, Rastogi, Srinivasan — ICDE 2008).
+
+The package implements the paper's frequency-aware auxiliary-neighbor
+selection algorithms for Chord and Pastry, the two overlay substrates they
+run on, a discrete-event churn simulator, and the full experiment harness
+regenerating every evaluation figure.
+"""
+
+from repro.core import (
+    ExactFrequencyTable,
+    IncrementalPastrySelector,
+    LossyCountingSketch,
+    SelectionProblem,
+    SelectionResult,
+    SpaceSavingSketch,
+    select_chord,
+    select_chord_dp,
+    select_chord_fast,
+    select_chord_oblivious,
+    select_pastry,
+    select_pastry_dp,
+    select_pastry_greedy,
+    select_pastry_oblivious,
+)
+from repro.core.drift import DriftDetector, RecomputationTrigger
+from repro.core.qos import QosClass, QosPolicy
+from repro.util import IdSpace, SeedSequenceRegistry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DriftDetector",
+    "ExactFrequencyTable",
+    "IdSpace",
+    "IncrementalPastrySelector",
+    "LossyCountingSketch",
+    "QosClass",
+    "QosPolicy",
+    "RecomputationTrigger",
+    "SeedSequenceRegistry",
+    "SelectionProblem",
+    "SelectionResult",
+    "SpaceSavingSketch",
+    "__version__",
+    "select_chord",
+    "select_chord_dp",
+    "select_chord_fast",
+    "select_chord_oblivious",
+    "select_pastry",
+    "select_pastry_dp",
+    "select_pastry_greedy",
+    "select_pastry_oblivious",
+]

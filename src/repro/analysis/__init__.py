@@ -1,0 +1,17 @@
+"""Analytic models and terminal visualization for experiment results."""
+
+from repro.analysis.ascii_chart import render_chart
+from repro.analysis.model import (
+    core_only_upper_bound,
+    expected_uniform_hops,
+    lower_bound_cost,
+    predict_improvement,
+)
+
+__all__ = [
+    "core_only_upper_bound",
+    "expected_uniform_hops",
+    "lower_bound_cost",
+    "predict_improvement",
+    "render_chart",
+]

@@ -1,0 +1,63 @@
+"""Terminal line charts for figure results.
+
+The original figures are line plots; for a terminal-only environment this
+renders each :class:`~repro.experiments.figures.FigureResult` as an ASCII
+grid: one marker per series, y = percentage reduction, x = the figure's
+sweep variable. Used by ``python -m repro figure N --chart``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+from repro.util.errors import ConfigurationError
+
+__all__ = ["render_chart"]
+
+_MARKERS = "ox*+#@"
+
+
+def render_chart(result: FigureResult, width: int = 60, height: int = 16) -> str:
+    """Render a figure as an ASCII chart (markers per series + legend)."""
+    if width < 20 or height < 6:
+        raise ConfigurationError("chart needs width >= 20 and height >= 6")
+    points = [
+        (point.x, point.improvement, _MARKERS[index % len(_MARKERS)])
+        for index, series in enumerate(result.series)
+        for point in series.points
+    ]
+    if not points:
+        return f"{result.figure_id}: (no data)"
+    xs = [x for x, __, __ in points]
+    ys = [y for __, y, __ in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    grid = [[" "] * width for __ in range(height)]
+    for x, y, marker in points:
+        column = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][column] = marker
+
+    lines = [f"{result.figure_id}: {result.title}"]
+    for row_index, row in enumerate(grid):
+        y_value = y_hi - (y_hi - y_lo) * row_index / (height - 1)
+        lines.append(f"{y_value:6.1f}% |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    left = f"{_format(x_lo)}"
+    right = f"{_format(x_hi)}"
+    lines.append(" " * 9 + left + " " * max(1, width - len(left) - len(right)) + right)
+    lines.append(" " * 9 + f"x = {result.x_label}")
+    legend = "   ".join(
+        f"{_MARKERS[index % len(_MARKERS)]} = {series.label}"
+        for index, series in enumerate(result.series)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def _format(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:g}"

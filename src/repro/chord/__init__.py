@@ -1,0 +1,23 @@
+"""Chord overlay substrate: ring, nodes, routing, stabilization."""
+
+from repro.chord.node import ChordNode
+from repro.chord.ring import (
+    AuxiliaryPolicy,
+    ChordRing,
+    oblivious_policy,
+    optimal_policy,
+    uniform_policy,
+)
+from repro.chord.routing import LookupResult, RingTable, route
+
+__all__ = [
+    "AuxiliaryPolicy",
+    "ChordNode",
+    "ChordRing",
+    "LookupResult",
+    "RingTable",
+    "oblivious_policy",
+    "optimal_policy",
+    "route",
+    "uniform_policy",
+]

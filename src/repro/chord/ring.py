@@ -1,0 +1,357 @@
+"""The Chord overlay: node membership, key responsibility, stabilization,
+and installation of auxiliary-neighbor policies.
+
+Keys are assigned to their *predecessor* — the first node whose id equals
+or precedes the key clockwise (the paper's variant, Section II-B).
+
+Churn model (Section VI-C): nodes crash abruptly and later rejoin with the
+same id but fresh state. Other nodes keep stale entries until they either
+hit them (lookup timeout -> eviction) or run their next stabilization
+round, which re-initializes all core entries — mirroring the paper's
+"each node pings its core neighbors at regular intervals and also
+periodically re-initializes all the entries".
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left, bisect_right, insort
+from typing import Callable, Iterable
+
+from repro.chord.node import ChordNode
+from repro.chord.routing import LookupResult, route
+from repro.core.chord_selection import select_chord
+from repro.core.oblivious import select_chord_oblivious, select_uniform_random
+from repro.core.types import SelectionProblem, SelectionResult
+from repro.util.errors import ConfigurationError, NodeAbsentError
+from repro.util.ids import IdSpace
+from repro.util.validation import require_non_negative_int, require_positive_int
+
+__all__ = [
+    "AuxiliaryPolicy",
+    "ChordRing",
+    "oblivious_policy",
+    "optimal_policy",
+    "uniform_policy",
+]
+
+#: Signature of an auxiliary-selection policy: (problem, rng, overlay).
+#: The overlay lets frequency-oblivious baselines draw random nodes per
+#: distance class from the whole population, as the paper specifies.
+AuxiliaryPolicy = Callable[[SelectionProblem, random.Random, "ChordRing"], SelectionResult]
+
+
+def optimal_policy(
+    problem: SelectionProblem, rng: random.Random, overlay: "ChordRing | None" = None
+) -> SelectionResult:
+    """The paper's frequency-aware optimal selection (rng/overlay unused)."""
+    return select_chord(problem)
+
+
+def oblivious_policy(
+    problem: SelectionProblem, rng: random.Random, overlay: "ChordRing | None" = None
+) -> SelectionResult:
+    """The frequency-oblivious baseline of Section VI-A: random nodes per
+    finger range, drawn from the live population when available."""
+    pool = overlay.alive_ids() if overlay is not None else None
+    return select_chord_oblivious(problem, rng, pool=pool)
+
+
+def uniform_policy(
+    problem: SelectionProblem, rng: random.Random, overlay: "ChordRing | None" = None
+) -> SelectionResult:
+    """Uniform-random ablation baseline."""
+    pool = overlay.alive_ids() if overlay is not None else None
+    return select_uniform_random(problem, rng, "chord", pool=pool)
+
+
+class ChordRing:
+    """A complete Chord overlay with explicit, inspectable state.
+
+    Example
+    -------
+    >>> ring = ChordRing.build(64, space=IdSpace(16), seed=1)
+    >>> result = ring.lookup(ring.alive_ids()[0], key=12345)
+    >>> result.succeeded
+    True
+    """
+
+    def __init__(self, space: IdSpace | None = None, successor_list_size: int = 4) -> None:
+        self.space = space or IdSpace()
+        require_positive_int(successor_list_size, "successor_list_size")
+        self.successor_list_size = successor_list_size
+        self.nodes: dict[int, ChordNode] = {}
+        self._alive: list[int] = []  # sorted ids of live nodes
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        n: int,
+        space: IdSpace | None = None,
+        seed: int = 0,
+        successor_list_size: int = 4,
+    ) -> "ChordRing":
+        """Create a stabilized ring of ``n`` nodes with random distinct ids."""
+        require_positive_int(n, "n")
+        ring = cls(space, successor_list_size)
+        rng = random.Random(seed)
+        if n > ring.space.size:
+            raise ConfigurationError(f"cannot place {n} nodes in a {ring.space.bits}-bit space")
+        ids = rng.sample(range(ring.space.size), n)
+        for node_id in ids:
+            ring.add_node(node_id)
+        ring.stabilize_all()
+        return ring
+
+    def add_node(self, node_id: int) -> ChordNode:
+        """Add a brand-new node (not yet stabilized into others' tables)."""
+        self.space.validate(node_id, "node id")
+        if node_id in self.nodes:
+            raise ConfigurationError(f"node {node_id} already exists")
+        node = ChordNode(node_id, self.space, self.successor_list_size)
+        self.nodes[node_id] = node
+        insort(self._alive, node_id)
+        node.rebuild_core(self._alive)
+        return node
+
+    def join_via(self, node_id: int, bootstrap: int) -> ChordNode:
+        """Protocol-faithful join: build the new node's tables by routing
+        *through the overlay* from a bootstrap node (Chord's join).
+
+        The joining node issues one lookup per finger interval — for each
+        ``i``, a lookup for ``node_id + 2**i`` whose answering node's
+        successor is the first live node in ``[node_id + 2**i,
+        node_id + 2**(i+1))`` if one exists — plus one for its own
+        successor list. Existing nodes learn about the newcomer only
+        through their own later stabilization rounds, so responsibility
+        for the newcomer's keys genuinely transfers over time, exactly as
+        in a deployed ring.
+        """
+        self.space.validate(node_id, "node id")
+        if node_id in self.nodes and self.nodes[node_id].alive:
+            raise ConfigurationError(f"node {node_id} already exists")
+        boot = self.nodes[bootstrap]
+        if not boot.alive:
+            raise NodeAbsentError(f"bootstrap node {bootstrap} is not alive")
+
+        node = self.nodes.get(node_id)
+        if node is None:
+            node = ChordNode(node_id, self.space, self.successor_list_size)
+            self.nodes[node_id] = node
+        # Keep the node unroutable until its tables exist: a stale pointer
+        # reaching a half-built node would otherwise strand join lookups.
+        node.alive = False
+        node.core.clear()
+        node.successors.clear()
+        node.auxiliary.clear()
+
+        # Resolve each finger interval with a real lookup (before the node
+        # becomes routable, so no lookup can traverse it half-built).
+        for i in range(self.space.bits):
+            target = self.space.add(node_id, 1 << i)
+            answer = route(self, bootstrap, target, record_access=False)
+            if answer.destination is None:
+                continue
+            owner = self.nodes[answer.destination]
+            finger = self._successor_of(owner, target)
+            if finger is None or finger == node_id:
+                continue
+            if self.space.gap(target, finger) < (1 << i):
+                node.core.add(finger)
+        # Successor list: the answer for our own id's successor.
+        answer = route(self, bootstrap, node_id, record_access=False)
+        if answer.destination is not None:
+            predecessor = self.nodes[answer.destination]
+            walker = self._successor_of(predecessor, self.space.add(node_id, 1))
+            while walker is not None and walker != node_id and len(node.successors) < self.successor_list_size:
+                node.successors.append(walker)
+                walker = self._successor_of(self.nodes[walker], self.space.add(walker, 1))
+                if walker in node.successors:
+                    break
+        node._rebuild_table()
+        node.alive = True
+        insort(self._alive, node_id)
+        return node
+
+    def _successor_of(self, node: ChordNode, target: int) -> int | None:
+        """The first entry at or clockwise-after ``target`` that ``node``
+        knows about (successor list first, then its whole table)."""
+        best = None
+        best_gap = self.space.size
+        for candidate in node.successors + node.table.entries():
+            gap = self.space.gap(target, candidate)
+            if gap < best_gap:
+                best = candidate
+                best_gap = gap
+        return best
+
+    # ------------------------------------------------------------------
+    # Membership queries
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> ChordNode:
+        """Fetch a node object by id (KeyError when unknown)."""
+        return self.nodes[node_id]
+
+    def alive_ids(self) -> list[int]:
+        """Sorted ids of live nodes (a copy)."""
+        return list(self._alive)
+
+    def alive_count(self) -> int:
+        return len(self._alive)
+
+    def responsible(self, key: int) -> int:
+        """The node responsible for ``key``: its predecessor on the ring."""
+        if not self._alive:
+            raise NodeAbsentError("ring has no live nodes")
+        index = bisect_right(self._alive, key) - 1
+        return self._alive[index]  # wraps via [-1]
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+    def crash(self, node_id: int) -> None:
+        """Abruptly fail a node; others keep stale pointers to it."""
+        node = self.nodes[node_id]
+        if not node.alive:
+            raise NodeAbsentError(f"node {node_id} is already down")
+        node.crash()
+        index = bisect_left(self._alive, node_id)
+        del self._alive[index]
+
+    def rejoin(self, node_id: int) -> None:
+        """Bring a crashed node back with fresh state and correct core."""
+        node = self.nodes[node_id]
+        if node.alive:
+            raise NodeAbsentError(f"node {node_id} is already up")
+        insort(self._alive, node_id)
+        node.rejoin(self._alive)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def stabilize(self, node_id: int) -> None:
+        """One node's stabilization round: re-initialize its core entries
+        and drop auxiliary entries that are known dead (the modified ping
+        process of Section III)."""
+        node = self.nodes[node_id]
+        if not node.alive:
+            raise NodeAbsentError(f"cannot stabilize dead node {node_id}")
+        stale_aux = {aux for aux in node.auxiliary if not self.nodes[aux].alive}
+        node.auxiliary -= stale_aux
+        node.rebuild_core(self._alive)
+
+    def stabilize_all(self) -> None:
+        """Stabilize every live node (used to reach a steady state)."""
+        for node_id in self._alive:
+            self.stabilize(node_id)
+
+    def refresh_via(self, node_id: int) -> None:
+        """Protocol-faithful fix-fingers: refresh one node's core entries
+        by routing lookups *through its own current table* (Chord's
+        ``fix_fingers``), rather than consulting the global view.
+
+        Converges to the same entries as :meth:`stabilize` on a consistent
+        overlay, but propagates knowledge only as fast as real routing
+        would — a newly joined node becomes a finger of others only once
+        some path already leads to it.
+        """
+        node = self.nodes[node_id]
+        if not node.alive:
+            raise NodeAbsentError(f"cannot refresh dead node {node_id}")
+        fingers: set[int] = set()
+        for i in range(self.space.bits):
+            target = self.space.add(node_id, 1 << i)
+            answer = route(self, node_id, target, record_access=False)
+            if answer.destination is None:
+                continue
+            owner = self.nodes[answer.destination]
+            finger = self._successor_of(owner, target)
+            if finger is None or finger == node_id:
+                continue
+            if self.space.gap(target, finger) < (1 << i):
+                fingers.add(finger)
+        node.core = fingers
+        # Refresh the successor list by walking from the first finger.
+        node.successors.clear()
+        walker = self._successor_of(node, self.space.add(node_id, 1))
+        while (
+            walker is not None
+            and walker != node_id
+            and len(node.successors) < self.successor_list_size
+        ):
+            node.successors.append(walker)
+            walker = self._successor_of(self.nodes[walker], self.space.add(walker, 1))
+            if walker in node.successors:
+                break
+        stale_aux = {aux for aux in node.auxiliary if not self.nodes[aux].alive}
+        node.auxiliary -= stale_aux
+        node._rebuild_table()
+
+    def recompute_auxiliary(
+        self,
+        node_id: int,
+        k: int,
+        policy: AuxiliaryPolicy,
+        rng: random.Random,
+        frequency_limit: int | None = None,
+    ) -> SelectionResult:
+        """Run an auxiliary-selection policy at one node and install the
+        result (the periodic recomputation of Section III).
+
+        Only currently-observed peers enter the problem; peers the node has
+        learned are dead were already dropped from its tracker by
+        :meth:`ChordNode.evict` callers. ``frequency_limit`` truncates to
+        the top-n observed peers (the paper's streaming-top-n note).
+        """
+        require_non_negative_int(k, "k")
+        node = self.nodes[node_id]
+        if not node.alive:
+            raise NodeAbsentError(f"cannot select auxiliaries at dead node {node_id}")
+        frequencies = node.frequency_snapshot(frequency_limit)
+        problem = SelectionProblem(
+            space=self.space,
+            source=node_id,
+            frequencies=frequencies,
+            core_neighbors=frozenset(node.core | set(node.successors)),
+            k=k,
+        )
+        result = policy(problem, rng, self)
+        node.set_auxiliary(set(result.auxiliary))
+        return result
+
+    def recompute_all_auxiliary(
+        self,
+        k: int,
+        policy: AuxiliaryPolicy,
+        rng: random.Random,
+        frequency_limit: int | None = None,
+    ) -> None:
+        """Recompute auxiliary sets at every live node."""
+        for node_id in self.alive_ids():
+            self.recompute_auxiliary(node_id, k, policy, rng, frequency_limit)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def lookup(self, source: int, key: int, record_access: bool = True) -> LookupResult:
+        """Route a query for ``key`` from ``source``; see :func:`route`."""
+        return route(self, source, key, record_access=record_access)
+
+    def seed_frequencies(self, node_id: int, frequencies: dict[int, float]) -> None:
+        """Pre-load a node's tracker (used by stable-mode experiments that
+        hand each node its long-run destination distribution directly)."""
+        node = self.nodes[node_id]
+        node.tracker = _tracker_from(frequencies, node_id)
+
+
+def _tracker_from(frequencies: dict[int, float], owner: int):
+    from repro.core.frequency import ExactFrequencyTable
+
+    tracker = ExactFrequencyTable()
+    for peer, weight in frequencies.items():
+        if peer != owner and weight > 0:
+            tracker.observe(peer, weight)
+    return tracker

@@ -1,0 +1,170 @@
+"""Chord ring routing: greedy clockwise forwarding over a sorted table.
+
+The paper's Chord variant (Section II-B) forwards a query for key ``v`` at
+node ``x`` to the neighbor *closest to ``v`` without passing it* in the
+clockwise direction. With every node's neighbors (core fingers, successor
+list and auxiliary pointers) merged into one id-sorted table, that neighbor
+is the table's ring-predecessor of ``v`` — found by a single ``bisect``.
+
+:func:`route` walks a query across the ring, modelling churn effects: a
+forward to a dead neighbor costs a timeout, evicts the stale entry from the
+forwarding node's table (the node learned the neighbor is gone) and retries
+with the next-best entry, exactly like a lookup timeout in a deployed DHT.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.util.errors import NodeAbsentError
+from repro.util.ids import IdSpace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.chord.ring import ChordRing
+
+__all__ = ["RingTable", "LookupResult", "route"]
+
+
+class RingTable:
+    """A node's merged neighbor table, kept sorted by absolute id.
+
+    Supports O(log t) next-hop queries (t = table size) and O(t) inserts /
+    removals, which is fine for the O(log n + k) tables the paper studies.
+    """
+
+    __slots__ = ("owner", "space", "_entries")
+
+    def __init__(self, owner: int, space: IdSpace) -> None:
+        self.owner = owner
+        self.space = space
+        self._entries: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node_id: int) -> bool:
+        index = bisect_right(self._entries, node_id) - 1
+        return index >= 0 and self._entries[index] == node_id
+
+    def entries(self) -> list[int]:
+        """All entries in ascending id order (a copy)."""
+        return list(self._entries)
+
+    def add(self, node_id: int) -> None:
+        """Insert ``node_id`` (no-op for duplicates or the owner itself)."""
+        if node_id == self.owner or node_id in self:
+            return
+        insort(self._entries, node_id)
+
+    def remove(self, node_id: int) -> None:
+        """Remove ``node_id`` if present."""
+        index = bisect_right(self._entries, node_id) - 1
+        if index >= 0 and self._entries[index] == node_id:
+            del self._entries[index]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def next_hop(self, key: int) -> int | None:
+        """The entry closest to ``key`` without passing it clockwise, or
+        ``None`` when no entry lies in the clockwise interval
+        ``(owner, key]`` (the owner is then the key's predecessor as far as
+        this table knows)."""
+        if not self._entries:
+            return None
+        index = bisect_right(self._entries, key) - 1
+        candidate = self._entries[index]  # ring-predecessor of key (wraps via [-1])
+        gap = self.space.gap(self.owner, candidate)
+        if 0 < gap <= self.space.gap(self.owner, key):
+            return candidate
+        return None
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one Chord lookup.
+
+    ``hops`` counts successful forwards; ``timeouts`` counts attempts that
+    hit a dead neighbor (each also triggered an eviction at the forwarding
+    node). ``latency`` — the metric the paper plots — treats a timeout like
+    a wasted hop.
+    """
+
+    key: int
+    source: int
+    destination: int | None
+    hops: int
+    timeouts: int = 0
+    succeeded: bool = True
+    path: list[int] = field(default_factory=list)
+
+    @property
+    def latency(self) -> int:
+        """Hop-count latency proxy: forwards plus timeout penalties."""
+        return self.hops + self.timeouts
+
+
+def route(
+    ring: "ChordRing",
+    source: int,
+    key: int,
+    max_hops: int | None = None,
+    record_access: bool = True,
+) -> LookupResult:
+    """Route a query for ``key`` from node ``source`` across ``ring``.
+
+    Terminates when the current node's table holds no entry in
+    ``(current, key]`` — the current node then believes it is the key's
+    predecessor (its owner). The lookup succeeds when that belief matches
+    the ring's ground truth; under churn, stale tables can strand a query
+    early, which is reported as a failure.
+
+    When ``record_access`` is set, the source node's frequency tracker is
+    fed the true destination (the paper's "note the node containing the
+    queried item for every query", Section III).
+    """
+    node = ring.node(source)
+    if not node.alive:
+        raise NodeAbsentError(f"source node {source} is not alive")
+    space = ring.space
+    limit = max_hops if max_hops is not None else 4 * space.bits
+    true_destination = ring.responsible(key)
+    if record_access and true_destination != source:
+        node.record_access(true_destination)
+
+    current = node
+    hops = 0
+    timeouts = 0
+    path = [source]
+    while hops + timeouts <= limit:
+        next_id = current.table.next_hop(key)
+        if next_id is None:
+            succeeded = current.node_id == true_destination
+            return LookupResult(
+                key=key,
+                source=source,
+                destination=current.node_id if succeeded else None,
+                hops=hops,
+                timeouts=timeouts,
+                succeeded=succeeded,
+                path=path,
+            )
+        next_node = ring.node(next_id)
+        if not next_node.alive:
+            timeouts += 1
+            current.evict(next_id)
+            continue
+        hops += 1
+        path.append(next_id)
+        current = next_node
+    return LookupResult(
+        key=key,
+        source=source,
+        destination=None,
+        hops=hops,
+        timeouts=timeouts,
+        succeeded=False,
+        path=path,
+    )

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure {3,4,5,6}``
+    Regenerate one of the paper's evaluation figures and print the series
+    as a table (``--detail`` adds raw hop counts; ``--paper`` runs the
+    full-size configuration, which takes minutes).
+``compare``
+    Run a single comparison cell with explicit parameters.
+``sweep``
+    Sweep one configuration parameter and print a table or CSV.
+``demo``
+    A 30-second end-to-end tour (used by the quickstart).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import FIGURES, FigurePreset, run_figure
+from repro.experiments.report import render_detail, render_markdown, render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Accelerating Lookups in P2P Systems using Peer "
+            "Caching' (Deb et al., ICDE 2008)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figure = sub.add_parser("figure", help="regenerate one evaluation figure")
+    figure.add_argument("figure_id", choices=sorted(FIGURES), help="paper figure number")
+    figure.add_argument("--paper", action="store_true", help="full paper-scale parameters (slow)")
+    figure.add_argument("--seed", type=int, default=0, help="master random seed")
+    figure.add_argument("--detail", action="store_true", help="print raw hop counts too")
+    figure.add_argument("--markdown", action="store_true", help="emit a markdown table")
+    figure.add_argument("--chart", action="store_true", help="render an ASCII chart")
+
+    compare = sub.add_parser("compare", help="run a single comparison cell")
+    compare.add_argument("overlay", choices=["chord", "pastry"])
+    compare.add_argument("--n", type=int, default=256)
+    compare.add_argument("--k", type=int, default=None, help="auxiliary pointers (default log2 n)")
+    compare.add_argument("--alpha", type=float, default=1.2)
+    compare.add_argument("--bits", type=int, default=24)
+    compare.add_argument("--queries", type=int, default=5000)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--churn", action="store_true", help="run the churn-mode simulation")
+    compare.add_argument("--duration", type=float, default=600.0, help="churn sim duration (s)")
+
+    sw = sub.add_parser("sweep", help="sweep one config parameter")
+    sw.add_argument("overlay", choices=["chord", "pastry"])
+    sw.add_argument("parameter", help="ExperimentConfig field to vary (e.g. alpha, k, n)")
+    sw.add_argument("values", nargs="+", help="values to sweep over")
+    sw.add_argument("--n", type=int, default=128)
+    sw.add_argument("--bits", type=int, default=20)
+    sw.add_argument("--queries", type=int, default=3000)
+    sw.add_argument("--seed", type=int, default=0)
+    sw.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+
+    sub.add_parser("demo", help="30-second end-to-end tour")
+    return parser
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    preset = FigurePreset.paper(args.seed) if args.paper else FigurePreset.quick(args.seed)
+    started = time.time()
+    result = run_figure(args.figure_id, preset)
+    print(render_table(result))
+    if args.detail:
+        print()
+        print(render_detail(result))
+    if args.markdown:
+        print()
+        print(render_markdown(result))
+    if args.chart:
+        from repro.analysis.ascii_chart import render_chart
+
+        print()
+        print(render_chart(result))
+    print(f"\n[{preset.name} preset, {time.time() - started:.1f}s]")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.sim.runner import ChurnConfig, ExperimentConfig, run_churn, run_stable
+
+    if args.churn:
+        config = ChurnConfig(
+            overlay=args.overlay,
+            n=args.n,
+            k=args.k,
+            alpha=args.alpha,
+            bits=args.bits,
+            seed=args.seed,
+            duration=args.duration,
+            warmup=min(args.duration / 4, 300.0),
+        )
+        result = run_churn(config)
+    else:
+        config = ExperimentConfig(
+            overlay=args.overlay,
+            n=args.n,
+            k=args.k,
+            alpha=args.alpha,
+            bits=args.bits,
+            queries=args.queries,
+            seed=args.seed,
+        )
+        result = run_stable(config)
+    print(result.summary())
+    print(
+        f"  failure rates: ours {result.optimized.failure_rate:.4f}, "
+        f"oblivious {result.baseline.failure_rate:.4f}"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.runner import ExperimentConfig
+    from repro.experiments.sweep import rows_to_csv, rows_to_table, sweep
+
+    base = ExperimentConfig(
+        overlay=args.overlay,
+        n=args.n,
+        bits=args.bits,
+        queries=args.queries,
+        seed=args.seed,
+    )
+
+    def convert(text: str):
+        for kind in (int, float):
+            try:
+                return kind(text)
+            except ValueError:
+                continue
+        return text
+
+    rows = sweep(base, args.parameter, [convert(value) for value in args.values])
+    print(rows_to_csv(rows) if args.csv else rows_to_table(rows))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.sim.runner import ExperimentConfig, run_stable
+
+    print("Building a 128-node Chord ring, zipf(1.2) workload, k = log n ...")
+    result = run_stable(
+        ExperimentConfig(overlay="chord", n=128, bits=20, queries=3000, seed=1)
+    )
+    print(result.summary())
+    print("Now the same on Pastry with locality-aware routing ...")
+    result = run_stable(
+        ExperimentConfig(overlay="pastry", n=128, bits=20, queries=3000, seed=1)
+    )
+    print(result.summary())
+    print("Run `python -m repro figure 5` to regenerate a full evaluation figure.")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"figure": _cmd_figure, "compare": _cmd_compare, "sweep": _cmd_sweep, "demo": _cmd_demo}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""The paper's primary contribution: frequency-aware auxiliary-neighbor
+selection for Pastry (Section IV) and Chord (Section V), plus the
+frequency trackers and baselines the algorithms are evaluated against."""
+
+from repro.core.chord_selection import select_chord, select_chord_dp, select_chord_fast
+from repro.core.cost import (
+    brute_force_optimal,
+    chord_cost,
+    chord_peer_distance,
+    evaluate,
+    pastry_cost,
+    pastry_peer_distance,
+)
+from repro.core.frequency import (
+    ExactFrequencyTable,
+    FrequencyTracker,
+    LossyCountingSketch,
+    SpaceSavingSketch,
+)
+from repro.core.oblivious import (
+    select_chord_oblivious,
+    select_pastry_oblivious,
+    select_uniform_random,
+)
+from repro.core.pastry_selection import (
+    IncrementalPastrySelector,
+    select_pastry,
+    select_pastry_dp,
+    select_pastry_greedy,
+)
+from repro.core.trie import PeerTrie, TrieVertex
+from repro.core.types import SelectionProblem, SelectionResult
+
+__all__ = [
+    "ExactFrequencyTable",
+    "FrequencyTracker",
+    "IncrementalPastrySelector",
+    "LossyCountingSketch",
+    "PeerTrie",
+    "SelectionProblem",
+    "SelectionResult",
+    "SpaceSavingSketch",
+    "TrieVertex",
+    "brute_force_optimal",
+    "chord_cost",
+    "chord_peer_distance",
+    "evaluate",
+    "pastry_cost",
+    "pastry_peer_distance",
+    "select_chord",
+    "select_chord_dp",
+    "select_chord_fast",
+    "select_chord_oblivious",
+    "select_pastry",
+    "select_pastry_dp",
+    "select_pastry_greedy",
+    "select_pastry_oblivious",
+    "select_uniform_random",
+]

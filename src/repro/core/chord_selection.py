@@ -1,0 +1,367 @@
+"""Auxiliary-neighbor selection for Chord (paper Section V).
+
+All ids are mapped into the frame of the selecting node (the paper's
+"zero-node"): peer ``l`` becomes its clockwise gap ``g_l = (id_l - id_s)
+mod 2**b``, and the hop estimate from a pointer at gap ``w`` to a peer at
+gap ``g >= w`` is ``bitlength(g - w)`` (eq. 6). Because the gap-to-hops map
+is monotone, every peer is served by its *closest preceding* pointer, which
+is what makes the interval dynamic program work:
+
+``C_i(m) = min_{1<=j<=m} [ C_{i-1}(j-1) + s(j, m) ]``            (eq. 7)
+
+with ``s(j, m)`` the cost of serving peers ``j+1 .. m`` given a pointer at
+peer ``j`` plus the core neighbors (eq. 8).
+
+Solvers:
+
+* :func:`select_chord_dp` — the ``O(n^2 k)`` dynamic program of Section
+  V-A: tabulates ``s(j, m)`` by linear sweeps and takes explicit minima.
+  Supports QoS delay bounds (Section V-C) by declaring violating
+  placements infeasible.
+* :func:`select_chord_fast` — Section V-B. Three ingredients:
+
+  1. cumulative frequencies ``F`` and, per anchor, the farthest-peer
+     tables ``p_w(r)`` with prefix sums of ``r * (F(p_w(r)) - F(p_w(r-1)))``
+     (eq. 9), so any core-free span's cost is O(1) after an O(log n)
+     index lookup;
+  2. segment splitting at core neighbors with cumulative full-segment
+     costs (eq. 10), so any ``s(j, m)`` costs ``O(log n + log b)``;
+  3. a divide-and-conquer layer solver in place of the paper's reference
+     [9]: ``s`` satisfies the Monge/concavity condition (extending the
+     span by one peer costs less under a closer pointer), hence the
+     optimal ``j`` is monotone in ``m`` and each of the ``k`` layers
+     resolves in ``O(n log n)`` evaluations.
+
+:func:`select_chord` dispatches: QoS bounds or tiny instances use the DP,
+everything else the fast solver.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from repro.core.types import SelectionProblem, SelectionResult
+from repro.util.errors import ConfigurationError, InfeasibleConstraintError
+
+__all__ = ["select_chord", "select_chord_dp", "select_chord_fast"]
+
+_INF = float("inf")
+
+
+@dataclass
+class _ChordInstance:
+    """A selection problem normalized to the selecting node's frame.
+
+    ``gaps[i]``/``weights[i]``/``ids[i]`` describe the i-th peer in
+    clockwise order (0-based internally; the paper's indices are 1-based).
+    ``core_gaps`` are the clockwise offsets of the core neighbors.
+    ``candidate_flags[i]`` marks peers eligible to carry an auxiliary
+    pointer. ``bounds[i]`` is the max allowed ``1 + d`` (or ``None``).
+    """
+
+    bits: int
+    gaps: list[int]
+    weights: list[float]
+    ids: list[int]
+    core_gaps: list[int]
+    candidate_flags: list[bool]
+    bounds: list[int | None]
+
+    @property
+    def n(self) -> int:
+        return len(self.gaps)
+
+
+def _normalize(problem: SelectionProblem) -> _ChordInstance:
+    space = problem.space
+    source = problem.source
+    entries: dict[int, float] = dict(problem.frequencies)
+    for peer in problem.delay_bounds:
+        if peer != source:
+            entries.setdefault(peer, 0.0)
+    order = sorted(entries, key=lambda peer: space.gap(source, peer))
+    gaps = [space.gap(source, peer) for peer in order]
+    weights = [float(entries[peer]) for peer in order]
+    core = set(problem.core_neighbors)
+    candidate_flags = [peer not in core for peer in order]
+    bounds = [problem.delay_bounds.get(peer) for peer in order]
+    core_gaps = sorted(space.gap(source, neighbor) for neighbor in core)
+    return _ChordInstance(
+        bits=space.bits,
+        gaps=gaps,
+        weights=weights,
+        ids=order,
+        core_gaps=core_gaps,
+        candidate_flags=candidate_flags,
+        bounds=bounds,
+    )
+
+
+def _serving_distance(inst: _ChordInstance, pointer_gap: int | None, peer_gap: int) -> int:
+    """Hops from the best of ``{pointer} ∪ cores`` preceding ``peer_gap``."""
+    best = pointer_gap if pointer_gap is not None and pointer_gap <= peer_gap else None
+    index = bisect_right(inst.core_gaps, peer_gap)
+    if index:
+        core = inst.core_gaps[index - 1]
+        best = core if best is None else max(best, core)
+    if best is None:
+        return inst.bits
+    return (peer_gap - best).bit_length()
+
+
+def _base_costs(inst: _ChordInstance) -> list[float]:
+    """``C_0(m)``: prefix costs (and QoS feasibility) with cores only.
+
+    ``base[m]`` covers peers ``0 .. m-1`` (m = paper's 1-based index).
+    """
+    base = [0.0]
+    running = 0.0
+    for i in range(inst.n):
+        if running != _INF:
+            distance = _serving_distance(inst, None, inst.gaps[i])
+            bound = inst.bounds[i]
+            if bound is not None and 1 + distance > bound:
+                running = _INF
+            else:
+                running += inst.weights[i] * distance
+        base.append(running)
+    return base
+
+
+def _span_cost_table(inst: _ChordInstance, j: int) -> list[float]:
+    """All ``s(j+1, m)`` for one 0-based pointer position ``j`` by a linear
+    sweep: ``table[m]`` is the cost of peers ``j+1 .. m-1`` (0-based) served
+    by the pointer at peer ``j`` plus the cores. Used by the quadratic DP.
+    """
+    table = [0.0] * (inst.n + 1)
+    running = 0.0
+    pointer_gap = inst.gaps[j]
+    for l in range(j + 1, inst.n):
+        if running != _INF:
+            distance = _serving_distance(inst, pointer_gap, inst.gaps[l])
+            bound = inst.bounds[l]
+            if bound is not None and 1 + distance > bound:
+                running = _INF
+            else:
+                running += inst.weights[l] * distance
+        table[l + 1] = running
+    return table
+
+
+def _reconstruct(parents: list[list[int]], layers: int, n: int) -> list[int]:
+    """Follow the recorded argmins back to the chosen 0-based positions."""
+    chosen: list[int] = []
+    i, m = layers, n
+    while i > 0:
+        j = parents[i][m]
+        if j == 0:
+            i -= 1  # this layer added no pointer
+            continue
+        chosen.append(j - 1)  # store as 0-based peer index
+        m = j - 1
+        i -= 1
+    return chosen
+
+
+def _result(problem: SelectionProblem, inst: _ChordInstance, chosen_positions: list[int], cost_without_plus_one: float, algorithm: str) -> SelectionResult:
+    total_weight = sum(inst.weights)
+    auxiliary = frozenset(inst.ids[pos] for pos in chosen_positions)
+    return SelectionResult(auxiliary, cost_without_plus_one + total_weight, algorithm)
+
+
+def select_chord_dp(problem: SelectionProblem) -> SelectionResult:
+    """Optimal selection via the ``O(n^2 k)`` dynamic program (Section V-A).
+
+    Supports QoS delay bounds; raises
+    :class:`~repro.util.errors.InfeasibleConstraintError` when no placement
+    of ``k`` pointers satisfies them.
+    """
+    inst = _normalize(problem)
+    n = inst.n
+    span_tables = [_span_cost_table(inst, j) for j in range(n)]
+    current = _base_costs(inst)
+    k_eff = min(problem.k, sum(inst.candidate_flags))
+    parents: list[list[int]] = [[0] * (n + 1)]
+    for _layer in range(k_eff):
+        previous = current
+        current = list(previous)  # option: do not place this pointer
+        parent_row = [0] * (n + 1)
+        for m in range(1, n + 1):
+            best = current[m]
+            best_j = 0
+            for j in range(1, m + 1):
+                if not inst.candidate_flags[j - 1]:
+                    continue
+                value = previous[j - 1] + span_tables[j - 1][m]
+                if value < best:
+                    best = value
+                    best_j = j
+            current[m] = best
+            parent_row[m] = best_j
+        parents.append(parent_row)
+    if current[n] == _INF:
+        raise InfeasibleConstraintError(
+            f"QoS delay bounds cannot be met with k={problem.k} auxiliary pointers"
+        )
+    chosen = _reconstruct(parents, k_eff, n)
+    return _result(problem, inst, chosen, current[n], "chord-dp")
+
+
+class _SpanOracle:
+    """Answers ``s(j, m)`` queries in ``O(log n + log b)`` (Section V-B).
+
+    For every anchor gap ``w`` (each peer position and each core neighbor)
+    it precomputes, over hop distances ``r = 1 .. b``:
+
+    * ``reach_index[w][r]`` — the paper's ``p_w(r)``: how many peers have a
+      gap at most ``w + 2**r - 1`` (prefix count into the sorted gaps);
+    * ``hop_prefix[w][r]`` — the prefix sum
+      ``sum_{r'<=r} r' * (F(p_w(r')) - F(p_w(r'-1)))`` of eq. 9.
+
+    Spans containing core neighbors split at them (eq. 10); the costs of
+    complete core-to-core segments are pre-accumulated so a query touches
+    at most two partial segments.
+    """
+
+    def __init__(self, inst: _ChordInstance) -> None:
+        self.inst = inst
+        self.gaps = inst.gaps
+        bits = inst.bits
+        # Cumulative peer frequencies: F[c] = total weight of first c peers.
+        self.freq_prefix = [0.0]
+        for weight in inst.weights:
+            self.freq_prefix.append(self.freq_prefix[-1] + weight)
+        # Anchor tables for every peer gap and every core gap.
+        self._reach: dict[int, list[int]] = {}
+        self._hops: dict[int, list[float]] = {}
+        for gap in set(inst.gaps) | set(inst.core_gaps):
+            reach = [bisect_right(self.gaps, gap)]
+            hops = [0.0]
+            for r in range(1, bits + 1):
+                limit = gap + (1 << r) - 1
+                index = bisect_right(self.gaps, limit)
+                shell = self.freq_prefix[index] - self.freq_prefix[reach[-1]]
+                hops.append(hops[-1] + r * shell)
+                reach.append(index)
+            self._reach[gap] = reach
+            self._hops[gap] = hops
+        # Cumulative costs of complete core→core segments (eq. 10).
+        cores = inst.core_gaps
+        self.segment_prefix = [0.0]
+        for t in range(len(cores) - 1):
+            cost = self._corefree_span(cores[t], cores[t + 1] - 1)
+            self.segment_prefix.append(self.segment_prefix[-1] + cost)
+
+    def _corefree_span(self, anchor: int, limit: int) -> float:
+        """Cost of peers with gap in ``(anchor, limit]`` all served by a
+        pointer at ``anchor`` (no core neighbor strictly inside) — eq. 9."""
+        if limit <= anchor:
+            return 0.0
+        span = limit - anchor
+        d_max = span.bit_length()
+        reach = self._reach[anchor]
+        hops = self._hops[anchor]
+        inner = hops[d_max - 1]
+        upper_index = bisect_right(self.gaps, limit)
+        outer = d_max * (self.freq_prefix[upper_index] - self.freq_prefix[reach[d_max - 1]])
+        return inner + outer
+
+    def span_cost(self, j: int, m: int) -> float:
+        """``s(j, m)`` with 1-based indices per the paper: cost of peers
+        ``j+1 .. m`` given a pointer at peer ``j`` plus the cores."""
+        if m <= j:
+            return 0.0
+        anchor = self.gaps[j - 1]
+        limit = self.gaps[m - 1]
+        cores = self.inst.core_gaps
+        lo = bisect_right(cores, anchor)
+        hi = bisect_right(cores, limit)
+        if lo == hi:  # no core strictly inside the span
+            return self._corefree_span(anchor, limit)
+        head = self._corefree_span(anchor, cores[lo] - 1)
+        middle = self.segment_prefix[hi - 1] - self.segment_prefix[lo]
+        tail = self._corefree_span(cores[hi - 1], limit)
+        return head + middle + tail
+
+
+def _solve_layer_dc(
+    oracle: _SpanOracle,
+    previous: list[float],
+    candidates: list[int],
+    current: list[float],
+    parent_row: list[int],
+) -> None:
+    """One DP layer by divide and conquer over the Monge cost matrix.
+
+    ``candidates`` holds the admissible 1-based pointer positions ``j``.
+    ``current`` arrives pre-filled with the "place no pointer" option
+    (``previous`` copied) and is lowered in place.
+    """
+    n = len(previous) - 1
+
+    def weight(candidate_index: int, m: int) -> float:
+        j = candidates[candidate_index]
+        return previous[j - 1] + oracle.span_cost(j, m)
+
+    def solve(m_lo: int, m_hi: int, c_lo: int, c_hi: int) -> None:
+        if m_lo > m_hi or c_lo > c_hi:
+            return
+        m_mid = (m_lo + m_hi) // 2
+        # Admissible candidates for m_mid: pointer position j <= m_mid.
+        upper = bisect_right(candidates, m_mid) - 1
+        best = _INF
+        best_c = -1
+        for c in range(c_lo, min(c_hi, upper) + 1):
+            value = weight(c, m_mid)
+            if value < best:
+                best = value
+                best_c = c
+        if best_c < 0:
+            # No candidate fits at m_mid, hence none for smaller m either.
+            solve(m_mid + 1, m_hi, c_lo, c_hi)
+            return
+        if best < current[m_mid]:
+            current[m_mid] = best
+            parent_row[m_mid] = candidates[best_c]
+        # Monge property of s(j, m): the (leftmost) optimal candidate index
+        # is non-decreasing in m, so the halves need only straddle it.
+        solve(m_lo, m_mid - 1, c_lo, best_c)
+        solve(m_mid + 1, m_hi, best_c, c_hi)
+
+    if candidates:
+        solve(1, n, 0, len(candidates) - 1)
+
+
+def select_chord_fast(problem: SelectionProblem) -> SelectionResult:
+    """Optimal selection via the fast algorithm of Section V-B
+    (``O(n (b + k log b) log n)``-flavoured; see module docstring).
+
+    Does not accept QoS bounds — use :func:`select_chord_dp` for those.
+    """
+    if problem.delay_bounds:
+        raise ConfigurationError("fast solver does not support delay bounds; use select_chord_dp")
+    inst = _normalize(problem)
+    n = inst.n
+    oracle = _SpanOracle(inst)
+    current = _base_costs(inst)
+    candidates = [index + 1 for index in range(n) if inst.candidate_flags[index]]
+    k_eff = min(problem.k, len(candidates))
+    parents: list[list[int]] = [[0] * (n + 1)]
+    for _layer in range(k_eff):
+        previous = current
+        current = list(previous)
+        parent_row = [0] * (n + 1)
+        _solve_layer_dc(oracle, previous, candidates, current, parent_row)
+        parents.append(parent_row)
+    chosen = _reconstruct(parents, k_eff, n)
+    return _result(problem, inst, chosen, current[n], "chord-fast")
+
+
+def select_chord(problem: SelectionProblem) -> SelectionResult:
+    """Solve a Chord selection problem with the appropriate algorithm:
+    the quadratic DP for QoS-constrained or tiny instances, the fast
+    divide-and-conquer solver otherwise."""
+    if problem.delay_bounds or len(problem.frequencies) <= 32:
+        return select_chord_dp(problem)
+    return select_chord_fast(problem)

@@ -1,0 +1,166 @@
+"""Evaluation of the paper's objective function (Section III, eq. 1).
+
+``Cost(A_s) = sum_v f_v * (1 + d(v, N_s ∪ A_s))`` where ``d`` is the
+overlay-specific hop-count estimate:
+
+* **Pastry** (Section IV): ``d_uv = b - lcp(u, v)`` — symmetric, so the
+  relevant quantity is simply the distance between ``v`` and its closest
+  (by prefix) pointer.
+* **Chord** (Section V, eq. 6): ``d_uv = bitlength((v - u) mod 2**b)`` —
+  asymmetric. Queries travel *clockwise*, so only pointers at or before
+  ``v`` (walking clockwise from the source) can serve ``v``; because the
+  gap-to-bitlength map is monotone, the best pointer for ``v`` is the
+  closest preceding one.
+
+These evaluators are the ground truth that every selection algorithm is
+tested against, and also power brute-force optimal search in the test
+suite.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from itertools import combinations
+from typing import Iterable, Mapping
+
+from repro.core.types import SelectionProblem, SelectionResult
+from repro.util.errors import ConfigurationError
+from repro.util.ids import IdSpace
+
+__all__ = [
+    "pastry_peer_distance",
+    "chord_peer_distance",
+    "pastry_cost",
+    "chord_cost",
+    "evaluate",
+    "brute_force_optimal",
+]
+
+
+def pastry_peer_distance(space: IdSpace, peer: int, pointers: Iterable[int]) -> int:
+    """Estimated hops from the best pointer to ``peer`` under Pastry routing.
+
+    Returns ``space.bits`` (the worst case) when ``pointers`` is empty.
+    """
+    best = space.bits
+    for pointer in pointers:
+        best = min(best, space.pastry_distance(pointer, peer))
+        if best == 0:
+            break
+    return best
+
+
+def chord_peer_distance(space: IdSpace, source: int, peer: int, pointers: Iterable[int]) -> int:
+    """Estimated hops from the best pointer to ``peer`` under Chord routing.
+
+    Only pointers in the clockwise arc ``(source, peer]`` are usable; the
+    query must not overshoot the destination. Returns ``space.bits`` when no
+    pointer can serve ``peer``.
+    """
+    target_gap = space.gap(source, peer)
+    best = space.bits
+    for pointer in pointers:
+        pointer_gap = space.gap(source, pointer)
+        if 0 < pointer_gap <= target_gap:
+            best = min(best, space.chord_distance(pointer, peer))
+            if best == 0:
+                break
+    return best
+
+
+def pastry_cost(
+    space: IdSpace,
+    frequencies: Mapping[int, float],
+    core_neighbors: Iterable[int],
+    auxiliary: Iterable[int],
+) -> float:
+    """Objective value (eq. 1) for a Pastry pointer set."""
+    pointers = list(core_neighbors) + list(auxiliary)
+    return sum(
+        weight * (1 + pastry_peer_distance(space, peer, pointers))
+        for peer, weight in frequencies.items()
+    )
+
+
+def chord_cost(
+    space: IdSpace,
+    source: int,
+    frequencies: Mapping[int, float],
+    core_neighbors: Iterable[int],
+    auxiliary: Iterable[int],
+) -> float:
+    """Objective value (eq. 1) for a Chord pointer set.
+
+    Uses the closest-preceding-pointer rule: for each peer the serving
+    pointer is the one with the largest clockwise offset from ``source``
+    not exceeding the peer's own offset.
+    """
+    offsets = sorted(
+        space.gap(source, pointer)
+        for pointer in set(core_neighbors) | set(auxiliary)
+        if pointer != source
+    )
+    total = 0.0
+    for peer, weight in frequencies.items():
+        target_gap = space.gap(source, peer)
+        index = bisect_right(offsets, target_gap)
+        if index == 0:
+            distance = space.bits
+        else:
+            distance = (target_gap - offsets[index - 1]).bit_length()
+        total += weight * (1 + distance)
+    return total
+
+
+def evaluate(problem: SelectionProblem, auxiliary: Iterable[int], overlay: str) -> float:
+    """Evaluate eq. 1 for ``auxiliary`` under ``overlay`` ('pastry' or 'chord')."""
+    if overlay == "pastry":
+        return pastry_cost(problem.space, problem.frequencies, problem.core_neighbors, auxiliary)
+    if overlay == "chord":
+        return chord_cost(
+            problem.space, problem.source, problem.frequencies, problem.core_neighbors, auxiliary
+        )
+    raise ConfigurationError(f"unknown overlay {overlay!r}; expected 'pastry' or 'chord'")
+
+
+def brute_force_optimal(problem: SelectionProblem, overlay: str) -> SelectionResult:
+    """Exhaustively search all candidate subsets of size <= k.
+
+    Exponential — intended only for tests on tiny instances, where it serves
+    as ground truth for the polynomial algorithms. QoS bounds are honored:
+    subsets leaving any bounded peer above its limit are rejected.
+    """
+    candidates = sorted(problem.candidates)
+    best_cost = float("inf")
+    best_set: tuple[int, ...] = ()
+    sizes = range(min(problem.k, len(candidates)), -1, -1)
+    for size in sizes:
+        for subset in combinations(candidates, size):
+            if not _satisfies_bounds(problem, subset, overlay):
+                continue
+            cost = evaluate(problem, subset, overlay)
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_set = subset
+    if best_cost == float("inf"):
+        from repro.util.errors import InfeasibleConstraintError
+
+        raise InfeasibleConstraintError(
+            f"no subset of size <= {problem.k} satisfies the delay bounds"
+        )
+    return SelectionResult(frozenset(best_set), best_cost, "brute-force")
+
+
+def _satisfies_bounds(problem: SelectionProblem, auxiliary: tuple[int, ...], overlay: str) -> bool:
+    """Check the QoS delay bounds (lookup estimate ``1 + d`` <= bound)."""
+    if not problem.delay_bounds:
+        return True
+    pointers = list(problem.core_neighbors) + list(auxiliary)
+    for peer, bound in problem.delay_bounds.items():
+        if overlay == "pastry":
+            distance = pastry_peer_distance(problem.space, peer, pointers)
+        else:
+            distance = chord_peer_distance(problem.space, problem.source, peer, pointers)
+        if 1 + distance > bound:
+            return False
+    return True

@@ -1,0 +1,146 @@
+"""Change-triggered recomputation of auxiliary neighbors.
+
+Section III leaves the recomputation schedule open: "The algorithm can be
+invoked either periodically or based on some criteria that determines that
+the system has undergone a significant change since the previous
+computation of the auxiliary neighbors."
+
+This module implements that criterion. :class:`DriftDetector` compares the
+current frequency snapshot against the snapshot used for the last
+selection and reports a drift score; :class:`RecomputationTrigger` wraps it
+with a threshold plus a hard minimum interval, yielding a drop-in policy
+for "should this node re-run selection now?".
+
+Two scores are offered:
+
+* ``l1`` — total-variation distance between the *normalized* distributions
+  (0 = identical, 1 = disjoint). Robust default.
+* ``coverage`` — the fraction of current query mass still covered by the
+  previously selected pointer set; drift is ``1 - coverage``. Cheaper and
+  directly tied to what selection actually optimizes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.util.errors import ConfigurationError
+from repro.util.validation import require_probability
+
+__all__ = ["DriftDetector", "RecomputationTrigger", "l1_drift", "coverage_drift"]
+
+
+def _normalize(frequencies: Mapping[int, float]) -> dict[int, float]:
+    total = sum(frequencies.values())
+    if total <= 0:
+        return {}
+    return {peer: weight / total for peer, weight in frequencies.items()}
+
+
+def l1_drift(previous: Mapping[int, float], current: Mapping[int, float]) -> float:
+    """Total-variation distance between two (unnormalized) distributions.
+
+    Returns a value in [0, 1]; 0 when both are empty or identical after
+    normalization, 1 when their supports are disjoint.
+    """
+    p = _normalize(previous)
+    q = _normalize(current)
+    if not p and not q:
+        return 0.0
+    if not p or not q:
+        return 1.0
+    support = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(peer, 0.0) - q.get(peer, 0.0)) for peer in support)
+
+
+def coverage_drift(
+    selected: Iterable[int],
+    current: Mapping[int, float],
+    previous_coverage: float,
+) -> float:
+    """Loss of query-mass coverage by the previously selected pointers.
+
+    ``previous_coverage`` is the coverage measured at selection time; the
+    returned drift is how much of it has evaporated (clamped to [0, 1]).
+    """
+    total = sum(current.values())
+    if total <= 0:
+        return 0.0
+    covered = sum(current.get(peer, 0.0) for peer in selected) / total
+    return max(0.0, min(1.0, previous_coverage - covered))
+
+
+class DriftDetector:
+    """Tracks the snapshot behind the last selection and scores drift."""
+
+    def __init__(self, metric: str = "l1") -> None:
+        if metric not in ("l1", "coverage"):
+            raise ConfigurationError(f"unknown drift metric {metric!r}; expected 'l1' or 'coverage'")
+        self.metric = metric
+        self._baseline: dict[int, float] = {}
+        self._selected: frozenset[int] = frozenset()
+        self._baseline_coverage = 0.0
+
+    def rebase(self, frequencies: Mapping[int, float], selected: Iterable[int]) -> None:
+        """Record the snapshot a fresh selection was computed from."""
+        self._baseline = dict(frequencies)
+        self._selected = frozenset(selected)
+        total = sum(self._baseline.values())
+        if total > 0:
+            self._baseline_coverage = (
+                sum(self._baseline.get(peer, 0.0) for peer in self._selected) / total
+            )
+        else:
+            self._baseline_coverage = 0.0
+
+    def score(self, current: Mapping[int, float]) -> float:
+        """Drift of ``current`` relative to the rebased snapshot, in [0, 1]."""
+        if self.metric == "l1":
+            return l1_drift(self._baseline, current)
+        return coverage_drift(self._selected, current, self._baseline_coverage)
+
+
+class RecomputationTrigger:
+    """Decides when a node should re-run auxiliary selection.
+
+    Fires when the drift score crosses ``threshold``, but never more often
+    than ``min_interval`` time units apart (rate limiting the O(n k) work).
+
+    Example
+    -------
+    >>> trigger = RecomputationTrigger(threshold=0.2, min_interval=10.0)
+    >>> trigger.should_recompute(now=0.0, current={1: 5.0})
+    True
+    >>> trigger.committed(now=0.0, frequencies={1: 5.0}, selected=[1])
+    >>> trigger.should_recompute(now=5.0, current={1: 5.0})
+    False
+    """
+
+    def __init__(self, threshold: float = 0.15, min_interval: float = 0.0, metric: str = "l1") -> None:
+        require_probability(threshold, "threshold")
+        if min_interval < 0:
+            raise ConfigurationError(f"min_interval must be >= 0, got {min_interval}")
+        self.threshold = threshold
+        self.min_interval = min_interval
+        self.detector = DriftDetector(metric)
+        self._last_time: float | None = None
+        self.fired = 0
+        self.suppressed = 0
+
+    def should_recompute(self, now: float, current: Mapping[int, float]) -> bool:
+        """True when a fresh selection is warranted at time ``now``."""
+        if self._last_time is None:
+            return True  # never selected yet
+        if now - self._last_time < self.min_interval:
+            self.suppressed += 1
+            return False
+        if self.detector.score(current) >= self.threshold:
+            return True
+        self.suppressed += 1
+        return False
+
+    def committed(self, now: float, frequencies: Mapping[int, float], selected: Iterable[int]) -> None:
+        """Tell the trigger a selection was installed at time ``now``."""
+        self._last_time = now
+        self.fired += 1
+        self.detector.rebase(frequencies, selected)

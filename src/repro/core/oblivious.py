@@ -1,0 +1,136 @@
+"""Frequency-oblivious auxiliary-neighbor baselines (paper Section VI-A).
+
+The paper's evaluation metric is the percentage reduction in average hop
+count relative to a scheme that picks the ``k`` extra pointers *without*
+looking at access frequencies:
+
+* **Chord**: with ``k = r log n``, pick ``r`` auxiliary neighbors uniformly
+  at random within each clockwise distance range ``(2**i, 2**(i+1))`` —
+  i.e. ``r`` extra pointers per finger interval.
+* **Pastry**: pick ``r`` auxiliary neighbors per prefix-match class — for
+  each shared-prefix length, ``r`` random peers whose longest common prefix
+  with the source has exactly that length.
+
+Ranges/classes that hold no candidates contribute nothing; any leftover
+budget is filled uniformly at random from the remaining candidates so the
+baseline always spends the same budget as the optimized scheme (and the
+comparison stays apples-to-apples).
+
+A plain uniform-random baseline is included for ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.core.cost import chord_cost, pastry_cost
+from repro.core.types import SelectionProblem, SelectionResult
+
+__all__ = [
+    "select_chord_oblivious",
+    "select_pastry_oblivious",
+    "select_uniform_random",
+]
+
+
+def _candidate_pool(problem: SelectionProblem, pool: Sequence[int] | None) -> set[int]:
+    """The baseline's eligible pointer targets.
+
+    The paper's frequency-oblivious scheme picks *random nodes per
+    distance class* — it does not restrict itself to previously-queried
+    peers (any Chord/Pastry node can discover a random node in a range
+    with one lookup, exactly as core-table maintenance does). Callers that
+    know the node population pass it via ``pool``; without one we fall
+    back to the observed candidates.
+    """
+    if pool is None:
+        return problem.candidates
+    return set(pool) - set(problem.core_neighbors) - {problem.source}
+
+
+def _fill_remaining(chosen: set[int], candidates: Iterable[int], k: int, rng: random.Random) -> None:
+    """Top up ``chosen`` to ``k`` entries from the unused candidates."""
+    leftovers = sorted(set(candidates) - chosen)
+    missing = k - len(chosen)
+    if missing > 0 and leftovers:
+        chosen.update(rng.sample(leftovers, min(missing, len(leftovers))))
+
+
+def _per_class_quota(k: int, class_count: int) -> int:
+    """Pointers per class: the paper's ``r`` for ``k = r * (number of classes)``."""
+    if class_count == 0:
+        return 0
+    return max(1, k // class_count)
+
+
+def select_chord_oblivious(
+    problem: SelectionProblem,
+    rng: random.Random,
+    pool: Sequence[int] | None = None,
+) -> SelectionResult:
+    """Chord baseline: ``r`` random pointers per finger range ``(2**i, 2**(i+1))``."""
+    space = problem.space
+    source = problem.source
+    candidates = _candidate_pool(problem, pool)
+    by_range: dict[int, list[int]] = defaultdict(list)
+    for peer in sorted(candidates):
+        gap = space.gap(source, peer)
+        if gap:
+            by_range[gap.bit_length() - 1].append(peer)
+    quota = _per_class_quota(problem.k, len(by_range))
+    chosen: set[int] = set()
+    # Visit ranges far-to-near so the far (densely populated) intervals are
+    # covered first when the budget is tight.
+    for bucket in sorted(by_range, reverse=True):
+        if len(chosen) >= problem.k:
+            break
+        take = min(quota, len(by_range[bucket]), problem.k - len(chosen))
+        chosen.update(rng.sample(by_range[bucket], take))
+    _fill_remaining(chosen, candidates, problem.k, rng)
+    cost = chord_cost(space, source, problem.frequencies, problem.core_neighbors, chosen)
+    return SelectionResult(frozenset(chosen), cost, "chord-oblivious")
+
+
+def select_pastry_oblivious(
+    problem: SelectionProblem,
+    rng: random.Random,
+    pool: Sequence[int] | None = None,
+) -> SelectionResult:
+    """Pastry baseline: ``r`` random pointers per shared-prefix-length class."""
+    space = problem.space
+    source = problem.source
+    candidates = _candidate_pool(problem, pool)
+    by_class: dict[int, list[int]] = defaultdict(list)
+    for peer in sorted(candidates):
+        by_class[space.common_prefix_length(source, peer)].append(peer)
+    quota = _per_class_quota(problem.k, len(by_class))
+    chosen: set[int] = set()
+    # Short-prefix classes hold most peers; cover them first.
+    for shared in sorted(by_class):
+        if len(chosen) >= problem.k:
+            break
+        take = min(quota, len(by_class[shared]), problem.k - len(chosen))
+        chosen.update(rng.sample(by_class[shared], take))
+    _fill_remaining(chosen, candidates, problem.k, rng)
+    cost = pastry_cost(space, problem.frequencies, problem.core_neighbors, chosen)
+    return SelectionResult(frozenset(chosen), cost, "pastry-oblivious")
+
+
+def select_uniform_random(
+    problem: SelectionProblem,
+    rng: random.Random,
+    overlay: str,
+    pool: Sequence[int] | None = None,
+) -> SelectionResult:
+    """Ablation baseline: ``k`` pointers uniformly at random among candidates."""
+    candidates = sorted(_candidate_pool(problem, pool))
+    chosen = set(rng.sample(candidates, min(problem.k, len(candidates))))
+    if overlay == "pastry":
+        cost = pastry_cost(problem.space, problem.frequencies, problem.core_neighbors, chosen)
+    else:
+        cost = chord_cost(
+            problem.space, problem.source, problem.frequencies, problem.core_neighbors, chosen
+        )
+    return SelectionResult(frozenset(chosen), cost, f"{overlay}-uniform-random")

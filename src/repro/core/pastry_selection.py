@@ -1,0 +1,414 @@
+"""Auxiliary-neighbor selection for Pastry (paper Section IV).
+
+Peers are leaves of a binary trie of their ids; the estimated distance
+between two peers is the height of their lowest common ancestor
+(Proposition 4.1), i.e. ``b - lcp``. Selecting the ``k`` best auxiliary
+neighbors is then a budgeted pointer-placement problem on the trie, solved
+bottom-up (eq. 2/3):
+
+``C(T_a, j) = min over splits (i, j-i) of
+C(L_a, i) + F(L_a)·[no pointer in L_a] + C(R_a, j-i) + F(R_a)·[no pointer in R_a]``
+
+Three solvers are provided:
+
+* :func:`select_pastry_dp` — the paper's ``O(n k^2 b)`` dynamic program
+  (``O(n k^2)`` here thanks to path compression), trying every split at
+  every vertex. Also supports QoS delay bounds (Section IV-D) via
+  "this subtree must contain a pointer" markers.
+* :func:`select_pastry_greedy` — the paper's ``O(n k b)`` algorithm
+  exploiting the nesting property (P): the optimal ``j-1``-pointer set is
+  a subset of the optimal ``j``-pointer set, so each vertex only compares
+  two candidate splits per budget level (eq. 4).
+* :class:`IncrementalPastrySelector` — Section IV-C: maintains the trie
+  and all memoized cost tables across frequency updates, peer joins and
+  peer leaves, recomputing only the ``O(b)`` vertices on the affected
+  root-to-leaf path (``O(b k)`` per update).
+
+:func:`select_pastry` dispatches: QoS-constrained problems go to the DP
+solver (whose optimality under subtree constraints is immediate), the rest
+to the greedy.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.trie import PeerTrie, TrieVertex
+from repro.core.types import SelectionProblem, SelectionResult
+from repro.util.errors import ConfigurationError, InfeasibleConstraintError
+from repro.util.ids import IdSpace
+
+__all__ = [
+    "select_pastry",
+    "select_pastry_dp",
+    "select_pastry_greedy",
+    "IncrementalPastrySelector",
+]
+
+_INF = float("inf")
+
+
+class _CostTable:
+    """Memoized DP state for one trie vertex.
+
+    ``costs[j]`` is ``C(T_a, j)``, the minimum cost contributed below this
+    vertex when ``j`` auxiliary pointers are placed in its subtree.
+    ``splits[j]`` records how many of those ``j`` go to the first child
+    (in bit order), enabling selection reconstruction.
+    """
+
+    __slots__ = ("costs", "splits")
+
+    def __init__(self, costs: list[float], splits: list[int]) -> None:
+        self.costs = costs
+        self.splits = splits
+
+
+def _leaf_table(vertex: TrieVertex, k: int) -> _CostTable:
+    """Cost table for a leaf: zero internal cost; one pointer may sit on the
+    leaf itself when it is eligible (not a core neighbor). A QoS-required
+    leaf without a core pointer is infeasible at ``j = 0``."""
+    costs = [0.0]
+    if not vertex.is_core and k >= 1:
+        costs.append(0.0)
+    if vertex.required and not vertex.is_core:
+        costs[0] = _INF
+    return _CostTable(costs, [])
+
+
+def _edge_penalty(child: TrieVertex) -> float:
+    """Cost added for the compressed edge into ``child`` when its subtree
+    receives no pointer: one unit per uncompressed edge per unit frequency
+    (the indicator terms of eq. 2, summed along the unary chain)."""
+    return child.edge_length() * child.frequency_sum
+
+
+def _child_cost(child: TrieVertex, j: int) -> float:
+    """``C(child, j)`` plus the edge penalty when the subtree stays empty."""
+    table: _CostTable = child.memo  # type: ignore[assignment]
+    cost = table.costs[j]
+    if j == 0 and not child.has_core:
+        cost += _edge_penalty(child)
+    return cost
+
+
+def _merge_dp(vertex: TrieVertex, k: int) -> _CostTable:
+    """Exact merge: try every split of ``j`` pointers between the children
+    (eq. 3). ``O(k^2)`` per vertex."""
+    children = vertex.child_order()
+    jmax = min(k, vertex.eligible_count)
+    if not children:
+        table = _CostTable([0.0], [0])
+    elif len(children) == 1:
+        child = children[0]
+        child_max = len(child.memo.costs) - 1  # type: ignore[union-attr]
+        costs = [_child_cost(child, min(j, child_max)) for j in range(jmax + 1)]
+        table = _CostTable(costs, [min(j, child_max) for j in range(jmax + 1)])
+    else:
+        first, second = children
+        first_max = len(first.memo.costs) - 1  # type: ignore[union-attr]
+        second_max = len(second.memo.costs) - 1  # type: ignore[union-attr]
+        costs: list[float] = []
+        splits: list[int] = []
+        for j in range(jmax + 1):
+            best_cost = _INF
+            best_split = min(j, first_max)
+            low = max(0, j - second_max)
+            high = min(j, first_max)
+            for i in range(low, high + 1):
+                cost = _child_cost(first, i) + _child_cost(second, j - i)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_split = i
+            costs.append(best_cost)
+            splits.append(best_split)
+        table = _CostTable(costs, splits)
+    if vertex.required and not vertex.has_core and table.costs:
+        table.costs[0] = _INF
+    return table
+
+
+def _merge_greedy(vertex: TrieVertex, k: int) -> _CostTable:
+    """Nesting-property merge (eq. 4): the optimal split for ``j`` extends
+    the optimal split for ``j-1`` by one pointer on one side. ``O(k)``."""
+    children = vertex.child_order()
+    jmax = min(k, vertex.eligible_count)
+    if not children:
+        return _CostTable([0.0], [0])
+    if len(children) == 1:
+        child = children[0]
+        child_max = len(child.memo.costs) - 1  # type: ignore[union-attr]
+        costs = [_child_cost(child, min(j, child_max)) for j in range(jmax + 1)]
+        return _CostTable(costs, [min(j, child_max) for j in range(jmax + 1)])
+    first, second = children
+    first_max = len(first.memo.costs) - 1  # type: ignore[union-attr]
+    second_max = len(second.memo.costs) - 1  # type: ignore[union-attr]
+    costs = [_child_cost(first, 0) + _child_cost(second, 0)]
+    splits = [0]
+    for j in range(1, jmax + 1):
+        left = splits[j - 1]
+        right = j - 1 - left
+        grow_left = _child_cost(first, left + 1) + _child_cost(second, right) if left + 1 <= first_max else _INF
+        grow_right = _child_cost(first, left) + _child_cost(second, right + 1) if right + 1 <= second_max else _INF
+        if grow_left <= grow_right:
+            costs.append(grow_left)
+            splits.append(left + 1)
+        else:
+            costs.append(grow_right)
+            splits.append(left)
+    return _CostTable(costs, splits)
+
+
+def _build_trie(problem: SelectionProblem) -> PeerTrie:
+    """Materialize the trie for a selection problem: observed peers,
+    core neighbors (zero-frequency unless also observed) and QoS markers."""
+    trie = PeerTrie(problem.space)
+    for peer, weight in problem.frequencies.items():
+        trie.insert(peer, weight)
+    for neighbor in problem.core_neighbors:
+        trie.insert(neighbor, problem.frequencies.get(neighbor, 0.0), is_core=True)
+    for peer, bound in problem.delay_bounds.items():
+        if peer not in trie:
+            trie.insert(peer, 0.0)
+        # Total lookup estimate is 1 + d; a bound of x hops allows d <= x-1.
+        trie.set_required(peer, bound - 1)
+    return trie
+
+
+def _fill_tables(trie: PeerTrie, k: int, use_dp: bool) -> None:
+    """Bottom-up pass computing every vertex's cost table."""
+    merge = _merge_dp if use_dp else _merge_greedy
+    for vertex in trie.postorder():
+        if vertex.is_leaf:
+            vertex.memo = _leaf_table(vertex, k)
+        else:
+            vertex.memo = merge(vertex, k)
+
+
+def _collect_selection(vertex: TrieVertex, budget: int, out: list[int]) -> None:
+    """Walk the recorded splits downward, emitting the chosen leaves."""
+    if budget == 0:
+        return
+    if vertex.is_leaf:
+        out.append(vertex.peer)  # budget is necessarily 1 here
+        return
+    children = vertex.child_order()
+    table: _CostTable = vertex.memo  # type: ignore[assignment]
+    if len(children) == 1:
+        _collect_selection(children[0], table.splits[budget], out)
+        return
+    first_share = table.splits[budget]
+    _collect_selection(children[0], first_share, out)
+    _collect_selection(children[1], budget - first_share, out)
+
+
+def _result_from_trie(trie: PeerTrie, k: int, algorithm: str) -> SelectionResult:
+    """Read the root table, reconstruct the pointer set and translate the
+    internal trie cost into the paper's objective (eq. 1):
+    ``Cost = sum f_v (1 + d_v) = trie cost + total frequency``."""
+    root = trie.root
+    if root.memo is None:  # empty trie
+        return SelectionResult(frozenset(), 0.0, algorithm)
+    table: _CostTable = root.memo  # type: ignore[assignment]
+    # Extra pointers never increase the cost, so the full usable budget
+    # (capped by the number of eligible leaves) is always optimal.
+    budget = min(k, len(table.costs) - 1)
+    if table.costs[budget] == _INF:
+        raise InfeasibleConstraintError(
+            f"QoS delay bounds cannot be met with k={k} auxiliary pointers"
+        )
+    chosen: list[int] = []
+    _collect_selection(root, budget, chosen)
+    cost = table.costs[budget] + trie.total_frequency()
+    return SelectionResult(frozenset(chosen), cost, algorithm)
+
+
+def select_pastry_dp(problem: SelectionProblem) -> SelectionResult:
+    """Optimal selection via the ``O(n k^2)`` dynamic program (Section IV-A).
+
+    Supports QoS delay bounds; raises
+    :class:`~repro.util.errors.InfeasibleConstraintError` when they cannot
+    be met with ``k`` pointers.
+    """
+    trie = _build_trie(problem)
+    _fill_tables(trie, problem.k, use_dp=True)
+    return _result_from_trie(trie, problem.k, "pastry-dp")
+
+
+def select_pastry_greedy(problem: SelectionProblem) -> SelectionResult:
+    """Optimal selection via the ``O(n k)`` nesting-property algorithm
+    (Section IV-B). Does not accept QoS bounds — use the DP for those."""
+    if problem.delay_bounds:
+        raise ConfigurationError("greedy solver does not support delay bounds; use select_pastry_dp")
+    trie = _build_trie(problem)
+    _fill_tables(trie, problem.k, use_dp=False)
+    return _result_from_trie(trie, problem.k, "pastry-greedy")
+
+
+def select_pastry(problem: SelectionProblem) -> SelectionResult:
+    """Solve a Pastry selection problem with the appropriate algorithm:
+    the DP when QoS bounds are present, the faster greedy otherwise."""
+    if problem.delay_bounds:
+        return select_pastry_dp(problem)
+    return select_pastry_greedy(problem)
+
+
+class IncrementalPastrySelector:
+    """Incrementally-maintained optimal selection (Section IV-C).
+
+    Keeps the trie and all per-vertex cost tables alive between queries.
+    Each frequency update, peer join or peer leave triggers recomputation
+    only along the affected root-to-leaf path — ``O(b k)`` work — after
+    which :meth:`selection` reconstructs the current optimum in
+    ``O(k b)``.
+
+    Example
+    -------
+    >>> from repro.util.ids import IdSpace
+    >>> selector = IncrementalPastrySelector(IdSpace(8), source=0,
+    ...                                      core_neighbors=[128], k=2)
+    >>> selector.observe(3, 10.0)
+    >>> selector.observe(77, 4.0)
+    >>> sorted(selector.selection().auxiliary)
+    [3, 77]
+    """
+
+    def __init__(
+        self,
+        space: IdSpace,
+        source: int,
+        core_neighbors: Sequence[int],
+        k: int,
+    ) -> None:
+        if k < 0:
+            raise ConfigurationError(f"k must be non-negative, got {k}")
+        self.space = space
+        self.source = space.validate(source, "source id")
+        self.k = k
+        self._delay_bounds: dict[int, int] = {}
+        self._trie = PeerTrie(space, on_path_change=self._refresh_path)
+        self._core: set[int] = set()
+        for neighbor in core_neighbors:
+            self.add_core_neighbor(neighbor)
+
+    # -- mutations ------------------------------------------------------
+    def observe(self, peer: int, weight: float = 1.0) -> None:
+        """Record query traffic toward ``peer`` (adds ``weight`` to its
+        frequency, inserting the peer if unseen)."""
+        if peer == self.source:
+            return  # queries for locally-held items need no pointer
+        if peer in self._trie:
+            self._trie.add_frequency(peer, weight)
+        else:
+            self._trie.insert(peer, weight)
+
+    def set_frequency(self, peer: int, frequency: float) -> None:
+        """Overwrite the frequency of ``peer`` (inserting it if unseen)."""
+        if peer == self.source:
+            return
+        if peer in self._trie:
+            self._trie.update_frequency(peer, frequency)
+        else:
+            self._trie.insert(peer, frequency)
+
+    def remove_peer(self, peer: int) -> None:
+        """Forget a departed peer entirely."""
+        if peer in self._trie:
+            self._trie.remove(peer)
+        self._core.discard(peer)
+        self._delay_bounds.pop(peer, None)
+
+    def add_core_neighbor(self, neighbor: int) -> None:
+        """Register a core routing-table entry (a free pointer)."""
+        self.space.validate(neighbor, "core neighbor id")
+        if neighbor == self.source:
+            raise ConfigurationError("the source node cannot be its own neighbor")
+        self._core.add(neighbor)
+        if neighbor in self._trie:
+            leaf = self._trie.leaf(neighbor)
+            self._trie.insert(neighbor, leaf.frequency, is_core=True)
+        else:
+            self._trie.insert(neighbor, 0.0, is_core=True)
+
+    def set_delay_bound(self, peer: int, bound: int) -> None:
+        """Install a QoS bound: lookups for ``peer`` within ``bound`` hops."""
+        if bound < 1:
+            raise ConfigurationError(f"delay bound must be >= 1, got {bound}")
+        if peer not in self._trie:
+            self._trie.insert(peer, 0.0)
+        self._delay_bounds[peer] = bound
+        self._trie.set_required(peer, bound - 1)
+
+    def clear_delay_bounds(self) -> None:
+        """Drop all QoS constraints and rebuild the memo tables."""
+        self._delay_bounds.clear()
+        self._trie.clear_required()
+        self.rebuild()
+
+    def set_k(self, k: int) -> None:
+        """Change the pointer budget (forces a full ``O(n k)`` rebuild)."""
+        if k < 0:
+            raise ConfigurationError(f"k must be non-negative, got {k}")
+        self.k = k
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Recompute every memo table from scratch."""
+        _fill_tables(self._trie, self.k, use_dp=bool(self._delay_bounds))
+
+    # -- queries --------------------------------------------------------
+    def selection(self) -> SelectionResult:
+        """Current optimal auxiliary set for the maintained frequencies."""
+        return _result_from_trie(self._trie, self.k, "pastry-incremental")
+
+    def frequencies(self) -> dict[int, float]:
+        """Snapshot of maintained per-peer frequencies (observed peers only)."""
+        return {
+            leaf.peer: leaf.frequency
+            for leaf in self._trie.leaves()
+            if leaf.frequency > 0
+        }
+
+    def problem(self) -> SelectionProblem:
+        """Express the maintained state as a one-shot problem (for tests)."""
+        return SelectionProblem(
+            space=self.space,
+            source=self.source,
+            frequencies=self.frequencies(),
+            core_neighbors=frozenset(self._core),
+            k=self.k,
+            delay_bounds=dict(self._delay_bounds),
+        )
+
+    # -- internals ------------------------------------------------------
+    def _refresh_path(self, path: list[TrieVertex]) -> None:
+        use_dp = bool(self._delay_bounds)
+        merge = _merge_dp if use_dp else _merge_greedy
+        for vertex in path:
+            if vertex.is_leaf:
+                vertex.memo = _leaf_table(vertex, self.k)
+            else:
+                for child in vertex.children.values():
+                    if child.memo is None:
+                        # A structural change can hang a pre-existing
+                        # subtree under a fresh split vertex; its table is
+                        # still valid, but a brand-new sibling needs one.
+                        _fill_tables_subtree(child, self.k, use_dp)
+                vertex.memo = merge(vertex, self.k)
+
+
+def _fill_tables_subtree(vertex: TrieVertex, k: int, use_dp: bool) -> None:
+    """Fill missing tables below ``vertex`` (used for fresh split vertices)."""
+    merge = _merge_dp if use_dp else _merge_greedy
+    stack: list[tuple[TrieVertex, bool]] = [(vertex, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if current.is_leaf:
+            current.memo = _leaf_table(current, k)
+            continue
+        if expanded:
+            current.memo = merge(current, k)
+            continue
+        stack.append((current, True))
+        for child in current.child_order():
+            stack.append((child, False))

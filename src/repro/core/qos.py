@@ -1,0 +1,134 @@
+"""QoS classes: named service levels mapped onto per-peer delay bounds.
+
+The paper (Sections I and IV-D) motivates QoS-aware selection with
+"real-time applications that require certain queries to be answered within
+a fixed time period and hence within a certain number of hops", naming
+VoIP, IPTV and video-on-demand, and supports "multiple QoS classes".
+
+The selection algorithms take raw ``{peer: max_hops}`` bounds; this module
+provides the operator-facing layer on top: define classes once
+(e.g. ``voip -> 2 hops``, ``iptv -> 3 hops``), assign peers to classes,
+and materialize the bounds for a :class:`~repro.core.types.SelectionProblem`.
+It also estimates, per class, whether the bounds are even representable
+given the id space (a bound of ``x`` hops needs ``x >= 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.types import SelectionProblem
+from repro.util.errors import ConfigurationError
+from repro.util.ids import IdSpace
+
+__all__ = ["QosClass", "QosPolicy"]
+
+
+@dataclass(frozen=True)
+class QosClass:
+    """A named service level: lookups must finish within ``max_hops``."""
+
+    name: str
+    max_hops: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("QoS class needs a non-empty name")
+        if not isinstance(self.max_hops, int) or self.max_hops < 1:
+            raise ConfigurationError(
+                f"max_hops for class {self.name!r} must be an int >= 1, got {self.max_hops!r}"
+            )
+
+
+@dataclass
+class QosPolicy:
+    """A set of QoS classes plus peer assignments.
+
+    Example
+    -------
+    >>> policy = QosPolicy()
+    >>> policy.add_class(QosClass("voip", max_hops=2))
+    >>> policy.assign(0xF0F0, "voip")
+    >>> policy.bounds()
+    {61680: 2}
+    """
+
+    classes: dict[str, QosClass] = field(default_factory=dict)
+    assignments: dict[int, str] = field(default_factory=dict)
+
+    def add_class(self, qos_class: QosClass) -> None:
+        """Register a class (replacing any previous same-named class)."""
+        self.classes[qos_class.name] = qos_class
+
+    def assign(self, peer: int, class_name: str) -> None:
+        """Put ``peer`` into a class. A peer holds at most one class; the
+        tightest requirement should be expressed as its class."""
+        if class_name not in self.classes:
+            raise ConfigurationError(f"unknown QoS class {class_name!r}")
+        self.assignments[peer] = class_name
+
+    def unassign(self, peer: int) -> None:
+        """Remove a peer's QoS requirement."""
+        self.assignments.pop(peer, None)
+
+    def bound_for(self, peer: int) -> int | None:
+        """The peer's hop bound, or ``None`` when unclassified."""
+        name = self.assignments.get(peer)
+        if name is None:
+            return None
+        return self.classes[name].max_hops
+
+    def bounds(self) -> dict[int, int]:
+        """All ``{peer: max_hops}`` bounds (the selection-algorithm form)."""
+        return {peer: self.classes[name].max_hops for peer, name in self.assignments.items()}
+
+    def members(self, class_name: str) -> set[int]:
+        """Peers currently assigned to ``class_name``."""
+        if class_name not in self.classes:
+            raise ConfigurationError(f"unknown QoS class {class_name!r}")
+        return {peer for peer, name in self.assignments.items() if name == class_name}
+
+    def apply(
+        self,
+        space: IdSpace,
+        source: int,
+        frequencies: Mapping[int, float],
+        core_neighbors: frozenset[int],
+        k: int,
+    ) -> SelectionProblem:
+        """Build a bounded :class:`SelectionProblem` for one node.
+
+        Bounds for the source itself are dropped (a node serves its own
+        items in zero hops by definition).
+        """
+        bounds = self.bounds()
+        bounds.pop(source, None)
+        return SelectionProblem(
+            space=space,
+            source=source,
+            frequencies=frequencies,
+            core_neighbors=core_neighbors,
+            k=k,
+            delay_bounds=bounds,
+        )
+
+    def minimum_pointers_needed(self, space: IdSpace, core_neighbors: frozenset[int]) -> int:
+        """A quick lower bound on the budget: peers whose class requires a
+        dedicated pointer because no core neighbor can possibly satisfy the
+        bound. Useful for sizing ``k`` before running the full solver.
+
+        The check is conservative (distance from the best core neighbor
+        under the Pastry estimate); the solver remains the authority.
+        """
+        needed = 0
+        for peer, name in self.assignments.items():
+            bound = self.classes[name].max_hops
+            best = min(
+                (space.pastry_distance(core, peer) for core in core_neighbors),
+                default=space.bits,
+            )
+            if 1 + best > bound:
+                needed += 1
+        return needed

@@ -1,0 +1,35 @@
+"""Experiment harness: one runner per evaluation figure plus reporting."""
+
+from repro.experiments.figures import (
+    FIGURES,
+    FigurePoint,
+    FigurePreset,
+    FigureResult,
+    FigureSeries,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    run_figure,
+)
+from repro.experiments.report import render_detail, render_markdown, render_table
+
+__all__ = [
+    "FIGURES",
+    "FigurePoint",
+    "FigurePreset",
+    "FigureResult",
+    "FigureSeries",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "render_detail",
+    "render_markdown",
+    "render_table",
+    "run_figure",
+]
+
+from repro.experiments.sweep import SweepRow, rows_to_csv, rows_to_table, sweep
+
+__all__ += ["SweepRow", "rows_to_csv", "rows_to_table", "sweep"]

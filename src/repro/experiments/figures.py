@@ -1,0 +1,339 @@
+"""Reproduction runners for every figure in the paper's evaluation.
+
+Section VI contains four result figures (Figures 1–2 are algorithm
+illustrations); each function here regenerates one of them and returns a
+:class:`FigureResult` with the same series the paper plots — percentage
+reduction in average hops versus the frequency-oblivious baseline:
+
+* :func:`figure3` — Pastry, improvement vs ``n`` for alpha in {1.2, 0.91},
+  ``k = log n``, identical rankings.
+* :func:`figure4` — Pastry, improvement vs ``k`` in {1, 2, 3}·log n,
+  ``n`` fixed; the locality-aware (FreePastry-like) routing mode drives
+  the paper's increasing-with-k trend.
+* :func:`figure5` — Chord, improvement vs ``n``, stable and churn-intensive
+  modes, five per-node popularity rankings.
+* :func:`figure6` — Chord, improvement vs ``k``, stable and churn modes;
+  the paper observes the improvement *shrinking* as k grows.
+
+Every runner accepts a :class:`FigurePreset`: ``paper()`` uses the paper's
+parameters (n up to 2048, 32-bit ids, 1800 s churn runs — minutes of wall
+time), ``quick()`` shrinks sizes for CI and benchmarking while preserving
+every qualitative trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.sim.metrics import ComparisonResult
+from repro.sim.runner import ChurnConfig, ExperimentConfig, run_churn, run_stable
+
+__all__ = [
+    "FigurePreset",
+    "FigurePoint",
+    "FigureSeries",
+    "FigureResult",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "run_figure",
+    "FIGURES",
+]
+
+
+@dataclass(frozen=True)
+class FigurePreset:
+    """Size/duration knobs shared by all figure runners.
+
+    ``replicas`` runs every cell that many times with derived seeds and
+    merges the hop statistics — churn cells in particular are noisy at
+    short durations (see EXPERIMENTS.md), and replication tightens them
+    at a linear cost in wall time.
+    """
+
+    name: str
+    bits: int
+    queries: int
+    pastry_sizes: tuple[int, ...]
+    pastry_k_base: int
+    chord_sizes: tuple[int, ...]
+    chord_k_base: int
+    churn_duration: float
+    churn_warmup: float
+    seed: int = 0
+    replicas: int = 1
+
+    @classmethod
+    def paper(cls, seed: int = 0) -> "FigurePreset":
+        """The paper's parameters (Section VI-A/VI-C)."""
+        return cls(
+            name="paper",
+            bits=32,
+            queries=20_000,
+            pastry_sizes=(256, 512, 1024, 2048),
+            pastry_k_base=1024,
+            chord_sizes=(128, 256, 512, 1024),
+            chord_k_base=1024,
+            churn_duration=1800.0,
+            churn_warmup=300.0,
+            seed=seed,
+        )
+
+    @classmethod
+    def quick(cls, seed: int = 0) -> "FigurePreset":
+        """A minutes-to-seconds shrink preserving every trend."""
+        return cls(
+            name="quick",
+            bits=20,
+            queries=2_500,
+            pastry_sizes=(64, 128, 256),
+            pastry_k_base=128,
+            chord_sizes=(48, 96, 192),
+            chord_k_base=96,
+            churn_duration=400.0,
+            churn_warmup=100.0,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class FigurePoint:
+    """One x-axis point of one series."""
+
+    x: float
+    comparison: ComparisonResult
+
+    @property
+    def improvement(self) -> float:
+        return self.comparison.improvement
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One plotted line: a labelled sequence of points."""
+
+    label: str
+    points: tuple[FigurePoint, ...]
+
+    def improvements(self) -> list[float]:
+        return [point.improvement for point in self.points]
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """A regenerated figure: id, axes metadata and all series."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    series: tuple[FigureSeries, ...] = field(default_factory=tuple)
+
+
+def _log2(n: int) -> int:
+    return max(1, n.bit_length() - 1)
+
+
+def _run_replicated(runner, config, replicas: int) -> ComparisonResult:
+    """Run one cell ``replicas`` times with derived seeds, merging the
+    per-policy hop statistics into a single tighter comparison."""
+    first = runner(config)
+    if replicas <= 1:
+        return first
+    from repro.sim.metrics import HopStatistics
+
+    optimized = HopStatistics()
+    baseline = HopStatistics()
+    optimized.merge(first.optimized)
+    baseline.merge(first.baseline)
+    for extra in range(1, replicas):
+        again = runner(replace(config, seed=config.seed + 1000 * extra))
+        optimized.merge(again.optimized)
+        baseline.merge(again.baseline)
+    return ComparisonResult(f"{first.label} (x{replicas} seeds)", optimized, baseline)
+
+
+# ----------------------------------------------------------------------
+# Pastry figures
+# ----------------------------------------------------------------------
+
+
+def figure3(preset: FigurePreset | None = None) -> FigureResult:
+    """Figure 3: Pastry improvement vs number of nodes.
+
+    Paper observations to reproduce: strongly positive improvements for
+    both alphas, the alpha=1.2 curve dominating alpha=0.91, with up to
+    ~49% (alpha=1.2) and ~29% (alpha=0.91) at the largest n.
+    """
+    preset = preset or FigurePreset.quick()
+    series = []
+    for alpha in (1.2, 0.91):
+        points = []
+        for n in preset.pastry_sizes:
+            config = ExperimentConfig(
+                overlay="pastry",
+                n=n,
+                k=_log2(n),
+                alpha=alpha,
+                bits=preset.bits,
+                queries=preset.queries,
+                num_rankings=1,
+                seed=preset.seed,
+            )
+            points.append(FigurePoint(n, _run_replicated(run_stable, config, preset.replicas)))
+        series.append(FigureSeries(f"alpha={alpha}", tuple(points)))
+    return FigureResult(
+        "figure3",
+        "Pastry: % hop reduction vs n (k = log n, identical rankings)",
+        "n (number of nodes)",
+        tuple(series),
+    )
+
+
+def figure4(preset: FigurePreset | None = None) -> FigureResult:
+    """Figure 4: Pastry improvement vs number of auxiliary neighbors.
+
+    Uses the locality-aware routing mode; the paper reports improvement
+    *increasing* with k (e.g. 50% -> 60% for alpha=1.2) and attributes it
+    to FreePastry's proximity-based next-hop choice.
+    """
+    preset = preset or FigurePreset.quick()
+    n = preset.pastry_k_base
+    base_k = _log2(n)
+    series = []
+    for alpha in (1.2, 0.91):
+        points = []
+        for multiple in (1, 2, 3):
+            config = ExperimentConfig(
+                overlay="pastry",
+                n=n,
+                k=multiple * base_k,
+                alpha=alpha,
+                bits=preset.bits,
+                queries=preset.queries,
+                num_rankings=1,
+                seed=preset.seed,
+                pastry_mode="proximity",
+            )
+            points.append(
+                FigurePoint(multiple * base_k, _run_replicated(run_stable, config, preset.replicas))
+            )
+        series.append(FigureSeries(f"alpha={alpha}", tuple(points)))
+    return FigureResult(
+        "figure4",
+        f"Pastry: % hop reduction vs k (n = {n}, locality-aware routing)",
+        "k (auxiliary neighbors)",
+        tuple(series),
+    )
+
+
+# ----------------------------------------------------------------------
+# Chord figures
+# ----------------------------------------------------------------------
+
+
+def _chord_stable(
+    preset: FigurePreset, n: int, k: int, learned: bool = False
+) -> ComparisonResult:
+    config = ExperimentConfig(
+        overlay="chord",
+        n=n,
+        k=k,
+        alpha=1.2,
+        bits=preset.bits,
+        queries=preset.queries,
+        num_rankings=5,
+        seed=preset.seed,
+        learned_frequencies=learned,
+        # Finite observation history (Section III's learned frequencies):
+        # with ~20 observed queries per node the optimal selection
+        # saturates as k grows while random pointers keep helping — the
+        # mechanism behind Figure 6's decreasing trend.
+        warmup_queries=20 * n if learned else None,
+    )
+    return _run_replicated(run_stable, config, preset.replicas)
+
+
+def _chord_churn(preset: FigurePreset, n: int, k: int) -> ComparisonResult:
+    config = ChurnConfig(
+        overlay="chord",
+        n=n,
+        k=k,
+        alpha=1.2,
+        bits=preset.bits,
+        num_rankings=5,
+        seed=preset.seed,
+        duration=preset.churn_duration,
+        warmup=preset.churn_warmup,
+    )
+    return _run_replicated(run_churn, config, preset.replicas)
+
+
+def figure5(preset: FigurePreset | None = None) -> FigureResult:
+    """Figure 5: Chord improvement vs number of nodes, stable and churn.
+
+    Paper observations: up to ~57% reduction in the stable system at the
+    largest n; still ~25% under the high-churn regime.
+    """
+    preset = preset or FigurePreset.quick()
+    stable_points = []
+    churn_points = []
+    for n in preset.chord_sizes:
+        k = _log2(n)
+        stable_points.append(FigurePoint(n, _chord_stable(preset, n, k)))
+        churn_points.append(FigurePoint(n, _chord_churn(preset, n, k)))
+    return FigureResult(
+        "figure5",
+        "Chord: % hop reduction vs n (k = log n, 5 per-node rankings)",
+        "n (number of nodes)",
+        (
+            FigureSeries("stable", tuple(stable_points)),
+            FigureSeries("high churn", tuple(churn_points)),
+        ),
+    )
+
+
+def figure6(preset: FigurePreset | None = None) -> FigureResult:
+    """Figure 6: Chord improvement vs k, stable and churn.
+
+    Paper observations: improvement *decreases* as k grows (random extra
+    pointers catch up), e.g. churn 26% at k=log n down to ~17% at 3 log n.
+    """
+    preset = preset or FigurePreset.quick()
+    n = preset.chord_k_base
+    base_k = _log2(n)
+    stable_points = []
+    churn_points = []
+    for multiple in (1, 2, 3):
+        k = multiple * base_k
+        stable_points.append(FigurePoint(k, _chord_stable(preset, n, k, learned=True)))
+        churn_points.append(FigurePoint(k, _chord_churn(preset, n, k)))
+    return FigureResult(
+        "figure6",
+        f"Chord: % hop reduction vs k (n = {n})",
+        "k (auxiliary neighbors)",
+        (
+            FigureSeries("stable", tuple(stable_points)),
+            FigureSeries("high churn", tuple(churn_points)),
+        ),
+    )
+
+
+#: Registry used by the CLI and the benchmark harness.
+FIGURES: dict[str, Callable[[FigurePreset | None], FigureResult]] = {
+    "3": figure3,
+    "4": figure4,
+    "5": figure5,
+    "6": figure6,
+}
+
+
+def run_figure(figure_id: str, preset: FigurePreset | None = None) -> FigureResult:
+    """Run one figure by id ('3', '4', '5' or '6')."""
+    from repro.util.errors import ConfigurationError
+
+    runner = FIGURES.get(str(figure_id))
+    if runner is None:
+        raise ConfigurationError(f"unknown figure {figure_id!r}; expected one of {sorted(FIGURES)}")
+    return runner(preset)

@@ -1,0 +1,80 @@
+"""Rendering of figure results as text tables and markdown.
+
+The original figures are line plots; since this reproduction is judged on
+*shape* (who wins, trend directions, rough magnitudes), the harness prints
+the underlying series as aligned tables — one row per x value, one column
+per series — plus the raw hop counts behind each percentage.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+
+__all__ = ["render_table", "render_markdown", "render_detail"]
+
+
+def render_table(result: FigureResult) -> str:
+    """ASCII table of the plotted metric (one column per series)."""
+    header = [result.x_label] + [f"{series.label} (%)" for series in result.series]
+    xs = [point.x for point in result.series[0].points]
+    rows = []
+    for row_index, x in enumerate(xs):
+        row = [_fmt_x(x)]
+        for series in result.series:
+            row.append(f"{series.points[row_index].improvement:.1f}")
+        rows.append(row)
+    return _align([header] + rows, title=f"{result.figure_id}: {result.title}")
+
+
+def render_detail(result: FigureResult) -> str:
+    """Long form: per-cell mean hops for both policies and the reduction."""
+    lines = [f"{result.figure_id}: {result.title}"]
+    for series in result.series:
+        lines.append(f"  series {series.label}:")
+        for point in series.points:
+            comparison = point.comparison
+            lines.append(
+                f"    {result.x_label} = {_fmt_x(point.x)}: "
+                f"ours {comparison.optimized.mean_hops:.3f} hops, "
+                f"oblivious {comparison.baseline.mean_hops:.3f} hops, "
+                f"reduction {comparison.improvement:.1f}%"
+                + (
+                    f" (failure rates {comparison.optimized.failure_rate:.3f}"
+                    f"/{comparison.baseline.failure_rate:.3f})"
+                    if comparison.optimized.failures or comparison.baseline.failures
+                    else ""
+                )
+            )
+    return "\n".join(lines)
+
+
+def render_markdown(result: FigureResult) -> str:
+    """Markdown table (used to fill EXPERIMENTS.md)."""
+    header = [result.x_label] + [f"{series.label} (% reduction)" for series in result.series]
+    lines = [
+        f"### {result.figure_id}: {result.title}",
+        "",
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join(["---"] * len(header)) + "|",
+    ]
+    xs = [point.x for point in result.series[0].points]
+    for row_index, x in enumerate(xs):
+        cells = [_fmt_x(x)] + [
+            f"{series.points[row_index].improvement:.1f}" for series in result.series
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def _fmt_x(x: float) -> str:
+    return str(int(x)) if float(x).is_integer() else f"{x:g}"
+
+
+def _align(rows: list[list[str]], title: str) -> str:
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    lines = [title]
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

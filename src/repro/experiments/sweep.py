@@ -1,0 +1,123 @@
+"""Generic parameter sweeps over the comparison runners.
+
+The figure runners cover the paper's exact parameter grids; research use
+wants arbitrary one-dimensional sweeps ("improvement vs alpha", "vs churn
+rate", "vs successor-list size", ...). :func:`sweep` runs the stable or
+churn comparison across any ``ExperimentConfig``/``ChurnConfig`` field and
+returns rows ready for a table or CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, fields, replace
+from typing import Sequence
+
+from repro.sim.runner import ChurnConfig, ExperimentConfig, run_churn, run_stable
+from repro.util.errors import ConfigurationError
+
+__all__ = ["SweepRow", "sweep", "rows_to_csv", "rows_to_table"]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One sweep point: the varied value and the comparison outcome."""
+
+    parameter: str
+    value: object
+    improvement_pct: float
+    optimal_mean_hops: float
+    baseline_mean_hops: float
+    optimal_failure_rate: float
+    baseline_failure_rate: float
+
+
+def sweep(
+    base: ExperimentConfig,
+    parameter: str,
+    values: Sequence[object],
+) -> list[SweepRow]:
+    """Run the comparison once per value of ``parameter``.
+
+    ``base`` decides the mode: a :class:`ChurnConfig` sweeps the churn
+    simulation, a plain :class:`ExperimentConfig` the stable one.
+    """
+    valid = {field.name for field in fields(base)}
+    if parameter not in valid:
+        raise ConfigurationError(
+            f"unknown parameter {parameter!r}; config fields are {sorted(valid)}"
+        )
+    if not values:
+        raise ConfigurationError("values must not be empty")
+    runner = run_churn if isinstance(base, ChurnConfig) else run_stable
+    rows = []
+    for value in values:
+        config = replace(base, **{parameter: value})
+        result = runner(config)
+        rows.append(
+            SweepRow(
+                parameter=parameter,
+                value=value,
+                improvement_pct=result.improvement,
+                optimal_mean_hops=result.optimized.mean_hops,
+                baseline_mean_hops=result.baseline.mean_hops,
+                optimal_failure_rate=result.optimized.failure_rate,
+                baseline_failure_rate=result.baseline.failure_rate,
+            )
+        )
+    return rows
+
+
+def rows_to_csv(rows: list[SweepRow]) -> str:
+    """Serialize sweep rows as CSV (header + one line per point)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "parameter",
+            "value",
+            "improvement_pct",
+            "optimal_mean_hops",
+            "baseline_mean_hops",
+            "optimal_failure_rate",
+            "baseline_failure_rate",
+        ]
+    )
+    for row in rows:
+        writer.writerow(
+            [
+                row.parameter,
+                row.value,
+                f"{row.improvement_pct:.2f}",
+                f"{row.optimal_mean_hops:.4f}",
+                f"{row.baseline_mean_hops:.4f}",
+                f"{row.optimal_failure_rate:.5f}",
+                f"{row.baseline_failure_rate:.5f}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def rows_to_table(rows: list[SweepRow]) -> str:
+    """Human-readable aligned table of sweep rows."""
+    if not rows:
+        return "(empty sweep)"
+    header = [rows[0].parameter, "improvement", "ours (hops)", "oblivious (hops)"]
+    body = [
+        [
+            str(row.value),
+            f"{row.improvement_pct:.1f}%",
+            f"{row.optimal_mean_hops:.3f}",
+            f"{row.baseline_mean_hops:.3f}",
+        ]
+        for row in rows
+    ]
+    table = [header] + body
+    widths = [max(len(line[col]) for line in table) for col in range(len(header))]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Extensions beyond the paper's core: comparators and future-work ideas.
+
+* :mod:`repro.extensions.item_cache` — item caching vs pointer caching
+  under item churn (the Section I motivation, quantified).
+* :mod:`repro.extensions.replication` — Beehive-style replication vs
+  pointer caching (Section II-C related work, quantified).
+* :mod:`repro.extensions.global_greedy` — globally-coordinated selection
+  (the Section VII future-work question).
+"""
+
+from repro.extensions.global_greedy import GlobalAssignment, network_cost, select_global_greedy
+from repro.extensions.item_cache import ItemCache, ItemChurnReport, simulate_item_churn
+from repro.extensions.replication import (
+    ReplicaDirectory,
+    ReplicationReport,
+    simulate_replication,
+)
+
+__all__ = [
+    "GlobalAssignment",
+    "ItemCache",
+    "ItemChurnReport",
+    "ReplicaDirectory",
+    "ReplicationReport",
+    "network_cost",
+    "select_global_greedy",
+    "simulate_item_churn",
+    "simulate_replication",
+]
+
+from repro.extensions.adaptive import MaintenanceReport, compare_maintenance_strategies
+
+__all__ += ["MaintenanceReport", "compare_maintenance_strategies"]

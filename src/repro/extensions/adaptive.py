@@ -1,0 +1,160 @@
+"""Adaptive (drift-triggered) vs periodic recomputation under popularity drift.
+
+Section III: the selection algorithm "can be invoked either periodically
+or based on some criteria that determines that the system has undergone a
+significant change". This module runs both policies against a
+:class:`~repro.workload.dynamics.DynamicPopularity` workload and reports
+the trade-off: lookup quality achieved vs selections spent.
+
+Strategies compared by :func:`compare_maintenance_strategies`:
+
+* ``periodic`` — every node recomputes on the paper's 62.5 s schedule;
+* ``adaptive`` — a node recomputes only when its
+  :class:`~repro.core.drift.RecomputationTrigger` fires (L1 drift above a
+  threshold, rate-limited);
+* ``static`` — one initial selection, never refreshed (the floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chord.ring import ChordRing, optimal_policy
+from repro.core.drift import RecomputationTrigger
+from repro.util.errors import ConfigurationError
+from repro.util.ids import IdSpace
+from repro.util.rng import SeedSequenceRegistry
+from repro.workload.dynamics import DynamicPopularity, FlashCrowd
+from repro.workload.items import ItemCatalog
+
+__all__ = ["MaintenanceReport", "compare_maintenance_strategies"]
+
+STRATEGIES = ("periodic", "adaptive", "static")
+
+
+@dataclass
+class MaintenanceReport:
+    """Outcome of one maintenance strategy under drifting popularity."""
+
+    strategy: str
+    mean_hops: float
+    recomputations: int
+    queries: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.strategy}: {self.mean_hops:.3f} hops using "
+            f"{self.recomputations} recomputations over {self.queries} queries"
+        )
+
+
+def compare_maintenance_strategies(
+    n: int = 64,
+    bits: int = 18,
+    alpha: float = 1.2,
+    k: int | None = None,
+    duration: float = 600.0,
+    epoch: float = 12.5,
+    queries_per_epoch: int = 60,
+    swap_interval: float = 30.0,
+    swap_count: int = 4,
+    drift_threshold: float = 0.08,
+    periodic_interval: float = 62.5,
+    seed: int = 0,
+    flash_crowd_windows: list[tuple[float, float]] | None = None,
+) -> dict[str, MaintenanceReport]:
+    """Run the three strategies against identical drifting workloads.
+
+    The simulation advances in ``epoch``-sized steps: the popularity
+    process drifts, each node's frequency view is refreshed to the current
+    converged distribution, maintenance runs per strategy, then the epoch's
+    queries are routed and measured. Returns ``{strategy: report}``.
+
+    ``flash_crowd_windows`` is a list of ``(start, duration)`` pairs; each
+    promotes one of the catalog's coldest items to rank 1 for the window
+    (the items are chosen deterministically from the internal catalog).
+    """
+    if epoch <= 0 or duration <= 0 or duration < epoch:
+        raise ConfigurationError("need 0 < epoch <= duration")
+    registry = SeedSequenceRegistry(seed)
+    space = IdSpace(bits)
+    effective_k = k if k is not None else max(1, n.bit_length() - 1)
+    reports: dict[str, MaintenanceReport] = {}
+
+    for strategy in STRATEGIES:
+        ring = ChordRing.build(n, space=space, seed=registry.fresh("overlay").randrange(2**31))
+        catalog = ItemCatalog(space, 4 * n, seed=registry.fresh("items").randrange(2**31))
+        crowds = [
+            FlashCrowd(catalog.item_ids[-(index + 1)], start, length)
+            for index, (start, length) in enumerate(flash_crowd_windows or [])
+        ]
+        popularity = DynamicPopularity(
+            catalog,
+            alpha,
+            seed=registry.fresh("drift").randrange(2**31),
+            swap_interval=swap_interval,
+            swap_count=swap_count,
+            flash_crowds=crowds,
+        )
+        policy_rng = registry.fresh("policy")
+        query_rng = registry.fresh("queries")
+        triggers = {
+            node_id: RecomputationTrigger(threshold=drift_threshold, min_interval=epoch)
+            for node_id in ring.alive_ids()
+        }
+        recomputations = 0
+        total_hops = 0
+        total_queries = 0
+
+        def refresh_frequencies() -> dict[int, dict[int, float]]:
+            views = {}
+            base = popularity.node_frequencies(ring.responsible)
+            for node_id in ring.alive_ids():
+                view = dict(base)
+                view.pop(node_id, None)
+                ring.seed_frequencies(node_id, view)
+                views[node_id] = view
+            return views
+
+        def recompute(node_id: int) -> None:
+            nonlocal recomputations
+            ring.recompute_auxiliary(node_id, effective_k, optimal_policy, policy_rng, 256)
+            recomputations += 1
+
+        # Initial selection for everyone (all strategies start equal).
+        views = refresh_frequencies()
+        for node_id in ring.alive_ids():
+            recompute(node_id)
+            triggers[node_id].committed(0.0, views[node_id], ring.node(node_id).auxiliary)
+
+        now = 0.0
+        last_periodic = 0.0
+        while now < duration:
+            now = min(now + epoch, duration)
+            popularity.advance(now)
+            views = refresh_frequencies()
+            if strategy == "periodic" and now - last_periodic >= periodic_interval:
+                last_periodic = now
+                for node_id in ring.alive_ids():
+                    recompute(node_id)
+            elif strategy == "adaptive":
+                for node_id in ring.alive_ids():
+                    trigger = triggers[node_id]
+                    if trigger.should_recompute(now, views[node_id]):
+                        recompute(node_id)
+                        trigger.committed(now, views[node_id], ring.node(node_id).auxiliary)
+            alive = ring.alive_ids()
+            for __ in range(queries_per_epoch):
+                source = alive[query_rng.randrange(len(alive))]
+                item = popularity.sample_item(query_rng)
+                result = ring.lookup(source, item, record_access=False)
+                total_hops += result.latency
+                total_queries += 1
+
+        reports[strategy] = MaintenanceReport(
+            strategy=strategy,
+            mean_hops=total_hops / total_queries,
+            recomputations=recomputations,
+            queries=total_queries,
+        )
+    return reports

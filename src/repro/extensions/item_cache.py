@@ -1,0 +1,180 @@
+"""Item-caching comparator (paper Section I motivation).
+
+The paper argues that caching *items* (query results) breaks down when
+items are updated frequently — cached copies go stale — whereas caching
+*peer pointers* never serves stale data: a pointer accelerates the route
+to the authoritative node regardless of how often the item changes.
+
+This module makes that argument measurable. :class:`ItemCache` is a
+node-local LRU cache of item copies with version tracking;
+:func:`simulate_item_churn` runs a Chord workload where items are updated
+at a configurable rate and reports, for three strategies:
+
+* ``pointer`` — the paper's auxiliary-neighbor scheme,
+* ``item-cache`` — per-node LRU item caching on top of plain Chord,
+* ``none`` — plain Chord,
+
+the average hops *and* the fraction of answers that were stale. Item
+caching wins on hops (a hit is 0 hops) but pays in staleness as the update
+rate grows; pointer caching keeps hops low at zero staleness.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.chord.ring import ChordRing, optimal_policy
+from repro.util.errors import ConfigurationError
+from repro.util.ids import IdSpace
+from repro.util.rng import SeedSequenceRegistry
+from repro.util.validation import require_positive_int
+from repro.workload.items import ItemCatalog, PopularityModel
+from repro.workload.queries import QueryGenerator
+
+__all__ = ["ItemCache", "ItemChurnReport", "simulate_item_churn"]
+
+
+class ItemCache:
+    """A node-local LRU cache of item copies with version stamps."""
+
+    def __init__(self, capacity: int) -> None:
+        require_positive_int(capacity, "capacity")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, int] = OrderedDict()  # item -> cached version
+        self.hits = 0
+        self.misses = 0
+        self.stale_hits = 0
+
+    def lookup(self, item: int, current_version: int) -> bool:
+        """Return True on a cache hit; track staleness against the
+        authoritative ``current_version``."""
+        cached = self._entries.get(item)
+        if cached is None:
+            self.misses += 1
+            return False
+        self._entries.move_to_end(item)
+        self.hits += 1
+        if cached != current_version:
+            self.stale_hits += 1
+        return True
+
+    def store(self, item: int, version: int) -> None:
+        """Insert/update an item copy, evicting the LRU entry when full."""
+        self._entries[item] = version
+        self._entries.move_to_end(item)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stale_rate(self) -> float:
+        """Fraction of hits that served an out-of-date copy."""
+        if self.hits == 0:
+            return 0.0
+        return self.stale_hits / self.hits
+
+
+@dataclass
+class ItemChurnReport:
+    """Outcome of one strategy under item churn."""
+
+    strategy: str
+    mean_hops: float
+    stale_answer_rate: float
+    queries: int = 0
+    cache_hit_rate: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.strategy}: {self.mean_hops:.3f} hops, "
+            f"{100 * self.stale_answer_rate:.1f}% stale answers"
+        )
+
+
+@dataclass
+class _ItemWorld:
+    """Shared ground truth: per-item version counters bumped by updates."""
+
+    versions: dict[int, int] = field(default_factory=dict)
+
+    def version(self, item: int) -> int:
+        return self.versions.get(item, 0)
+
+    def update(self, item: int) -> None:
+        self.versions[item] = self.versions.get(item, 0) + 1
+
+
+def simulate_item_churn(
+    n: int = 64,
+    bits: int = 18,
+    alpha: float = 1.2,
+    k: int | None = None,
+    queries: int = 4000,
+    update_probability: float = 0.05,
+    cache_capacity: int = 64,
+    seed: int = 0,
+) -> dict[str, ItemChurnReport]:
+    """Compare pointer caching, item caching and plain Chord while a
+    fraction ``update_probability`` of queries is preceded by an update to
+    a (popularity-weighted) random item.
+
+    Returns ``{strategy: ItemChurnReport}``.
+    """
+    if not 0.0 <= update_probability <= 1.0:
+        raise ConfigurationError("update_probability must be in [0, 1]")
+    registry = SeedSequenceRegistry(seed)
+    space = IdSpace(bits)
+    effective_k = k if k is not None else max(1, n.bit_length() - 1)
+
+    reports: dict[str, ItemChurnReport] = {}
+    for strategy in ("pointer", "item-cache", "none"):
+        ring = ChordRing.build(n, space=space, seed=registry.fresh("overlay").randrange(2**31))
+        catalog = ItemCatalog(space, 4 * n, seed=registry.fresh("items").randrange(2**31))
+        popularity = PopularityModel(
+            catalog, alpha, num_rankings=1, seed=registry.fresh("rankings").randrange(2**31)
+        )
+        assignment = popularity.assign_rankings(ring.alive_ids())
+        destinations = popularity.node_frequencies(0, ring.responsible)
+        for node_id in ring.alive_ids():
+            weights = dict(destinations)
+            weights.pop(node_id, None)
+            ring.seed_frequencies(node_id, weights)
+        if strategy == "pointer":
+            ring.recompute_all_auxiliary(
+                effective_k, optimal_policy, registry.fresh("policy"), frequency_limit=256
+            )
+        caches = {node_id: ItemCache(cache_capacity) for node_id in ring.alive_ids()}
+        world = _ItemWorld()
+        generator = QueryGenerator(popularity, assignment, registry.fresh("queries"))
+        update_rng = registry.fresh("updates")
+
+        total_hops = 0
+        alive = ring.alive_ids()
+        for __ in range(queries):
+            if update_rng.random() < update_probability:
+                world.update(popularity.sample_item(0, update_rng))
+            query = generator.query_from(generator.random_source(alive))
+            if strategy == "item-cache":
+                cache = caches[query.source]
+                if cache.lookup(query.item, world.version(query.item)):
+                    continue  # a hit costs zero hops (but may be stale)
+                result = ring.lookup(query.source, query.item, record_access=False)
+                total_hops += result.latency
+                cache.store(query.item, world.version(query.item))
+            else:
+                result = ring.lookup(query.source, query.item, record_access=False)
+                total_hops += result.latency
+        stale = sum(cache.stale_hits for cache in caches.values())
+        hits = sum(cache.hits for cache in caches.values())
+        reports[strategy] = ItemChurnReport(
+            strategy=strategy,
+            mean_hops=total_hops / queries,
+            stale_answer_rate=stale / queries,
+            queries=queries,
+            cache_hit_rate=hits / queries,
+        )
+    return reports

@@ -1,0 +1,168 @@
+"""Beehive-style replication comparator (paper Section II-C, ref [16]).
+
+Beehive replicates popular items proactively along lookup paths so that
+hot queries terminate in O(1) hops. The paper contrasts it with pointer
+caching: replication's win on hops comes with an *update cost* — every
+item modification must refresh all replicas — which explodes when items
+change often.
+
+This module implements a simplified level-based Beehive on our Chord
+substrate: an item replicated at level ``l`` is stored on every node
+within ``2**l`` id-distance "hops-worth" of its home (approximated as the
+``r_l`` ring-predecessors of the responsible node, doubling per level),
+so a lookup stops as soon as it reaches any replica holder.
+
+:func:`simulate_replication` reports mean hops, total replica count and
+update traffic (replica refreshes per item update) for a popularity-ranked
+replication budget, alongside the pointer-caching scheme.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.chord.ring import ChordRing, optimal_policy
+from repro.util.ids import IdSpace
+from repro.util.rng import SeedSequenceRegistry
+from repro.util.validation import require_non_negative_int
+from repro.workload.items import ItemCatalog, PopularityModel
+from repro.workload.queries import QueryGenerator
+
+__all__ = ["ReplicaDirectory", "ReplicationReport", "simulate_replication"]
+
+
+class ReplicaDirectory:
+    """Placement of item replicas on ring predecessors of the home node.
+
+    Level ``l`` places ``2**l`` replicas: the home node plus the
+    ``2**l - 1`` live nodes preceding it clockwise (the nodes a Chord
+    lookup traverses last, per Beehive's intuition).
+    """
+
+    def __init__(self, ring: ChordRing) -> None:
+        self.ring = ring
+        self._holders: dict[int, set[int]] = {}
+
+    def replicate(self, item: int, level: int) -> set[int]:
+        """Install replicas of ``item`` at the given level; returns holders."""
+        require_non_negative_int(level, "level")
+        alive = self.ring.alive_ids()
+        home = self.ring.responsible(item)
+        copies = min(1 << level, len(alive))
+        index = bisect_right(alive, home) - 1
+        if alive[index] != home:  # wrapped: responsible() is alive[-1]
+            index = alive.index(home)
+        holders = {alive[(index - offset) % len(alive)] for offset in range(copies)}
+        self._holders[item] = holders
+        return holders
+
+    def holders(self, item: int) -> set[int]:
+        """Current replica holders (home node only when never replicated)."""
+        return self._holders.get(item, {self.ring.responsible(item)})
+
+    def replica_count(self) -> int:
+        """Total replicas beyond the home copies."""
+        return sum(len(holders) - 1 for holders in self._holders.values())
+
+    def update_cost(self, item: int) -> int:
+        """Messages required to refresh every replica after one update."""
+        return len(self.holders(item)) - 1
+
+
+@dataclass
+class ReplicationReport:
+    """Outcome of one strategy in the replication comparison."""
+
+    strategy: str
+    mean_hops: float
+    replicas: int
+    update_messages_per_update: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.strategy}: {self.mean_hops:.3f} hops, "
+            f"{self.replicas} replicas, "
+            f"{self.update_messages_per_update:.1f} msgs/update"
+        )
+
+
+def _route_until_replica(ring: ChordRing, source: int, item: int, holders: set[int]) -> int:
+    """Hop count of a lookup that may stop early at any replica holder."""
+    if source in holders:
+        return 0
+    result = ring.lookup(source, item, record_access=False)
+    hops = 0
+    for node_id in result.path[1:]:
+        hops += 1
+        if node_id in holders:
+            return hops
+    return result.latency
+
+
+def simulate_replication(
+    n: int = 64,
+    bits: int = 18,
+    alpha: float = 1.2,
+    k: int | None = None,
+    queries: int = 3000,
+    replicated_fraction: float = 0.05,
+    replication_level: int = 3,
+    seed: int = 0,
+) -> dict[str, ReplicationReport]:
+    """Compare pointer caching against Beehive-style replication.
+
+    The ``replicated_fraction`` most popular items get ``2**level``
+    replicas each. Returns ``{strategy: ReplicationReport}`` for
+    ``pointer``, ``replication`` and ``none``.
+    """
+    registry = SeedSequenceRegistry(seed)
+    space = IdSpace(bits)
+    effective_k = k if k is not None else max(1, n.bit_length() - 1)
+    reports: dict[str, ReplicationReport] = {}
+    for strategy in ("pointer", "replication", "none"):
+        ring = ChordRing.build(n, space=space, seed=registry.fresh("overlay").randrange(2**31))
+        catalog = ItemCatalog(space, 4 * n, seed=registry.fresh("items").randrange(2**31))
+        popularity = PopularityModel(
+            catalog, alpha, num_rankings=1, seed=registry.fresh("rankings").randrange(2**31)
+        )
+        assignment = popularity.assign_rankings(ring.alive_ids())
+        destinations = popularity.node_frequencies(0, ring.responsible)
+        for node_id in ring.alive_ids():
+            weights = dict(destinations)
+            weights.pop(node_id, None)
+            ring.seed_frequencies(node_id, weights)
+
+        directory = ReplicaDirectory(ring)
+        if strategy == "pointer":
+            ring.recompute_all_auxiliary(
+                effective_k, optimal_policy, registry.fresh("policy"), frequency_limit=256
+            )
+        elif strategy == "replication":
+            hot_count = max(1, int(replicated_fraction * len(catalog)))
+            for item in popularity.rankings[0][:hot_count]:
+                directory.replicate(item, replication_level)
+
+        generator = QueryGenerator(popularity, assignment, registry.fresh("queries"))
+        alive = ring.alive_ids()
+        total_hops = 0
+        for __ in range(queries):
+            query = generator.query_from(generator.random_source(alive))
+            if strategy == "replication":
+                total_hops += _route_until_replica(
+                    ring, query.source, query.item, directory.holders(query.item)
+                )
+            else:
+                total_hops += ring.lookup(query.source, query.item, record_access=False).latency
+
+        replicated_items = list(directory._holders) or list(catalog)[:1]
+        mean_update_cost = sum(directory.update_cost(item) for item in replicated_items) / len(
+            replicated_items
+        )
+        reports[strategy] = ReplicationReport(
+            strategy=strategy,
+            mean_hops=total_hops / queries,
+            replicas=directory.replica_count(),
+            update_messages_per_update=mean_update_cost if strategy == "replication" else 0.0,
+        )
+    return reports

@@ -1,0 +1,23 @@
+"""Pastry overlay substrate: prefix routing, leaf sets, proximity model."""
+
+from repro.pastry.network import (
+    PastryNetwork,
+    oblivious_policy,
+    optimal_policy,
+    uniform_policy,
+)
+from repro.pastry.node import PastryNode
+from repro.pastry.proximity import ProximityModel
+from repro.pastry.routing import PastryLookupResult, circular_distance, route
+
+__all__ = [
+    "PastryLookupResult",
+    "PastryNetwork",
+    "PastryNode",
+    "ProximityModel",
+    "circular_distance",
+    "oblivious_policy",
+    "optimal_policy",
+    "route",
+    "uniform_policy",
+]

@@ -1,0 +1,236 @@
+"""Pastry prefix routing with greedy and locality-aware next-hop modes.
+
+Per Section II-A, a query is routed to the node numerically closest to the
+key; each hop forwards to a neighbor sharing a strictly longer prefix with
+the key (falling back to the leaf set for final delivery and to a
+numerically-closer neighbor in the rare empty-cell case).
+
+Two next-hop choices among the candidates that repair the next digit:
+
+* ``"greedy"`` — the candidate sharing the longest prefix with the key
+  (and numerically closest on ties): fastest possible progress in hops.
+* ``"proximity"`` — FreePastry's behaviour: "if there is more than one
+  candidate node for the next hop, then the candidate node that is live
+  and closest [in network latency] to the current node is picked"
+  (Section VI). A candidate that *is* the key's neighborhood — i.e. would
+  let the leaf set deliver immediately — is still preferred, matching
+  FreePastry's deliver-direct short cut when the key falls inside a
+  known node's leaf range.
+
+Dead candidates cost a timeout, are evicted from the forwarding node and
+the next-best candidate is tried, exactly as in the Chord substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.util.errors import ConfigurationError, NodeAbsentError
+from repro.util.ids import IdSpace
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.pastry.network import PastryNetwork
+
+__all__ = ["PastryLookupResult", "circular_distance", "route"]
+
+ROUTING_MODES = ("greedy", "proximity")
+
+
+def circular_distance(space: IdSpace, a: int, b: int) -> int:
+    """Numeric distance on the ring: the shorter way around."""
+    gap = space.gap(a, b)
+    return min(gap, space.size - gap)
+
+
+@dataclass
+class PastryLookupResult:
+    """Outcome of one Pastry lookup (same metric semantics as Chord's)."""
+
+    key: int
+    source: int
+    destination: int | None
+    hops: int
+    timeouts: int = 0
+    succeeded: bool = True
+    path: list[int] = field(default_factory=list)
+
+    @property
+    def latency(self) -> int:
+        """Hop-count latency proxy: forwards plus timeout penalties."""
+        return self.hops + self.timeouts
+
+
+def _ranked_candidates(network: "PastryNetwork", node, key: int, mode: str) -> list[int]:
+    """Next-hop candidates in preference order for the given mode."""
+    space = network.space
+    candidates = node.candidates_for(key)
+    if not candidates:
+        return []
+    if mode == "greedy":
+        return sorted(
+            candidates,
+            key=lambda c: (
+                -space.common_prefix_length(c, key),
+                circular_distance(space, c, key),
+                c,
+            ),
+        )
+    # Locality-aware: a candidate that is, as far as this node can tell,
+    # already the key's neighborhood — judged against the node's own
+    # leaf-set radius, a purely local density estimate — can deliver
+    # directly, so those rank first by numeric closeness. Everything else
+    # follows FreePastry's closest-live-candidate-by-latency rule.
+    radius = 0
+    if node.leaves:
+        radius = max(circular_distance(space, node.node_id, leaf) for leaf in node.leaves)
+
+    def sort_key(candidate: int):
+        numeric = circular_distance(space, candidate, key)
+        if numeric <= radius:
+            return (0, float(numeric), candidate)
+        return (1, network.proximity.latency(node.node_id, candidate), candidate)
+
+    return sorted(candidates, key=sort_key)
+
+
+def route(
+    network: "PastryNetwork",
+    source: int,
+    key: int,
+    mode: str = "proximity",
+    max_hops: int | None = None,
+    record_access: bool = True,
+) -> PastryLookupResult:
+    """Route a query for ``key`` from ``source`` across ``network``."""
+    if mode not in ROUTING_MODES:
+        raise ConfigurationError(f"unknown routing mode {mode!r}; expected one of {ROUTING_MODES}")
+    node = network.node(source)
+    if not node.alive:
+        raise NodeAbsentError(f"source node {source} is not alive")
+    space = network.space
+    limit = max_hops if max_hops is not None else 4 * space.bits
+    true_destination = network.responsible(key)
+    if record_access and true_destination != source:
+        node.record_access(true_destination)
+
+    current = node
+    hops = 0
+    timeouts = 0
+    path = [source]
+    while hops + timeouts <= limit:
+        # Leaf-set delivery: when the key falls inside the current leaf
+        # coverage, jump straight to the numerically closest known node.
+        closest = _leaf_delivery_target(network, current, key)
+        if closest == current.node_id:
+            succeeded = current.node_id == true_destination
+            return PastryLookupResult(
+                key=key,
+                source=source,
+                destination=current.node_id if succeeded else None,
+                hops=hops,
+                timeouts=timeouts,
+                succeeded=succeeded,
+                path=path,
+            )
+        if closest is not None:
+            target = network.node(closest)
+            if not target.alive:
+                timeouts += 1
+                current.evict(closest)
+                continue
+            hops += 1
+            path.append(closest)
+            current = target
+            continue
+        forwarded = False
+        for candidate in _ranked_candidates(network, current, key, mode):
+            candidate_node = network.node(candidate)
+            if not candidate_node.alive:
+                timeouts += 1
+                current.evict(candidate)
+                forwarded = True  # state changed; re-enter the loop
+                break
+            hops += 1
+            path.append(candidate)
+            current = candidate_node
+            forwarded = True
+            break
+        if forwarded:
+            continue
+        # Rare case: empty cell. Fall back to any known neighbor strictly
+        # numerically closer to the key (Section II-A's "numerically
+        # closest" objective keeps making progress).
+        fallback = _numerically_closer_neighbor(network, current, key)
+        if fallback is None:
+            succeeded = current.node_id == true_destination
+            return PastryLookupResult(
+                key=key,
+                source=source,
+                destination=current.node_id if succeeded else None,
+                hops=hops,
+                timeouts=timeouts,
+                succeeded=succeeded,
+                path=path,
+            )
+        fallback_node = network.node(fallback)
+        if not fallback_node.alive:
+            timeouts += 1
+            current.evict(fallback)
+            continue
+        hops += 1
+        path.append(fallback)
+        current = fallback_node
+    return PastryLookupResult(
+        key=key,
+        source=source,
+        destination=None,
+        hops=hops,
+        timeouts=timeouts,
+        succeeded=False,
+        path=path,
+    )
+
+
+def _leaf_delivery_target(network: "PastryNetwork", node, key: int) -> int | None:
+    """When the key lies inside the node's leaf-set coverage, the delivery
+    target: the numerically closest of ``leaves ∪ {self}``. ``None`` when
+    the leaf set does not cover the key (or is empty).
+
+    Coverage follows Pastry's ``[L_min, L_max]`` test with the leaf set's
+    *sided* semantics: the ``leaf_radius`` nearest successors and the
+    ``leaf_radius`` nearest predecessors bound a contiguous arc through
+    the node; keys on that arc are deliverable locally, keys beyond it may
+    belong to nodes this one has never heard of. When the two arms wrap
+    (small networks), everything is covered."""
+    space = network.space
+    if not node.leaves:
+        return node.node_id  # isolated node: deliver locally
+    radius = network.leaf_radius
+    leaves = sorted(node.leaves)
+    by_clockwise = sorted(leaves, key=lambda leaf: space.gap(node.node_id, leaf))
+    by_counter = sorted(leaves, key=lambda leaf: space.gap(leaf, node.node_id))
+    clockwise_extent = space.gap(node.node_id, by_clockwise[: radius][-1])
+    counter_extent = space.gap(by_counter[: radius][-1], node.node_id)
+    span = clockwise_extent + counter_extent
+    if span < space.size:
+        arc_start = space.add(node.node_id, -counter_extent)
+        if space.gap(arc_start, key) > span:
+            return None
+    known = leaves + [node.node_id]
+    return min(known, key=lambda c: (circular_distance(space, c, key), c))
+
+
+def _numerically_closer_neighbor(network: "PastryNetwork", node, key: int) -> int | None:
+    """Any known neighbor strictly numerically closer to the key than the
+    current node, preferring the closest (Pastry's rare-case rule)."""
+    space = network.space
+    own = circular_distance(space, node.node_id, key)
+    best = None
+    best_distance = own
+    for neighbor in node.neighbor_ids():
+        distance = circular_distance(space, neighbor, key)
+        if distance < best_distance or (distance == best_distance and best is not None and neighbor < best):
+            best = neighbor
+            best_distance = distance
+    return best

@@ -1,0 +1,24 @@
+"""Discrete-event simulation: scheduler, churn process, experiment runners."""
+
+from repro.sim.churn import ChurnProcess, ChurnTarget
+from repro.sim.events import EventScheduler, ScheduledEvent
+from repro.sim.metrics import ComparisonResult, HopStatistics, percent_reduction
+from repro.sim.runner import ChurnConfig, ExperimentConfig, run_churn, run_stable
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnProcess",
+    "ChurnTarget",
+    "ComparisonResult",
+    "EventScheduler",
+    "ExperimentConfig",
+    "HopStatistics",
+    "ScheduledEvent",
+    "percent_reduction",
+    "run_churn",
+    "run_stable",
+]
+
+from repro.sim.maintenance import TradeoffPoint, cost_benefit_curve, maintenance_rate, table_sizes
+
+__all__ += ["TradeoffPoint", "cost_benefit_curve", "maintenance_rate", "table_sizes"]

@@ -1,0 +1,103 @@
+"""Churn process: alternating exponential up/down node sessions.
+
+Section VI-C: "the n nodes crash and re-join the system alternately. Once
+a node joins (or fails), it remains alive (or dead) for a mean duration of
+900 seconds with the duration being sampled from an exponential
+distribution." The defaults below reproduce that setting; the mean
+lifetimes are configurable for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.sim.events import EventScheduler
+from repro.util.validation import require_positive
+
+__all__ = ["ChurnTarget", "ChurnProcess"]
+
+
+class ChurnTarget(Protocol):
+    """What the churn process drives: any overlay with crash/rejoin."""
+
+    def crash(self, node_id: int) -> None: ...
+
+    def rejoin(self, node_id: int) -> None: ...
+
+    def alive_count(self) -> int: ...
+
+
+class ChurnProcess:
+    """Drives alternating crash/rejoin cycles for a fixed node population.
+
+    Parameters
+    ----------
+    scheduler:
+        The event loop to schedule transitions on.
+    target:
+        The overlay being churned.
+    node_ids:
+        The full (fixed) node population.
+    rng:
+        Randomness source for the exponential session lengths.
+    mean_uptime / mean_downtime:
+        Mean session lengths in (virtual) seconds; the paper uses 900 for
+        both.
+    min_alive:
+        Crashes are skipped (the node draws a fresh uptime instead) when
+        they would push the live population below this floor, keeping the
+        overlay non-degenerate.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        target: ChurnTarget,
+        node_ids: list[int],
+        rng: random.Random,
+        mean_uptime: float = 900.0,
+        mean_downtime: float = 900.0,
+        min_alive: int = 2,
+    ) -> None:
+        require_positive(mean_uptime, "mean_uptime")
+        require_positive(mean_downtime, "mean_downtime")
+        self.scheduler = scheduler
+        self.target = target
+        self.node_ids = list(node_ids)
+        self.rng = rng
+        self.mean_uptime = mean_uptime
+        self.mean_downtime = mean_downtime
+        self.min_alive = min_alive
+        self.crashes = 0
+        self.rejoins = 0
+
+    def start(self) -> None:
+        """Arm the first transition for every node (all assumed alive)."""
+        for node_id in self.node_ids:
+            self._schedule_crash(node_id)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _schedule_crash(self, node_id: int) -> None:
+        delay = self.rng.expovariate(1.0 / self.mean_uptime)
+        self.scheduler.schedule(delay, lambda: self._crash(node_id))
+
+    def _schedule_rejoin(self, node_id: int) -> None:
+        delay = self.rng.expovariate(1.0 / self.mean_downtime)
+        self.scheduler.schedule(delay, lambda: self._rejoin(node_id))
+
+    def _crash(self, node_id: int) -> None:
+        if self.target.alive_count() <= self.min_alive:
+            # Too few nodes up: postpone by drawing another uptime.
+            self._schedule_crash(node_id)
+            return
+        self.target.crash(node_id)
+        self.crashes += 1
+        self._schedule_rejoin(node_id)
+
+    def _rejoin(self, node_id: int) -> None:
+        self.target.rejoin(node_id)
+        self.rejoins += 1
+        self._schedule_crash(node_id)

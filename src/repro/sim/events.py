@@ -1,0 +1,115 @@
+"""A minimal discrete-event scheduler for the churn simulations.
+
+Classic calendar-queue design: a binary heap of ``(time, sequence,
+event)`` triples. The sequence number makes ordering total (and therefore
+runs reproducible) when events share a timestamp, and doubles as a handle
+for O(1) cancellation via lazy deletion.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.util.errors import SimulationError
+
+__all__ = ["EventScheduler", "ScheduledEvent"]
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "sequence", "action", "cancelled")
+
+    def __init__(self, time: float, sequence: int, action: Callable[[], None]) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+
+class EventScheduler:
+    """Priority-queue event loop with virtual time.
+
+    Example
+    -------
+    >>> scheduler = EventScheduler()
+    >>> fired = []
+    >>> _ = scheduler.schedule(5.0, lambda: fired.append(scheduler.now))
+    >>> scheduler.run_until(10.0)
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[ScheduledEvent] = []
+        self._sequence = 0
+        self._fired = 0
+
+    def __len__(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed so far."""
+        return self._fired
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = ScheduledEvent(self.now + delay, self._sequence, action)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``action`` at absolute virtual ``time``."""
+        return self.schedule(time - self.now, action)
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or ``None`` when drained."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next event; returns ``False`` when none remain."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        if event.time < self.now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self.now = event.time
+        self._fired += 1
+        event.action()
+        return True
+
+    def run_until(self, end_time: float) -> None:
+        """Run every event with timestamp <= ``end_time``, then advance the
+        clock to exactly ``end_time``."""
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+        if end_time > self.now:
+            self.now = end_time
+
+    def run(self) -> None:
+        """Drain the queue completely (careful with self-rescheduling events)."""
+        while self.step():
+            pass
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,116 @@
+"""Routing-table maintenance-cost accounting (paper Section I).
+
+"The maintenance cost of the routing table grows with the size of the
+routing table" — every extra auxiliary pointer is another neighbor to
+ping each refresh interval. The paper argues the benefit is worth roughly
+doubling the table (k ≈ log n) and defers budget-driven sizing to [12].
+
+This module quantifies the trade-off for our overlays:
+
+* :func:`table_sizes` — per-node neighbor counts (core + successors +
+  auxiliary for Chord; cells + leaf set for Pastry).
+* :func:`maintenance_rate` — expected liveness-probe messages per second
+  network-wide for a given stabilization interval: one ping per neighbor
+  entry per round, the model the paper sketches.
+* :func:`cost_benefit_curve` — sweeps the pointer budget and reports, for
+  each ``k``: the measured hop improvement and the extra maintenance
+  traffic it costs, i.e. the data behind a "bandwidth budget" decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.runner import ExperimentConfig, run_stable
+from repro.util.errors import ConfigurationError
+from repro.util.validation import require_positive
+
+__all__ = ["table_sizes", "maintenance_rate", "TradeoffPoint", "cost_benefit_curve"]
+
+
+def table_sizes(overlay) -> dict[int, int]:
+    """Current neighbor-table size of every live node."""
+    return {
+        node_id: len(overlay.nodes[node_id].neighbor_ids())
+        for node_id in overlay.alive_ids()
+    }
+
+
+def maintenance_rate(overlay, stabilize_interval: float) -> float:
+    """Liveness-probe messages per second, network-wide.
+
+    One ping per neighbor entry per stabilization round (Section III's
+    ping process, extended to auxiliary entries).
+    """
+    require_positive(stabilize_interval, "stabilize_interval")
+    return sum(table_sizes(overlay).values()) / stabilize_interval
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One budget level in the cost/benefit sweep."""
+
+    k: int
+    improvement_pct: float
+    optimal_mean_hops: float
+    baseline_mean_hops: float
+    pings_per_second: float
+    mean_table_size: float
+
+
+def cost_benefit_curve(
+    overlay: str = "chord",
+    n: int = 128,
+    bits: int = 20,
+    alpha: float = 1.2,
+    budgets: tuple[int, ...] | None = None,
+    queries: int = 3000,
+    stabilize_interval: float = 25.0,
+    seed: int = 0,
+) -> list[TradeoffPoint]:
+    """Measure hop improvement *and* maintenance traffic per budget ``k``.
+
+    Each point runs a full stable comparison (same machinery as the
+    figures) and then prices the optimal scheme's tables at the given
+    stabilization interval.
+    """
+    if budgets is None:
+        log_n = max(1, n.bit_length() - 1)
+        budgets = (0, log_n, 2 * log_n, 3 * log_n)
+    if not budgets:
+        raise ConfigurationError("budgets must not be empty")
+    points = []
+    for k in budgets:
+        config = ExperimentConfig(
+            overlay=overlay,
+            n=n,
+            k=k,
+            alpha=alpha,
+            bits=bits,
+            queries=queries,
+            seed=seed,
+        )
+        from repro.sim.runner import _Bench  # reuse the bench plumbing
+        from repro.util.rng import SeedSequenceRegistry
+
+        comparison = run_stable(config)
+        # Rebuild the optimal-policy universe to price its tables.
+        registry = SeedSequenceRegistry(seed)
+        bench = _Bench(config, registry)
+        bench.seed_all()
+        optimal, __ = bench.policies()
+        bench.overlay.recompute_all_auxiliary(
+            k, optimal, registry.fresh("policy-rng-optimal"), config.frequency_limit
+        )
+        sizes = table_sizes(bench.overlay)
+        points.append(
+            TradeoffPoint(
+                k=k,
+                improvement_pct=comparison.improvement,
+                optimal_mean_hops=comparison.optimized.mean_hops,
+                baseline_mean_hops=comparison.baseline.mean_hops,
+                pings_per_second=maintenance_rate(bench.overlay, stabilize_interval),
+                mean_table_size=sum(sizes.values()) / len(sizes),
+            )
+        )
+    return points

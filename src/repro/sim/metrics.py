@@ -1,0 +1,151 @@
+"""Lookup-performance metrics and the paper's comparison statistic.
+
+The evaluation's single plotted metric (Section VI-A) is the **percentage
+reduction in the average number of hops** of the frequency-aware scheme
+relative to the frequency-oblivious scheme. :class:`HopStatistics`
+accumulates per-lookup results; :func:`percent_reduction` computes the
+plotted number; :class:`ComparisonResult` bundles one experimental cell.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["HopStatistics", "ComparisonResult", "percent_reduction"]
+
+
+class _LookupLike(Protocol):
+    hops: int
+    timeouts: int
+    succeeded: bool
+
+    @property
+    def latency(self) -> int: ...
+
+
+@dataclass
+class HopStatistics:
+    """Streaming accumulator of lookup outcomes.
+
+    ``mean_hops`` averages the latency proxy (forwards + timeout
+    penalties) of *successful* lookups; failures are tracked separately as
+    a rate, mirroring how DHT evaluations usually separate the two.
+    """
+
+    lookups: int = 0
+    successes: int = 0
+    failures: int = 0
+    total_hops: int = 0
+    total_timeouts: int = 0
+    _sum_latency: float = 0.0
+    _sum_latency_sq: float = 0.0
+    per_lookup: list[int] = field(default_factory=list)
+    keep_samples: bool = False
+
+    def record(self, result: _LookupLike) -> None:
+        """Fold one lookup outcome into the statistics."""
+        self.lookups += 1
+        self.total_timeouts += result.timeouts
+        if not result.succeeded:
+            self.failures += 1
+            return
+        self.successes += 1
+        self.total_hops += result.hops
+        latency = result.latency
+        self._sum_latency += latency
+        self._sum_latency_sq += latency * latency
+        if self.keep_samples:
+            self.per_lookup.append(latency)
+
+    @property
+    def mean_hops(self) -> float:
+        """Average latency (hops + timeouts) of successful lookups."""
+        if self.successes == 0:
+            return float("nan")
+        return self._sum_latency / self.successes
+
+    @property
+    def stddev_hops(self) -> float:
+        """Sample standard deviation of per-lookup latency."""
+        if self.successes < 2:
+            return float("nan")
+        mean = self.mean_hops
+        variance = (self._sum_latency_sq - self.successes * mean * mean) / (self.successes - 1)
+        return math.sqrt(max(variance, 0.0))
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of lookups that did not reach the responsible node."""
+        if self.lookups == 0:
+            return 0.0
+        return self.failures / self.lookups
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of the normal-approximation CI on ``mean_hops``."""
+        if self.successes < 2:
+            return float("nan")
+        return z * self.stddev_hops / math.sqrt(self.successes)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of per-lookup latency.
+
+        Requires ``keep_samples=True`` (the streaming moments cannot
+        recover order statistics). Uses the nearest-rank method.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.keep_samples:
+            raise ConfigurationError("percentile() needs keep_samples=True")
+        if not self.per_lookup:
+            return float("nan")
+        ordered = sorted(self.per_lookup)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return float(ordered[rank])
+
+    def merge(self, other: "HopStatistics") -> None:
+        """Fold another accumulator into this one."""
+        self.lookups += other.lookups
+        self.successes += other.successes
+        self.failures += other.failures
+        self.total_hops += other.total_hops
+        self.total_timeouts += other.total_timeouts
+        self._sum_latency += other._sum_latency
+        self._sum_latency_sq += other._sum_latency_sq
+        if self.keep_samples:
+            self.per_lookup.extend(other.per_lookup)
+
+
+def percent_reduction(baseline_mean: float, optimized_mean: float) -> float:
+    """The paper's plotted metric: ``100 * (baseline - ours) / baseline``.
+
+    Positive values mean the frequency-aware scheme wins.
+    """
+    if not baseline_mean > 0:
+        raise ConfigurationError(f"baseline mean must be positive, got {baseline_mean!r}")
+    return 100.0 * (baseline_mean - optimized_mean) / baseline_mean
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """One experimental cell: frequency-aware vs frequency-oblivious."""
+
+    label: str
+    optimized: HopStatistics
+    baseline: HopStatistics
+
+    @property
+    def improvement(self) -> float:
+        """Percentage reduction in average hops (the paper's y-axis)."""
+        return percent_reduction(self.baseline.mean_hops, self.optimized.mean_hops)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.label}: ours {self.optimized.mean_hops:.3f} hops vs "
+            f"oblivious {self.baseline.mean_hops:.3f} hops -> "
+            f"{self.improvement:.1f}% reduction"
+        )

@@ -1,0 +1,378 @@
+"""Experiment runners: stable-mode and churn-mode policy comparisons.
+
+Both runners reproduce the paper's measurement protocol (Section VI-A):
+build an overlay, give every node a zipf-driven destination distribution,
+install auxiliary neighbors under two policies — the paper's
+frequency-aware optimum and the frequency-oblivious baseline — route the
+*same* query stream under each, and report the percentage reduction in
+average hops.
+
+Stable mode (no churn) seeds each node's frequency tracker with its exact
+long-run destination distribution (the converged state of observing
+queries forever) and routes queries against frozen tables. Churn mode runs
+the full discrete-event machinery: exponential on/off node sessions,
+staggered per-node stabilization (default every 25 s) and auxiliary
+recomputation (every 62.5 s), Poisson queries (4/s), online frequency
+learning, and crash-induced state loss — the Section VI-C configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.chord.ring import ChordRing
+from repro.chord.ring import oblivious_policy as chord_oblivious
+from repro.chord.ring import optimal_policy as chord_optimal
+from repro.pastry.network import PastryNetwork
+from repro.pastry.network import oblivious_policy as pastry_oblivious
+from repro.pastry.network import optimal_policy as pastry_optimal
+from repro.sim.churn import ChurnProcess
+from repro.sim.events import EventScheduler
+from repro.sim.metrics import ComparisonResult, HopStatistics
+from repro.util.errors import ConfigurationError
+from repro.util.ids import IdSpace
+from repro.util.rng import SeedSequenceRegistry
+from repro.workload.items import ItemCatalog, PopularityModel
+from repro.workload.queries import QueryGenerator
+
+__all__ = ["ExperimentConfig", "ChurnConfig", "run_stable", "run_churn"]
+
+OVERLAYS = ("chord", "pastry")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of one stable-mode comparison cell.
+
+    Defaults follow Section VI-A: 32-bit ids, zipf ``alpha = 1.2``,
+    ``k = log2(n)`` when ``k`` is ``None``, identical rankings for Pastry
+    and five per-node rankings for Chord.
+    """
+
+    overlay: str
+    n: int = 1024
+    k: int | None = None
+    alpha: float = 1.2
+    bits: int = 32
+    num_items: int | None = None
+    num_rankings: int | None = None
+    queries: int = 20_000
+    frequency_limit: int | None = 256
+    seed: int = 0
+    pastry_mode: str = "proximity"
+    #: When True, nodes learn frequencies by observing ``warmup_queries``
+    #: real lookups (the paper's Section III protocol) instead of being
+    #: handed their converged destination distribution.
+    learned_frequencies: bool = False
+    #: Warmup traffic for learned mode; ``None`` = 40 queries per node.
+    warmup_queries: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.overlay not in OVERLAYS:
+            raise ConfigurationError(f"unknown overlay {self.overlay!r}; expected one of {OVERLAYS}")
+        if self.n < 2:
+            raise ConfigurationError("need at least 2 nodes")
+
+    @property
+    def effective_warmup_queries(self) -> int:
+        if self.warmup_queries is not None:
+            return self.warmup_queries
+        return 40 * self.n
+
+    @property
+    def effective_k(self) -> int:
+        """``k`` or the paper's default of ``log2(n)``."""
+        if self.k is not None:
+            return self.k
+        return max(1, self.n.bit_length() - 1)
+
+    @property
+    def effective_items(self) -> int:
+        """Item count (defaults to four items per node)."""
+        return self.num_items if self.num_items is not None else 4 * self.n
+
+    @property
+    def effective_rankings(self) -> int:
+        """Ranking count: the paper uses 1 for Pastry plots, 5 for Chord."""
+        if self.num_rankings is not None:
+            return self.num_rankings
+        return 5 if self.overlay == "chord" else 1
+
+
+@dataclass(frozen=True)
+class ChurnConfig(ExperimentConfig):
+    """Churn-mode parameters (defaults from Section VI-C).
+
+    ``queries`` is ignored in churn mode; query volume is
+    ``queries_per_second * duration``.
+    """
+
+    duration: float = 1800.0
+    warmup: float = 300.0
+    queries_per_second: float = 4.0
+    stabilize_interval: float = 25.0
+    recompute_interval: float = 62.5
+    mean_uptime: float = 900.0
+    mean_downtime: float = 900.0
+    frequency_limit: int | None = 128
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.warmup >= self.duration:
+            raise ConfigurationError("warmup must be shorter than duration")
+
+
+# ----------------------------------------------------------------------
+# Shared setup
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Bench:
+    """Everything both policies share: overlay, workload, seeding data."""
+
+    config: ExperimentConfig
+    registry: SeedSequenceRegistry
+    overlay: object = field(init=False)
+    popularity: PopularityModel = field(init=False)
+    assignment: dict[int, int] = field(init=False)
+    ranking_destinations: list[dict[int, float]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        config = self.config
+        space = IdSpace(config.bits)
+        overlay_seed = self.registry.stream("overlay").randrange(2**31)
+        if config.overlay == "chord":
+            self.overlay = ChordRing.build(config.n, space=space, seed=overlay_seed)
+        else:
+            self.overlay = PastryNetwork.build(config.n, space=space, seed=overlay_seed)
+        catalog = ItemCatalog(space, config.effective_items, seed=self.registry.stream("items").randrange(2**31))
+        self.popularity = PopularityModel(
+            catalog,
+            config.alpha,
+            num_rankings=config.effective_rankings,
+            seed=self.registry.stream("rankings").randrange(2**31),
+        )
+        self.assignment = self.popularity.assign_rankings(self.overlay.alive_ids())
+        # Destination weights are identical for every node on the same
+        # ranking (modulo excluding the node itself): compute once each.
+        self.ranking_destinations = [
+            self.popularity.node_frequencies(index, self.overlay.responsible)
+            for index in range(self.popularity.num_rankings)
+        ]
+
+    def seed_node(self, node_id: int) -> None:
+        """Give one node its converged destination distribution."""
+        weights = dict(self.ranking_destinations[self.assignment[node_id]])
+        weights.pop(node_id, None)
+        self.overlay.seed_frequencies(node_id, weights)
+
+    def seed_all(self) -> None:
+        for node_id in self.overlay.alive_ids():
+            self.seed_node(node_id)
+
+    def policies(self):
+        """(optimal, oblivious) policy pair for the configured overlay."""
+        if self.config.overlay == "chord":
+            return chord_optimal, chord_oblivious
+        return pastry_optimal, pastry_oblivious
+
+    def lookup(self, source: int, item: int, record_access: bool):
+        if self.config.overlay == "chord":
+            return self.overlay.lookup(source, item, record_access=record_access)
+        return self.overlay.lookup(
+            source, item, mode=self.config.pastry_mode, record_access=record_access
+        )
+
+    def query_generator(self, stream_name: str) -> QueryGenerator:
+        return QueryGenerator(
+            self.popularity, self.assignment, self.registry.fresh(stream_name)
+        )
+
+
+# ----------------------------------------------------------------------
+# Stable mode
+# ----------------------------------------------------------------------
+
+
+def run_stable(config: ExperimentConfig) -> ComparisonResult:
+    """Stable-mode comparison: frequency-aware vs frequency-oblivious.
+
+    The same overlay instance is reused for both policies (auxiliary sets
+    are simply reinstalled) and both route an identical query stream, so
+    the measured difference is attributable to pointer selection alone.
+    """
+    registry = SeedSequenceRegistry(config.seed)
+    bench = _Bench(config, registry)
+    if config.learned_frequencies:
+        # Nodes learn by observation: route warmup traffic (core pointers
+        # only) with access recording on, exactly like Section III.
+        generator = bench.query_generator("warmup-queries")
+        alive = bench.overlay.alive_ids()
+        for query in generator.stream(config.effective_warmup_queries, lambda: alive):
+            bench.lookup(query.source, query.item, record_access=True)
+    else:
+        bench.seed_all()
+    optimal, oblivious = bench.policies()
+    stats = {}
+    for name, policy in (("optimal", optimal), ("oblivious", oblivious)):
+        bench.overlay.recompute_all_auxiliary(
+            config.effective_k,
+            policy,
+            registry.fresh(f"policy-rng-{name}"),
+            frequency_limit=config.frequency_limit,
+        )
+        generator = bench.query_generator("queries")
+        collected = HopStatistics()
+        alive = bench.overlay.alive_ids()
+        for query in generator.stream(config.queries, lambda: alive):
+            collected.record(bench.lookup(query.source, query.item, record_access=False))
+        stats[name] = collected
+    label = (
+        f"{config.overlay} stable n={config.n} k={config.effective_k} "
+        f"alpha={config.alpha}"
+    )
+    return ComparisonResult(label, stats["optimal"], stats["oblivious"])
+
+
+# ----------------------------------------------------------------------
+# Churn mode
+# ----------------------------------------------------------------------
+
+
+def run_churn(config: ChurnConfig) -> ComparisonResult:
+    """Churn-mode comparison under the Section VI-C event schedule.
+
+    Each policy runs in its own fresh universe built from the same seeds,
+    so both see identical overlays, churn traces and query workloads.
+    """
+    stats = {}
+    for name in ("optimal", "oblivious"):
+        stats[name] = _run_churn_once(config, name)
+    label = (
+        f"{config.overlay} churn n={config.n} k={config.effective_k} "
+        f"alpha={config.alpha}"
+    )
+    return ComparisonResult(label, stats["optimal"], stats["oblivious"])
+
+
+def _run_churn_once(config: ChurnConfig, policy_name: str) -> HopStatistics:
+    registry = SeedSequenceRegistry(config.seed)
+    bench = _Bench(config, registry)
+    bench.seed_all()
+    optimal, oblivious = bench.policies()
+    policy = optimal if policy_name == "optimal" else oblivious
+    policy_rng = registry.fresh(f"policy-rng-{policy_name}")
+    overlay = bench.overlay
+    k = config.effective_k
+
+    scheduler = EventScheduler()
+    stats = HopStatistics()
+
+    # Initial auxiliary installation at t=0.
+    overlay.recompute_all_auxiliary(k, policy, policy_rng, config.frequency_limit)
+
+    # Churn process (same trace for both policies via the shared seed).
+    churn_rng = registry.fresh("churn")
+    churn = ChurnProcess(
+        scheduler,
+        _ChurnAdapter(bench),
+        overlay.alive_ids(),
+        churn_rng,
+        mean_uptime=config.mean_uptime,
+        mean_downtime=config.mean_downtime,
+    )
+    churn.start()
+
+    # Staggered per-node maintenance loops.
+    offset_rng = registry.fresh("maintenance-offsets")
+    for node_id in overlay.alive_ids():
+        scheduler.schedule(
+            offset_rng.uniform(0, config.stabilize_interval),
+            _PeriodicNodeTask(scheduler, overlay, node_id, config.stabilize_interval, _stabilize),
+        )
+        scheduler.schedule(
+            offset_rng.uniform(0, config.recompute_interval),
+            _PeriodicNodeTask(
+                scheduler,
+                overlay,
+                node_id,
+                config.recompute_interval,
+                _make_recompute(k, policy, policy_rng, config.frequency_limit),
+            ),
+        )
+
+    # Poisson query arrivals; frequencies keep learning online.
+    generator = bench.query_generator("queries")
+    query_rng = registry.fresh("query-arrivals")
+
+    def fire_query() -> None:
+        alive = overlay.alive_ids()
+        if alive:
+            query = generator.query_from(generator.random_source(alive))
+            result = bench.lookup(query.source, query.item, record_access=True)
+            if scheduler.now >= config.warmup:
+                stats.record(result)
+        scheduler.schedule(query_rng.expovariate(config.queries_per_second), fire_query)
+
+    scheduler.schedule(query_rng.expovariate(config.queries_per_second), fire_query)
+    scheduler.run_until(config.duration)
+    return stats
+
+
+class _ChurnAdapter:
+    """Adapter giving the churn process rejoin-with-reseed semantics:
+    a node that comes back starts with empty observations (its state was
+    volatile) — it re-learns frequencies from live traffic."""
+
+    def __init__(self, bench: _Bench) -> None:
+        self.bench = bench
+
+    def crash(self, node_id: int) -> None:
+        self.bench.overlay.crash(node_id)
+
+    def rejoin(self, node_id: int) -> None:
+        self.bench.overlay.rejoin(node_id)
+
+    def alive_count(self) -> int:
+        return self.bench.overlay.alive_count()
+
+
+class _PeriodicNodeTask:
+    """Self-rescheduling per-node maintenance action (skips dead phases)."""
+
+    __slots__ = ("scheduler", "overlay", "node_id", "interval", "action")
+
+    def __init__(self, scheduler, overlay, node_id, interval, action) -> None:
+        self.scheduler = scheduler
+        self.overlay = overlay
+        self.node_id = node_id
+        self.interval = interval
+        self.action = action
+
+    def __call__(self) -> None:
+        node = self.overlay.node(self.node_id)
+        if node.alive:
+            self.action(self.overlay, self.node_id)
+        self.scheduler.schedule(self.interval, self)
+
+
+def _stabilize(overlay, node_id: int) -> None:
+    overlay.stabilize(node_id)
+
+
+def _make_recompute(k: int, policy, rng: random.Random, frequency_limit: int | None):
+    def action(overlay, node_id: int) -> None:
+        overlay.recompute_auxiliary(node_id, k, policy, rng, frequency_limit)
+
+    return action
+
+
+def scaled_down(config: ChurnConfig, factor: float = 0.25) -> ChurnConfig:
+    """A cheaper variant of a churn config for smoke tests and benches."""
+    return replace(
+        config,
+        duration=max(120.0, config.duration * factor),
+        warmup=max(30.0, config.warmup * factor),
+    )

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch a single base class. Configuration mistakes raise
+:class:`ConfigurationError` (a subclass of :class:`ValueError` as well, so
+idiomatic ``except ValueError`` also works), while runtime protocol failures
+raise more specific subclasses.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "IdSpaceError",
+    "RoutingError",
+    "LookupFailedError",
+    "NodeAbsentError",
+    "SelectionError",
+    "InfeasibleConstraintError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An argument or configuration value is invalid."""
+
+
+class IdSpaceError(ConfigurationError):
+    """An identifier does not fit the configured id space."""
+
+
+class RoutingError(ReproError):
+    """A routing step could not be performed."""
+
+
+class LookupFailedError(RoutingError):
+    """A lookup could not reach the node responsible for the key.
+
+    Carries the partial hop count so simulations can account for wasted
+    traffic before a retry.
+    """
+
+    def __init__(self, key: int, hops: int, reason: str) -> None:
+        super().__init__(f"lookup for key {key} failed after {hops} hops: {reason}")
+        self.key = key
+        self.hops = hops
+        self.reason = reason
+
+
+class NodeAbsentError(RoutingError):
+    """An operation referenced a node that is not alive in the overlay."""
+
+
+class SelectionError(ReproError):
+    """Auxiliary-neighbor selection failed."""
+
+
+class InfeasibleConstraintError(SelectionError):
+    """QoS delay bounds cannot be satisfied with the given pointer budget."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

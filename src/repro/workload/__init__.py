@@ -1,0 +1,18 @@
+"""Workload generation: zipf popularities, item catalogs, query streams."""
+
+from repro.workload.items import ItemCatalog, PopularityModel
+from repro.workload.queries import Query, QueryGenerator
+from repro.workload.zipf import ZipfDistribution
+
+__all__ = [
+    "ItemCatalog",
+    "PopularityModel",
+    "Query",
+    "QueryGenerator",
+    "ZipfDistribution",
+]
+
+from repro.workload.dynamics import DynamicPopularity, FlashCrowd
+from repro.workload.trace import QueryTrace, TimedQuery
+
+__all__ += ["DynamicPopularity", "FlashCrowd", "QueryTrace", "TimedQuery"]

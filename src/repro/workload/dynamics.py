@@ -1,0 +1,158 @@
+"""Time-varying popularity: gradual drift and flash crowds.
+
+The paper's Section IV-C motivates incremental maintenance with "node
+popularities change"; Section III leaves open *when* to recompute. This
+module provides the workload side of those questions: a popularity process
+whose ranking evolves over time, so maintenance policies (periodic,
+drift-triggered, incremental) can be compared on something that actually
+moves.
+
+Two mechanisms, composable:
+
+* **Gradual drift** — every ``swap_interval`` time units, ``swap_count``
+  adjacent rank pairs swap (a lazy random transposition walk; the
+  distribution's shape is preserved while the identity of the hot items
+  slowly changes).
+* **Flash crowds** — at scheduled times, a previously arbitrary item is
+  promoted to rank 1 for a configurable duration, then demoted back.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigurationError
+from repro.util.validation import require_positive
+from repro.workload.items import ItemCatalog
+from repro.workload.zipf import ZipfDistribution
+
+__all__ = ["FlashCrowd", "DynamicPopularity"]
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A scheduled popularity spike: ``item`` holds rank 1 during
+    ``[start, start + duration)``."""
+
+    item: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.duration, "duration")
+        if self.start < 0:
+            raise ConfigurationError(f"start must be >= 0, got {self.start}")
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now < self.start + self.duration
+
+
+class DynamicPopularity:
+    """A zipf popularity whose ranking evolves with virtual time.
+
+    Unlike :class:`~repro.workload.items.PopularityModel` (static
+    rankings), this class must be *advanced*: call :meth:`advance` with the
+    current virtual time before sampling. Drift is applied in whole
+    ``swap_interval`` steps so two runs advancing through the same times
+    see identical rankings.
+
+    Example
+    -------
+    >>> catalog = ItemCatalog(__import__("repro.util.ids", fromlist=["IdSpace"]).IdSpace(16), 10, seed=1)
+    >>> pop = DynamicPopularity(catalog, alpha=1.2, seed=2, swap_interval=10.0, swap_count=1)
+    >>> before = pop.ranking()
+    >>> pop.advance(100.0)
+    >>> sorted(before) == sorted(pop.ranking())
+    True
+    """
+
+    def __init__(
+        self,
+        catalog: ItemCatalog,
+        alpha: float,
+        seed: int = 0,
+        swap_interval: float = 60.0,
+        swap_count: int = 1,
+        flash_crowds: list[FlashCrowd] | None = None,
+    ) -> None:
+        require_positive(swap_interval, "swap_interval")
+        if swap_count < 0:
+            raise ConfigurationError(f"swap_count must be >= 0, got {swap_count}")
+        self.catalog = catalog
+        self.distribution = ZipfDistribution(alpha, len(catalog))
+        self.swap_interval = swap_interval
+        self.swap_count = swap_count
+        self.flash_crowds = list(flash_crowds or [])
+        for crowd in self.flash_crowds:
+            if crowd.item not in set(catalog.item_ids):
+                raise ConfigurationError(f"flash-crowd item {crowd.item} not in the catalog")
+        self._drift_rng = random.Random(seed)
+        self._ranking: list[int] = list(catalog.item_ids)
+        self._steps_applied = 0
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def advance(self, now: float) -> int:
+        """Move virtual time forward, applying any due drift steps.
+
+        Returns the number of drift steps applied. Time never goes
+        backwards.
+        """
+        if now < self.now:
+            raise ConfigurationError("time cannot go backwards")
+        self.now = now
+        due = int(now // self.swap_interval)
+        applied = 0
+        while self._steps_applied < due:
+            self._apply_drift_step()
+            self._steps_applied += 1
+            applied += 1
+        return applied
+
+    def _apply_drift_step(self) -> None:
+        size = len(self._ranking)
+        for __ in range(self.swap_count):
+            index = self._drift_rng.randrange(size - 1) if size > 1 else 0
+            self._ranking[index], self._ranking[index + 1] = (
+                self._ranking[index + 1],
+                self._ranking[index],
+            )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def ranking(self) -> list[int]:
+        """Current ranking, flash crowds applied (hottest first)."""
+        ranking = list(self._ranking)
+        # Active crowds are pulled to the front, latest-starting first.
+        active = sorted(
+            (crowd for crowd in self.flash_crowds if crowd.active_at(self.now)),
+            key=lambda crowd: -crowd.start,
+        )
+        for crowd in active:
+            ranking.remove(crowd.item)
+            ranking.insert(0, crowd.item)
+        return ranking
+
+    def item_weights(self) -> dict[int, float]:
+        """Current ``{item: probability}`` under the evolved ranking."""
+        weights = self.distribution.weights()
+        return {item: weight for item, weight in zip(self.ranking(), weights)}
+
+    def sample_item(self, rng: random.Random) -> int:
+        """Draw an item under the *current* ranking."""
+        rank = self.distribution.sample_rank(rng)
+        return self.ranking()[rank - 1]
+
+    def node_frequencies(self, responsible, exclude: int | None = None) -> dict[int, float]:
+        """Aggregate the current item weights by responsible node."""
+        frequencies: dict[int, float] = {}
+        for item, weight in self.item_weights().items():
+            destination = responsible(item)
+            if destination == exclude:
+                continue
+            frequencies[destination] = frequencies.get(destination, 0.0) + weight
+        return frequencies

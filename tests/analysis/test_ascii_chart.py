@@ -1,0 +1,70 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import render_chart
+from repro.experiments.figures import FigurePoint, FigureResult, FigureSeries
+from repro.sim.metrics import ComparisonResult, HopStatistics
+from repro.util.errors import ConfigurationError
+
+
+def make_result(series_values):
+    def comparison(improvement):
+        ours, base = HopStatistics(), HopStatistics()
+
+        class Fake:
+            hops = 100 - improvement
+            timeouts = 0
+            succeeded = True
+            latency = 100 - improvement
+
+        class Base:
+            hops = 100
+            timeouts = 0
+            succeeded = True
+            latency = 100
+
+        ours.record(Fake())
+        base.record(Base())
+        return ComparisonResult("cell", ours, base)
+
+    series = tuple(
+        FigureSeries(
+            label,
+            tuple(FigurePoint(x, comparison(y)) for x, y in points),
+        )
+        for label, points in series_values.items()
+    )
+    return FigureResult("figureX", "test figure", "n", series)
+
+
+class TestRenderChart:
+    def test_contains_legend_and_axes(self):
+        result = make_result({"stable": [(100, 10.0), (200, 30.0)]})
+        chart = render_chart(result)
+        assert "o = stable" in chart
+        assert "x = n" in chart
+        assert "figureX" in chart
+
+    def test_marker_count_matches_points(self):
+        result = make_result({"stable": [(100, 10.0), (200, 30.0), (300, 20.0)]})
+        chart = render_chart(result)
+        body = chart.split("+")[0]
+        assert body.count("o") >= 2  # markers may overlap but most survive
+
+    def test_two_series_two_markers(self):
+        result = make_result(
+            {"stable": [(100, 30.0), (200, 40.0)], "churn": [(100, 10.0), (200, 15.0)]}
+        )
+        chart = render_chart(result)
+        assert "o = stable" in chart
+        assert "x = churn" in chart
+
+    def test_rejects_tiny_canvas(self):
+        result = make_result({"s": [(1, 1.0)]})
+        with pytest.raises(ConfigurationError):
+            render_chart(result, width=5, height=2)
+
+    def test_single_point_does_not_crash(self):
+        result = make_result({"s": [(1, 5.0)]})
+        assert "figureX" in render_chart(result)

@@ -1,0 +1,89 @@
+"""Tests for the analytic model: bounds are bounds, predictions track sims."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.model import (
+    core_only_upper_bound,
+    expected_uniform_hops,
+    lower_bound_cost,
+    predict_improvement,
+)
+from repro.core.chord_selection import select_chord_fast
+from repro.core.pastry_selection import select_pastry_greedy
+from repro.util.errors import ConfigurationError
+from tests.helpers import random_problem
+
+
+class TestLowerBound:
+    def test_simple_case(self):
+        # Total 10; k=1 can cover the heaviest (6); tail 4 pays >= 1 more.
+        frequencies = {1: 6.0, 2: 3.0, 3: 1.0}
+        assert lower_bound_cost(frequencies, [], k=1) == pytest.approx(10 + 4)
+
+    def test_core_covered_for_free(self):
+        frequencies = {1: 6.0, 2: 3.0}
+        assert lower_bound_cost(frequencies, [1], k=0) == pytest.approx(9 + 3)
+
+    def test_full_budget_hits_floor(self):
+        frequencies = {1: 6.0, 2: 3.0}
+        assert lower_bound_cost(frequencies, [], k=2) == pytest.approx(9.0)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ConfigurationError):
+            lower_bound_cost({}, [], k=-1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_solvers_respect_the_bound(self, seed):
+        rng = random.Random(seed)
+        problem = random_problem(rng, bits=10, peers=20, cores=2, k=rng.randint(0, 5))
+        bound = lower_bound_cost(problem.frequencies, problem.core_neighbors, problem.k)
+        upper = core_only_upper_bound(problem.frequencies, problem.space.bits)
+        for solver in (select_chord_fast, select_pastry_greedy):
+            cost = solver(problem).cost
+            assert bound - 1e-9 <= cost <= upper + 1e-9
+
+
+class TestExpectedHops:
+    def test_half_log(self):
+        assert expected_uniform_hops(1024) == pytest.approx(5.0)
+        assert expected_uniform_hops(1) == 0.0
+
+
+class TestPrediction:
+    def test_monotone_in_skew(self):
+        assert predict_improvement(1.2, 1024, 10) > predict_improvement(0.91, 1024, 10)
+
+    def test_grows_with_n_at_fixed_relative_budget(self):
+        small = predict_improvement(1.2, 128, 7)
+        large = predict_improvement(1.2, 2048, 11)
+        assert large > small
+
+    def test_random_pointers_catch_up_at_large_k(self):
+        at_logn = predict_improvement(1.2, 1024, 10)
+        at_huge = predict_improvement(1.2, 1024, 400)
+        assert at_huge < at_logn
+
+    def test_zero_budget_zero_improvement(self):
+        assert predict_improvement(1.2, 1024, 0) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            predict_improvement(1.2, 2, 1)
+        with pytest.raises(ConfigurationError):
+            predict_improvement(1.2, 1024, -1)
+
+    def test_tracks_simulation_loosely(self):
+        """The model must land in the same ballpark as the simulator
+        (within 20 percentage points for the default cell)."""
+        from repro.sim.runner import ExperimentConfig, run_stable
+
+        simulated = run_stable(
+            ExperimentConfig(overlay="chord", n=128, bits=20, queries=2000, seed=2)
+        ).improvement
+        predicted = predict_improvement(1.2, 128, 7)
+        assert abs(predicted - simulated) < 20.0

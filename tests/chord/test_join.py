@@ -1,0 +1,125 @@
+"""Tests for the protocol-faithful Chord join (lookup-driven table build)."""
+
+import pytest
+
+from repro.chord.ring import ChordRing
+from repro.util.errors import ConfigurationError, NodeAbsentError
+from repro.util.ids import IdSpace
+
+
+def fresh_id(ring, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    while True:
+        candidate = rng.randrange(ring.space.size)
+        if candidate not in ring.nodes:
+            return candidate
+
+
+class TestJoinVia:
+    def test_join_matches_stabilized_tables(self):
+        """On a stable ring, a lookup-driven join computes the same finger
+        set a global-view stabilization round would."""
+        ring = ChordRing.build(48, space=IdSpace(16), seed=1)
+        newcomer = fresh_id(ring, seed=2)
+        bootstrap = ring.alive_ids()[0]
+        node = ring.join_via(newcomer, bootstrap)
+        protocol_core = set(node.core)
+        protocol_successors = list(node.successors)
+        ring.stabilize(newcomer)
+        assert protocol_core == node.core
+        assert protocol_successors == node.successors
+
+    def test_joined_node_can_lookup_immediately(self):
+        ring = ChordRing.build(32, space=IdSpace(16), seed=3)
+        newcomer = fresh_id(ring, seed=4)
+        ring.join_via(newcomer, ring.alive_ids()[0])
+        for key in range(0, 2**16, 7919):
+            result = ring.lookup(newcomer, key, record_access=False)
+            assert result.succeeded
+
+    def test_responsibility_transfers_after_stabilization(self):
+        """Keys the newcomer now owns are misrouted by oblivious peers
+        until they stabilize — then everything is consistent again."""
+        ring = ChordRing.build(32, space=IdSpace(16), seed=5)
+        newcomer = fresh_id(ring, seed=6)
+        bootstrap = ring.alive_ids()[0]
+        ring.join_via(newcomer, bootstrap)
+        key = newcomer  # the newcomer is now this key's predecessor
+        assert ring.responsible(key) == newcomer
+        early = ring.lookup(bootstrap, key, record_access=False)
+        assert not early.succeeded  # nobody routes to the unknown newcomer yet
+        ring.stabilize_all()
+        late = ring.lookup(bootstrap, key, record_access=False)
+        assert late.succeeded
+        assert late.destination == newcomer
+
+    def test_rejoin_after_crash_via_protocol(self):
+        ring = ChordRing.build(24, space=IdSpace(16), seed=7)
+        victim = ring.alive_ids()[3]
+        bootstrap = ring.alive_ids()[0]
+        ring.crash(victim)
+        node = ring.join_via(victim, bootstrap)
+        assert node.alive
+        assert victim in ring.alive_ids()
+        assert node.successors  # rebuilt through the overlay
+
+    def test_join_existing_rejected(self):
+        ring = ChordRing.build(8, space=IdSpace(16), seed=8)
+        ids = ring.alive_ids()
+        with pytest.raises(ConfigurationError):
+            ring.join_via(ids[1], ids[0])
+
+    def test_dead_bootstrap_rejected(self):
+        ring = ChordRing.build(8, space=IdSpace(16), seed=9)
+        victim = ring.alive_ids()[0]
+        other = ring.alive_ids()[1]
+        ring.crash(victim)
+        newcomer = fresh_id(ring, seed=10)
+        with pytest.raises(NodeAbsentError):
+            ring.join_via(newcomer, victim)
+
+
+class TestRefreshVia:
+    def test_matches_global_stabilization_when_consistent(self):
+        ring = ChordRing.build(32, space=IdSpace(16), seed=11)
+        node_id = ring.alive_ids()[4]
+        ring.refresh_via(node_id)
+        protocol_core = set(ring.node(node_id).core)
+        protocol_successors = list(ring.node(node_id).successors)
+        ring.stabilize(node_id)
+        assert protocol_core == ring.node(node_id).core
+        assert protocol_successors == ring.node(node_id).successors
+
+    def test_discovers_newcomer_only_through_routing(self):
+        """A routed refresh cannot learn about a node no path leads to,
+        but does learn it once the newcomer's successor region knows it."""
+        ring = ChordRing.build(24, space=IdSpace(16), seed=12)
+        observer = ring.alive_ids()[0]
+        newcomer = next(i for i in range(2**16) if i not in ring.nodes)
+        ring.join_via(newcomer, observer)
+        # Propagate knowledge realistically: the newcomer's neighborhood
+        # stabilizes first (global view models their local discovery)...
+        ring.stabilize_all()
+        # ...then the observer's routed refresh can find the newcomer.
+        ring.refresh_via(observer)
+        lookup = ring.lookup(observer, newcomer, record_access=False)
+        assert lookup.succeeded
+        assert lookup.destination == newcomer
+
+    def test_refresh_drops_dead_auxiliaries(self):
+        ring = ChordRing.build(16, space=IdSpace(16), seed=13)
+        ids = ring.alive_ids()
+        holder, target = ids[0], ids[7]
+        ring.node(holder).set_auxiliary({target})
+        ring.crash(target)
+        ring.refresh_via(holder)
+        assert target not in ring.node(holder).auxiliary
+
+    def test_refresh_dead_node_raises(self):
+        ring = ChordRing.build(8, space=IdSpace(16), seed=14)
+        victim = ring.alive_ids()[0]
+        ring.crash(victim)
+        with pytest.raises(NodeAbsentError):
+            ring.refresh_via(victim)

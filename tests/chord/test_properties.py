@@ -1,0 +1,81 @@
+"""Property tests for Chord routing over random stable rings."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chord.ring import ChordRing
+from repro.chord.routing import RingTable
+from repro.util.ids import IdSpace
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.integers(4, 64))
+def test_stable_lookup_correct_and_bounded(seed, n):
+    """On any stabilized ring, every lookup reaches the key's predecessor
+    within log2(space) forwards and no timeouts."""
+    ring = ChordRing.build(n, space=IdSpace(14), seed=seed)
+    rng = random.Random(seed)
+    ids = ring.alive_ids()
+    for __ in range(15):
+        source = ids[rng.randrange(len(ids))]
+        key = rng.randrange(2**14)
+        result = ring.lookup(source, key, record_access=False)
+        assert result.succeeded
+        assert result.destination == ring.responsible(key)
+        assert result.timeouts == 0
+        assert result.hops <= 14
+
+    # Hops are monotone along the path: each forward strictly shrinks the
+    # clockwise distance to the key.
+    source = ids[0]
+    key = rng.randrange(2**14)
+    result = ring.lookup(source, key, record_access=False)
+    gaps = [ring.space.gap(node, key) for node in result.path]
+    assert gaps == sorted(gaps, reverse=True)
+    assert len(set(result.path)) == len(result.path)  # no revisits
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(0, 255),
+    st.lists(st.integers(0, 255), min_size=1, max_size=20, unique=True),
+    st.integers(0, 255),
+)
+def test_ring_table_next_hop_matches_naive_model(owner, entries, key):
+    """next_hop == argmax over entries in (owner, key] of the clockwise
+    offset — validated against a brute-force reference."""
+    space = IdSpace(8)
+    table = RingTable(owner, space)
+    for entry in entries:
+        table.add(entry)
+    usable = [
+        entry
+        for entry in entries
+        if entry != owner and 0 < space.gap(owner, entry) <= space.gap(owner, key)
+    ]
+    expected = max(usable, key=lambda e: space.gap(owner, e), default=None)
+    assert table.next_hop(key) == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_auxiliary_pointers_never_slow_lookups_down(seed):
+    """Installing optimal auxiliaries must not increase any node's average
+    hop count over a fixed key sample (pointers only add options)."""
+    import random as _random
+
+    from repro.chord.ring import optimal_policy
+
+    ring = ChordRing.build(32, space=IdSpace(14), seed=seed)
+    rng = _random.Random(seed)
+    ids = ring.alive_ids()
+    source = ids[0]
+    keys = [rng.randrange(2**14) for __ in range(30)]
+    before = sum(ring.lookup(source, key, record_access=False).hops for key in keys)
+    frequencies = {peer: float(rng.randint(1, 20)) for peer in ids[1:20]}
+    ring.seed_frequencies(source, frequencies)
+    ring.recompute_auxiliary(source, 4, optimal_policy, _random.Random(seed))
+    after = sum(ring.lookup(source, key, record_access=False).hops for key in keys)
+    assert after <= before

@@ -1,0 +1,167 @@
+"""Tests for the Chord auxiliary-neighbor selection algorithms."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chord_selection import select_chord, select_chord_dp, select_chord_fast
+from repro.core.cost import brute_force_optimal, chord_cost
+from repro.util.errors import ConfigurationError, InfeasibleConstraintError
+from tests.helpers import problem_from_lists, random_problem
+
+
+def assert_valid(problem, result):
+    assert result.auxiliary <= problem.candidates
+    assert len(result.auxiliary) <= problem.k
+    recomputed = chord_cost(
+        problem.space,
+        problem.source,
+        problem.frequencies,
+        problem.core_neighbors,
+        result.auxiliary,
+    )
+    assert result.cost == pytest.approx(recomputed)
+
+
+class TestHandPicked:
+    def test_far_hot_peer_gets_pointer(self):
+        # Core at gap 1; hot peer far away benefits most from a pointer.
+        problem = problem_from_lists(8, 0, {200: 50.0, 3: 1.0}, [1], k=1)
+        for solver in (select_chord_dp, select_chord_fast):
+            result = solver(problem)
+            assert result.auxiliary == {200}
+            assert_valid(problem, result)
+
+    def test_pointer_serves_following_peers(self):
+        # Peers clustered at 100..103; one pointer at 100 serves them all
+        # within bit_length(3) = 2 hops.
+        weights = {100: 5.0, 101: 5.0, 102: 5.0, 103: 5.0}
+        problem = problem_from_lists(8, 0, weights, [1], k=1)
+        result = select_chord_dp(problem)
+        assert result.auxiliary == {100}
+        assert_valid(problem, result)
+
+    def test_k_zero(self):
+        problem = problem_from_lists(8, 0, {5: 2.0}, [1], k=0)
+        result = select_chord(problem)
+        assert result.auxiliary == frozenset()
+        assert_valid(problem, result)
+
+    def test_budget_exceeds_candidates(self):
+        problem = problem_from_lists(8, 0, {5: 1.0, 9: 1.0}, [], k=7)
+        result = select_chord(problem)
+        assert result.auxiliary == {5, 9}
+        assert_valid(problem, result)
+
+    def test_empty_frequencies(self):
+        problem = problem_from_lists(8, 0, {}, [1], k=2)
+        result = select_chord(problem)
+        assert result.auxiliary == frozenset()
+        assert result.cost == 0.0
+
+    def test_wraparound_source(self):
+        problem = problem_from_lists(8, 250, {3: 10.0, 249: 1.0}, [251], k=1)
+        result = select_chord_dp(problem)
+        assert_valid(problem, result)
+        # Peer 249 has gap 255 (almost a full loop): serving it well is
+        # expensive; the hot peer at gap 9 should win the single pointer.
+        assert result.auxiliary == {3}
+
+
+class TestOptimality:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_dp_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        problem = random_problem(rng, bits=6, peers=7, cores=rng.randint(0, 2), k=rng.randint(0, 3))
+        reference = brute_force_optimal(problem, "chord")
+        result = select_chord_dp(problem)
+        assert result.cost == pytest.approx(reference.cost)
+        assert_valid(problem, result)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_fast_matches_dp(self, seed):
+        rng = random.Random(seed)
+        problem = random_problem(
+            rng, bits=10, peers=rng.randint(5, 50), cores=rng.randint(0, 5), k=rng.randint(0, 6)
+        )
+        dp = select_chord_dp(problem)
+        fast = select_chord_fast(problem)
+        assert fast.cost == pytest.approx(dp.cost)
+        assert_valid(problem, fast)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_fast_matches_dp_dense_ring(self, seed):
+        """Dense id spaces exercise gap collisions in the span oracle."""
+        rng = random.Random(seed)
+        problem = random_problem(rng, bits=7, peers=60, cores=6, k=8)
+        dp = select_chord_dp(problem)
+        fast = select_chord_fast(problem)
+        assert fast.cost == pytest.approx(dp.cost)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_cost_monotone_in_k(self, seed):
+        rng = random.Random(seed)
+        problem = random_problem(rng, bits=8, peers=20, cores=2, k=0)
+        costs = [select_chord_fast(problem.with_k(k)).cost for k in range(6)]
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestQoS:
+    def test_bound_forces_nearby_pointer(self):
+        # Peer 128 (gap 128) is cold but bounded to 3 hops:
+        # 1 + bit_length(gap from pointer) <= 3 requires a pointer within
+        # gap difference <= 3 of it.
+        problem = problem_from_lists(
+            8,
+            0,
+            {128: 0.1, 3: 100.0, 5: 90.0, 126: 1.0},
+            [1],
+            k=1,
+            bounds={128: 3},
+        )
+        result = select_chord_dp(problem)
+        assert result.auxiliary <= {126, 128}
+        assert result.auxiliary  # a pointer was forced despite hot peers at 3/5
+
+    def test_infeasible_raises(self):
+        problem = problem_from_lists(8, 0, {128: 1.0}, [1], k=0, bounds={128: 2})
+        with pytest.raises(InfeasibleConstraintError):
+            select_chord_dp(problem)
+
+    def test_matches_brute_force_with_bounds(self):
+        rng = random.Random(13)
+        for __ in range(20):
+            base = random_problem(rng, bits=6, peers=6, cores=1, k=2)
+            bounded = rng.choice(sorted(base.frequencies))
+            problem = problem_from_lists(
+                6,
+                base.source,
+                dict(base.frequencies),
+                sorted(base.core_neighbors),
+                k=2,
+                bounds={bounded: rng.randint(2, 5)},
+            )
+            try:
+                reference = brute_force_optimal(problem, "chord")
+            except InfeasibleConstraintError:
+                with pytest.raises(InfeasibleConstraintError):
+                    select_chord_dp(problem)
+                continue
+            result = select_chord_dp(problem)
+            assert result.cost == pytest.approx(reference.cost)
+
+    def test_fast_rejects_bounds(self):
+        problem = problem_from_lists(8, 0, {5: 1.0}, [], k=1, bounds={5: 3})
+        with pytest.raises(ConfigurationError):
+            select_chord_fast(problem)
+
+    def test_dispatcher_routes_bounds_to_dp(self):
+        problem = problem_from_lists(8, 0, {128: 1.0}, [], k=1, bounds={128: 2})
+        result = select_chord(problem)
+        assert result.auxiliary == {128}

@@ -1,0 +1,119 @@
+"""Unit tests for the objective-function evaluators."""
+
+import pytest
+
+from repro.core.cost import (
+    brute_force_optimal,
+    chord_cost,
+    chord_peer_distance,
+    evaluate,
+    pastry_cost,
+    pastry_peer_distance,
+)
+from repro.util.errors import ConfigurationError, InfeasibleConstraintError
+from repro.util.ids import IdSpace
+from tests.helpers import problem_from_lists
+
+
+class TestPastryDistance:
+    def test_picks_best_pointer(self):
+        space = IdSpace(4)
+        # 0b1011 vs pointers 0b1111 (lcp 1 -> 3) and 0b1000 (lcp 2 -> 2).
+        assert pastry_peer_distance(space, 0b1011, [0b1111, 0b1000]) == 2
+
+    def test_exact_match_is_zero(self):
+        space = IdSpace(4)
+        assert pastry_peer_distance(space, 7, [7, 3]) == 0
+
+    def test_no_pointers_is_worst_case(self):
+        space = IdSpace(4)
+        assert pastry_peer_distance(space, 7, []) == 4
+
+
+class TestChordDistance:
+    def test_only_preceding_pointers_serve(self):
+        space = IdSpace(4)
+        # Source 0, peer at 5. Pointer at 6 overshoots and cannot help.
+        assert chord_peer_distance(space, 0, 5, [6]) == 4
+        # Pointer at 4 serves at bit_length(1) = 1.
+        assert chord_peer_distance(space, 0, 5, [4, 6]) == 1
+
+    def test_pointer_on_peer_is_zero(self):
+        space = IdSpace(4)
+        assert chord_peer_distance(space, 0, 5, [5]) == 0
+
+    def test_wraparound(self):
+        space = IdSpace(4)
+        # Source 14, peer 2 (gap 4); pointer at 1 (gap 3) serves at distance 1.
+        assert chord_peer_distance(space, 14, 2, [1]) == 1
+
+    def test_source_itself_not_a_pointer(self):
+        space = IdSpace(4)
+        assert chord_peer_distance(space, 0, 5, [0]) == 4
+
+
+class TestCosts:
+    def test_pastry_cost_sums_weighted_distances(self):
+        space = IdSpace(4)
+        freqs = {0b1011: 2.0, 0b0001: 1.0}
+        # Core at 0b1111: distances are 3 (to 1011) and 4 (to 0001).
+        expected = 2.0 * (1 + 3) + 1.0 * (1 + 4)
+        assert pastry_cost(space, freqs, [0b1111], []) == pytest.approx(expected)
+
+    def test_pastry_cost_improves_with_auxiliary(self):
+        space = IdSpace(4)
+        freqs = {0b1011: 2.0}
+        base = pastry_cost(space, freqs, [0b0111], [])
+        better = pastry_cost(space, freqs, [0b0111], [0b1010])
+        assert better < base
+
+    def test_chord_cost_uses_closest_preceding(self):
+        space = IdSpace(4)
+        freqs = {5: 1.0, 9: 1.0}
+        # Core at 1 (gap 1). Peer 5: gap 4, served from 1 at bit_length(4)=3.
+        # Peer 9: gap 9, served from 1 at bit_length(8)=4.
+        expected = 1.0 * (1 + 3) + 1.0 * (1 + 4)
+        assert chord_cost(space, 0, freqs, [1], []) == pytest.approx(expected)
+
+    def test_chord_cost_with_no_usable_pointer(self):
+        space = IdSpace(4)
+        assert chord_cost(space, 0, {5: 1.0}, [], []) == pytest.approx(1 + 4)
+
+    def test_evaluate_dispatch(self):
+        problem = problem_from_lists(4, 0, {5: 1.0}, [1], k=1)
+        assert evaluate(problem, [], "chord") == pytest.approx(
+            chord_cost(problem.space, 0, problem.frequencies, [1], [])
+        )
+        assert evaluate(problem, [], "pastry") == pytest.approx(
+            pastry_cost(problem.space, problem.frequencies, [1], [])
+        )
+        with pytest.raises(ConfigurationError):
+            evaluate(problem, [], "kademlia")
+
+
+class TestBruteForce:
+    def test_selects_obvious_winner(self):
+        # One very hot peer far from the core neighbor.
+        problem = problem_from_lists(
+            6, 0, {0b111000: 100.0, 0b000001: 1.0}, [0b000010], k=1
+        )
+        result = brute_force_optimal(problem, "pastry")
+        assert result.auxiliary == {0b111000}
+
+    def test_never_selects_core(self):
+        problem = problem_from_lists(6, 0, {3: 5.0}, [3], k=1)
+        result = brute_force_optimal(problem, "chord")
+        assert result.auxiliary == frozenset()
+
+    def test_respects_budget(self):
+        problem = problem_from_lists(6, 0, {1: 1.0, 2: 1.0, 3: 1.0}, [], k=2)
+        result = brute_force_optimal(problem, "pastry")
+        assert len(result.auxiliary) <= 2
+
+    def test_infeasible_bounds_raise(self):
+        problem = problem_from_lists(
+            6, 0, {0b100000: 1.0, 0b010000: 1.0}, [], k=0,
+            bounds={0b100000: 1},
+        )
+        with pytest.raises(InfeasibleConstraintError):
+            brute_force_optimal(problem, "pastry")

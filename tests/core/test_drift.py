@@ -1,0 +1,98 @@
+"""Tests for drift detection and change-triggered recomputation."""
+
+import pytest
+
+from repro.core.drift import DriftDetector, RecomputationTrigger, coverage_drift, l1_drift
+from repro.util.errors import ConfigurationError
+
+
+class TestL1Drift:
+    def test_identical_is_zero(self):
+        assert l1_drift({1: 2.0, 2: 2.0}, {1: 4.0, 2: 4.0}) == pytest.approx(0.0)
+
+    def test_disjoint_is_one(self):
+        assert l1_drift({1: 1.0}, {2: 1.0}) == pytest.approx(1.0)
+
+    def test_partial_shift(self):
+        # Half the mass moved from peer 1 to peer 2.
+        assert l1_drift({1: 1.0}, {1: 0.5, 2: 0.5}) == pytest.approx(0.5)
+
+    def test_empty_cases(self):
+        assert l1_drift({}, {}) == 0.0
+        assert l1_drift({}, {1: 1.0}) == 1.0
+        assert l1_drift({1: 1.0}, {}) == 1.0
+
+    def test_scale_invariant(self):
+        a = {1: 1.0, 2: 3.0}
+        b = {1: 3.0, 2: 1.0}
+        assert l1_drift(a, b) == pytest.approx(l1_drift({k: 10 * v for k, v in a.items()}, b))
+
+
+class TestCoverageDrift:
+    def test_no_loss(self):
+        assert coverage_drift([1], {1: 5.0, 2: 0.0}, previous_coverage=1.0) == pytest.approx(0.0)
+
+    def test_full_loss(self):
+        assert coverage_drift([1], {2: 5.0}, previous_coverage=1.0) == pytest.approx(1.0)
+
+    def test_gain_clamped_to_zero(self):
+        assert coverage_drift([1], {1: 5.0}, previous_coverage=0.3) == 0.0
+
+    def test_empty_current(self):
+        assert coverage_drift([1], {}, previous_coverage=1.0) == 0.0
+
+
+class TestDriftDetector:
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ConfigurationError):
+            DriftDetector("chi-squared")
+
+    def test_l1_score_after_rebase(self):
+        detector = DriftDetector("l1")
+        detector.rebase({1: 1.0}, selected=[1])
+        assert detector.score({1: 1.0}) == pytest.approx(0.0)
+        assert detector.score({2: 1.0}) == pytest.approx(1.0)
+
+    def test_coverage_score(self):
+        detector = DriftDetector("coverage")
+        detector.rebase({1: 8.0, 2: 2.0}, selected=[1])
+        assert detector.score({1: 8.0, 2: 2.0}) == pytest.approx(0.0)
+        # Peer 1's share collapses from 80% to 20%: coverage fell by 0.6.
+        assert detector.score({1: 2.0, 2: 8.0}) == pytest.approx(0.6)
+
+
+class TestRecomputationTrigger:
+    def test_first_call_always_fires(self):
+        trigger = RecomputationTrigger(threshold=0.5)
+        assert trigger.should_recompute(0.0, {1: 1.0})
+
+    def test_no_fire_below_threshold(self):
+        trigger = RecomputationTrigger(threshold=0.5)
+        trigger.committed(0.0, {1: 1.0}, [1])
+        assert not trigger.should_recompute(1.0, {1: 1.0, 2: 0.1})
+        assert trigger.suppressed == 1
+
+    def test_fires_on_big_shift(self):
+        trigger = RecomputationTrigger(threshold=0.5)
+        trigger.committed(0.0, {1: 1.0}, [1])
+        assert trigger.should_recompute(1.0, {2: 1.0})
+
+    def test_min_interval_rate_limits(self):
+        trigger = RecomputationTrigger(threshold=0.0, min_interval=10.0)
+        trigger.committed(0.0, {1: 1.0}, [1])
+        assert not trigger.should_recompute(5.0, {2: 1.0})  # too soon
+        assert trigger.should_recompute(15.0, {2: 1.0})
+
+    def test_counters(self):
+        trigger = RecomputationTrigger(threshold=0.9, min_interval=1.0)
+        trigger.committed(0.0, {1: 1.0}, [1])
+        trigger.should_recompute(0.5, {2: 1.0})
+        trigger.should_recompute(2.0, {1: 1.0})
+        assert trigger.fired == 1
+        assert trigger.suppressed == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecomputationTrigger(threshold=1.5)
+        with pytest.raises(ConfigurationError):
+            RecomputationTrigger(min_interval=-1.0)

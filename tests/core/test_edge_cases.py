@@ -1,0 +1,98 @@
+"""Edge-case tests across the selection layer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chord_selection import select_chord, select_chord_dp, select_chord_fast
+from repro.core.pastry_selection import select_pastry, select_pastry_greedy
+from repro.core.trie import PeerTrie
+from repro.core.types import SelectionProblem
+from repro.util.ids import IdSpace
+from tests.helpers import problem_from_lists, random_problem
+
+
+class TestTinySpaces:
+    def test_one_bit_space(self):
+        space = IdSpace(1)
+        problem = SelectionProblem(
+            space=space, source=0, frequencies={1: 5.0}, core_neighbors=frozenset(), k=1
+        )
+        for solver in (select_chord, select_pastry):
+            result = solver(problem)
+            assert result.auxiliary == {1}
+
+    def test_one_bit_trie(self):
+        trie = PeerTrie(IdSpace(1))
+        trie.insert(0, 1.0)
+        trie.insert(1, 2.0)
+        assert trie.total_frequency() == pytest.approx(3.0)
+        trie.remove(0)
+        assert [leaf.peer for leaf in trie.leaves()] == [1]
+
+    def test_two_node_world(self):
+        problem = problem_from_lists(4, 0, {8: 3.0}, [], k=0)
+        assert select_chord(problem).auxiliary == frozenset()
+        assert select_pastry(problem).auxiliary == frozenset()
+
+
+class TestScaleInvariance:
+    """Section IV: "the choice of k pointers remains the same even if the
+    distances are scaled by a constant factor" — and likewise scaling all
+    frequencies must not change the chosen set (only the cost)."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from([2.0, 10.0, 0.5]))
+    def test_frequency_scaling_keeps_selection(self, seed, factor):
+        rng = random.Random(seed)
+        problem = random_problem(rng, bits=10, peers=15, cores=2, k=3)
+        scaled = SelectionProblem(
+            space=problem.space,
+            source=problem.source,
+            frequencies={p: w * factor for p, w in problem.frequencies.items()},
+            core_neighbors=problem.core_neighbors,
+            k=problem.k,
+        )
+        assert select_pastry_greedy(problem).auxiliary == select_pastry_greedy(scaled).auxiliary
+        assert select_chord_fast(problem).auxiliary == select_chord_fast(scaled).auxiliary
+
+
+class TestDegenerateBudgets:
+    def test_all_peers_are_core(self):
+        problem = problem_from_lists(8, 0, {5: 1.0, 9: 2.0}, [5, 9], k=3)
+        for solver in (select_chord, select_pastry):
+            result = solver(problem)
+            assert result.auxiliary == frozenset()
+            # Both peers served at distance 0: cost is just the +1 terms.
+            assert result.cost == pytest.approx(3.0)
+
+    def test_huge_k_on_small_instance(self):
+        problem = problem_from_lists(8, 0, {5: 1.0, 9: 2.0, 77: 3.0}, [], k=10_000)
+        for solver in (select_chord_dp, select_chord_fast, select_pastry_greedy):
+            result = solver(problem)
+            assert result.auxiliary == {5, 9, 77}
+            assert result.cost == pytest.approx(6.0)
+
+    def test_zero_weight_peers_are_pickable_but_pointless(self):
+        problem = problem_from_lists(8, 0, {5: 0.0, 9: 10.0}, [], k=1)
+        for solver in (select_chord, select_pastry):
+            result = solver(problem)
+            # The optimum must zero out the only weighted peer.
+            assert 9 in result.auxiliary
+            assert result.cost == pytest.approx(10.0)
+
+
+class TestSingleCandidateRegression:
+    """A lone candidate at the far side of the ring used to exercise the
+    D&C solver's admissibility clamp."""
+
+    def test_chord_single_far_candidate(self):
+        space_bits = 12
+        far = (1 << space_bits) - 1
+        problem = problem_from_lists(space_bits, 0, {far: 7.0}, [1], k=1)
+        dp = select_chord_dp(problem)
+        fast = select_chord_fast(problem)
+        assert dp.auxiliary == fast.auxiliary == {far}
+        assert dp.cost == pytest.approx(fast.cost) == pytest.approx(7.0)

@@ -1,0 +1,90 @@
+"""Tests for the frequency-oblivious baselines."""
+
+import random
+
+import pytest
+
+from repro.core.cost import chord_cost, pastry_cost
+from repro.core.oblivious import (
+    select_chord_oblivious,
+    select_pastry_oblivious,
+    select_uniform_random,
+)
+from tests.helpers import problem_from_lists, random_problem
+
+
+class TestChordOblivious:
+    def test_budget_spent_when_candidates_allow(self):
+        rng = random.Random(0)
+        problem = random_problem(rng, bits=10, peers=60, cores=4, k=8)
+        result = select_chord_oblivious(problem, random.Random(1))
+        assert len(result.auxiliary) == 8
+        assert result.auxiliary <= problem.candidates
+
+    def test_deterministic_given_rng(self):
+        rng = random.Random(0)
+        problem = random_problem(rng, bits=10, peers=40, cores=2, k=6)
+        a = select_chord_oblivious(problem, random.Random(9))
+        b = select_chord_oblivious(problem, random.Random(9))
+        assert a.auxiliary == b.auxiliary
+
+    def test_spreads_over_distance_ranges(self):
+        # Plant one candidate in each of several finger ranges.
+        space_bits = 10
+        weights = {2**i + 1: 1.0 for i in range(2, 9)}
+        problem = problem_from_lists(space_bits, 0, weights, [], k=len(weights))
+        result = select_chord_oblivious(problem, random.Random(3))
+        assert result.auxiliary == set(weights)
+
+    def test_cost_is_reported_correctly(self):
+        rng = random.Random(4)
+        problem = random_problem(rng, bits=8, peers=20, cores=2, k=4)
+        result = select_chord_oblivious(problem, random.Random(5))
+        expected = chord_cost(
+            problem.space,
+            problem.source,
+            problem.frequencies,
+            problem.core_neighbors,
+            result.auxiliary,
+        )
+        assert result.cost == pytest.approx(expected)
+
+    def test_small_candidate_pool(self):
+        problem = problem_from_lists(8, 0, {5: 1.0}, [], k=4)
+        result = select_chord_oblivious(problem, random.Random(0))
+        assert result.auxiliary == {5}
+
+
+class TestPastryOblivious:
+    def test_budget_spent(self):
+        rng = random.Random(1)
+        problem = random_problem(rng, bits=10, peers=60, cores=4, k=8)
+        result = select_pastry_oblivious(problem, random.Random(2))
+        assert len(result.auxiliary) == 8
+        assert result.auxiliary <= problem.candidates
+
+    def test_spreads_over_prefix_classes(self):
+        # Candidates at every shared-prefix length with source 0.
+        weights = {1 << i: 1.0 for i in range(8)}
+        problem = problem_from_lists(8, 0, weights, [], k=8)
+        result = select_pastry_oblivious(problem, random.Random(3))
+        assert result.auxiliary == set(weights)
+
+    def test_cost_is_reported_correctly(self):
+        rng = random.Random(5)
+        problem = random_problem(rng, bits=8, peers=20, cores=2, k=4)
+        result = select_pastry_oblivious(problem, random.Random(6))
+        expected = pastry_cost(
+            problem.space, problem.frequencies, problem.core_neighbors, result.auxiliary
+        )
+        assert result.cost == pytest.approx(expected)
+
+
+class TestUniformRandom:
+    def test_respects_budget_and_candidates(self):
+        rng = random.Random(2)
+        problem = random_problem(rng, bits=10, peers=30, cores=3, k=5)
+        for overlay in ("pastry", "chord"):
+            result = select_uniform_random(problem, random.Random(7), overlay)
+            assert len(result.auxiliary) == 5
+            assert result.auxiliary <= problem.candidates

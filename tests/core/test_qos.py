@@ -1,0 +1,95 @@
+"""Tests for the QoS-class layer."""
+
+import pytest
+
+from repro.core.pastry_selection import select_pastry
+from repro.core.qos import QosClass, QosPolicy
+from repro.util.errors import ConfigurationError
+from repro.util.ids import IdSpace
+
+
+def make_policy():
+    policy = QosPolicy()
+    policy.add_class(QosClass("voip", max_hops=2, description="interactive voice"))
+    policy.add_class(QosClass("iptv", max_hops=4))
+    return policy
+
+
+class TestQosClass:
+    def test_valid(self):
+        qos = QosClass("voip", 2)
+        assert qos.max_hops == 2
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5])
+    def test_rejects_bad_bounds(self, bad):
+        with pytest.raises(ConfigurationError):
+            QosClass("voip", bad)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            QosClass("", 2)
+
+
+class TestQosPolicy:
+    def test_assign_and_bounds(self):
+        policy = make_policy()
+        policy.assign(100, "voip")
+        policy.assign(200, "iptv")
+        assert policy.bounds() == {100: 2, 200: 4}
+        assert policy.bound_for(100) == 2
+        assert policy.bound_for(999) is None
+
+    def test_assign_unknown_class_rejected(self):
+        policy = make_policy()
+        with pytest.raises(ConfigurationError):
+            policy.assign(1, "best-effort")
+
+    def test_unassign(self):
+        policy = make_policy()
+        policy.assign(100, "voip")
+        policy.unassign(100)
+        assert policy.bounds() == {}
+        policy.unassign(100)  # idempotent
+
+    def test_members(self):
+        policy = make_policy()
+        policy.assign(1, "voip")
+        policy.assign(2, "voip")
+        policy.assign(3, "iptv")
+        assert policy.members("voip") == {1, 2}
+        with pytest.raises(ConfigurationError):
+            policy.members("bulk")
+
+    def test_reassignment_keeps_latest(self):
+        policy = make_policy()
+        policy.assign(1, "voip")
+        policy.assign(1, "iptv")
+        assert policy.bound_for(1) == 4
+
+    def test_apply_builds_bounded_problem(self):
+        policy = make_policy()
+        policy.assign(0b11110000, "voip")
+        problem = policy.apply(
+            IdSpace(8),
+            source=0,
+            frequencies={0b11110000: 0.5, 0b00000011: 50.0},
+            core_neighbors=frozenset(),
+            k=1,
+        )
+        assert problem.delay_bounds == {0b11110000: 2}
+        result = select_pastry(problem)
+        assert 0b11110000 in result.auxiliary  # the bound forces the pointer
+
+    def test_apply_drops_source_bound(self):
+        policy = make_policy()
+        policy.assign(0, "voip")
+        problem = policy.apply(IdSpace(8), 0, {5: 1.0}, frozenset(), k=1)
+        assert problem.delay_bounds == {}
+
+    def test_minimum_pointers_needed(self):
+        space = IdSpace(8)
+        policy = make_policy()
+        policy.assign(0b11110000, "voip")   # far from core: needs a pointer
+        policy.assign(0b00000011, "iptv")   # near core 0b00000001: satisfied
+        needed = policy.minimum_pointers_needed(space, frozenset({0b00000001}))
+        assert needed == 1

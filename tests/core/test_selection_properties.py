@@ -1,0 +1,107 @@
+"""Cross-cutting property tests on the selection layer.
+
+These encode the paper's structural claims as executable properties:
+
+* optimality dominance: optimal <= oblivious <= empty set, in eq.-1 cost;
+* the nesting property (P) of Section IV-B, observed on actual outputs;
+* marginal gains: each extra pointer helps, but by (weakly) less.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chord_selection import select_chord_fast
+from repro.core.cost import evaluate
+from repro.core.oblivious import select_chord_oblivious, select_pastry_oblivious
+from repro.core.pastry_selection import select_pastry_greedy
+from tests.helpers import random_problem
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_optimal_dominates_oblivious_and_empty(seed):
+    rng = random.Random(seed)
+    problem = random_problem(rng, bits=12, peers=30, cores=3, k=5)
+    empty_chord = evaluate(problem, [], "chord")
+    empty_pastry = evaluate(problem, [], "pastry")
+
+    chord_opt = select_chord_fast(problem)
+    chord_obl = select_chord_oblivious(problem, random.Random(seed))
+    assert chord_opt.cost <= chord_obl.cost + 1e-9
+    assert chord_obl.cost <= empty_chord + 1e-9  # extra pointers never hurt
+
+    pastry_opt = select_pastry_greedy(problem)
+    pastry_obl = select_pastry_oblivious(problem, random.Random(seed))
+    assert pastry_opt.cost <= pastry_obl.cost + 1e-9
+    assert pastry_obl.cost <= empty_pastry + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_pastry_nesting_property_on_outputs(seed):
+    """Property (P): with deterministic tie-breaking, the greedy's j-pointer
+    selection contains its (j-1)-pointer selection."""
+    rng = random.Random(seed)
+    problem = random_problem(rng, bits=10, peers=25, cores=2, k=0)
+    previous: frozenset[int] = frozenset()
+    for k in range(1, 7):
+        current = select_pastry_greedy(problem.with_k(k)).auxiliary
+        assert previous <= current
+        previous = current
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_diminishing_returns_chord(seed):
+    """Marginal gain of the j-th pointer is non-increasing (Lemma 4.1's
+    Chord analogue, implied by the DP's optimality)."""
+    rng = random.Random(seed)
+    problem = random_problem(rng, bits=12, peers=25, cores=2, k=0)
+    costs = [select_chord_fast(problem.with_k(k)).cost for k in range(6)]
+    gains = [costs[i] - costs[i + 1] for i in range(5)]
+    for earlier, later in zip(gains, gains[1:]):
+        assert later <= earlier + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_diminishing_returns_pastry(seed):
+    rng = random.Random(seed)
+    problem = random_problem(rng, bits=12, peers=25, cores=2, k=0)
+    costs = [select_pastry_greedy(problem.with_k(k)).cost for k in range(6)]
+    gains = [costs[i] - costs[i + 1] for i in range(5)]
+    for earlier, later in zip(gains, gains[1:]):
+        assert later <= earlier + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_scaling_frequencies_preserves_selection_cost_ratio(seed):
+    """Eq. 1 is linear in the frequencies: doubling every weight doubles
+    the optimal cost and permits the same optimal pointer set."""
+    rng = random.Random(seed)
+    problem = random_problem(rng, bits=10, peers=15, cores=2, k=3)
+    doubled = problem.__class__(
+        space=problem.space,
+        source=problem.source,
+        frequencies={peer: 2 * weight for peer, weight in problem.frequencies.items()},
+        core_neighbors=problem.core_neighbors,
+        k=problem.k,
+    )
+    for solver in (select_chord_fast, select_pastry_greedy):
+        base = solver(problem)
+        scaled = solver(doubled)
+        assert scaled.cost == pytest.approx(2 * base.cost)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_selection_deterministic(seed):
+    """Same problem -> identical selection (no hidden randomness)."""
+    rng = random.Random(seed)
+    problem = random_problem(rng, bits=12, peers=20, cores=2, k=4)
+    assert select_chord_fast(problem).auxiliary == select_chord_fast(problem).auxiliary
+    assert select_pastry_greedy(problem).auxiliary == select_pastry_greedy(problem).auxiliary

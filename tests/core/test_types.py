@@ -1,0 +1,80 @@
+"""Unit tests for SelectionProblem / SelectionResult validation."""
+
+import pytest
+
+from repro.core.types import SelectionProblem, SelectionResult
+from repro.util.errors import ConfigurationError
+from repro.util.ids import IdSpace
+
+
+def make(**overrides):
+    defaults = dict(
+        space=IdSpace(8),
+        source=1,
+        frequencies={2: 1.0, 3: 2.0},
+        core_neighbors=frozenset({4}),
+        k=1,
+    )
+    defaults.update(overrides)
+    return SelectionProblem(**defaults)
+
+
+class TestSelectionProblem:
+    def test_valid_construction(self):
+        problem = make()
+        assert problem.candidates == {2, 3}
+
+    def test_candidates_exclude_core(self):
+        problem = make(frequencies={2: 1.0, 4: 5.0})
+        assert problem.candidates == {2}
+
+    def test_rejects_source_in_frequencies(self):
+        with pytest.raises(ConfigurationError):
+            make(frequencies={1: 1.0})
+
+    def test_rejects_source_as_core(self):
+        with pytest.raises(ConfigurationError):
+            make(core_neighbors=frozenset({1}))
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ConfigurationError):
+            make(k=-1)
+
+    def test_rejects_out_of_space_ids(self):
+        with pytest.raises(ConfigurationError):
+            make(frequencies={999: 1.0})
+        with pytest.raises(ConfigurationError):
+            make(core_neighbors=frozenset({999}))
+        with pytest.raises(ConfigurationError):
+            make(source=999)
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ConfigurationError):
+            make(frequencies={2: -1.0})
+
+    def test_rejects_bad_delay_bound(self):
+        with pytest.raises(ConfigurationError):
+            make(delay_bounds={2: 0})
+        with pytest.raises(ConfigurationError):
+            make(delay_bounds={2: 1.5})
+
+    def test_with_k_copies(self):
+        problem = make()
+        bigger = problem.with_k(5)
+        assert bigger.k == 5
+        assert bigger.frequencies == problem.frequencies
+        assert problem.k == 1  # original untouched
+
+
+class TestSelectionResult:
+    def test_valid(self):
+        result = SelectionResult(frozenset({1, 2}), 10.0, "test")
+        assert result.auxiliary == {1, 2}
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ConfigurationError):
+            SelectionResult(frozenset(), -1.0, "test")
+
+    def test_rejects_nan_cost(self):
+        with pytest.raises(ConfigurationError):
+            SelectionResult(frozenset(), float("nan"), "test")

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_arguments(self):
+        args = build_parser().parse_args(["figure", "3", "--seed", "7", "--detail"])
+        assert args.command == "figure"
+        assert args.figure_id == "3"
+        assert args.seed == 7
+        assert args.detail
+
+    def test_figure_rejects_unknown_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+    def test_compare_arguments(self):
+        args = build_parser().parse_args(
+            ["compare", "chord", "--n", "64", "--k", "5", "--churn"]
+        )
+        assert args.overlay == "chord"
+        assert args.n == 64
+        assert args.k == 5
+        assert args.churn
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_compare_stable_runs(self, capsys):
+        code = main(
+            ["compare", "chord", "--n", "32", "--bits", "16", "--queries", "400", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out
+        assert "failure rates" in out
+
+    def test_compare_churn_runs(self, capsys):
+        code = main(
+            [
+                "compare",
+                "pastry",
+                "--n", "24",
+                "--bits", "16",
+                "--churn",
+                "--duration", "120",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        assert "reduction" in capsys.readouterr().out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Chord" in out
+        assert "Pastry" in out

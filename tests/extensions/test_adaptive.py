@@ -1,0 +1,46 @@
+"""Tests for drift-triggered vs periodic maintenance."""
+
+import pytest
+
+from repro.extensions.adaptive import compare_maintenance_strategies
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return compare_maintenance_strategies(
+        n=32,
+        bits=16,
+        duration=250.0,
+        epoch=12.5,
+        queries_per_epoch=40,
+        swap_interval=25.0,
+        swap_count=6,
+        seed=3,
+    )
+
+
+class TestCompareStrategies:
+    def test_all_strategies_reported(self, reports):
+        assert set(reports) == {"periodic", "adaptive", "static"}
+
+    def test_refreshing_beats_static(self, reports):
+        assert reports["periodic"].mean_hops <= reports["static"].mean_hops
+        assert reports["adaptive"].mean_hops <= reports["static"].mean_hops + 0.05
+
+    def test_adaptive_spends_fewer_recomputations(self, reports):
+        assert reports["adaptive"].recomputations < reports["periodic"].recomputations
+
+    def test_static_only_initial_recomputations(self, reports):
+        assert reports["static"].recomputations == 32  # one per node
+
+    def test_query_counts_identical(self, reports):
+        counts = {report.queries for report in reports.values()}
+        assert len(counts) == 1
+
+    def test_summary_text(self, reports):
+        assert "recomputations" in reports["adaptive"].summary()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            compare_maintenance_strategies(n=8, bits=12, duration=5.0, epoch=10.0)

@@ -1,0 +1,58 @@
+"""Tests for the globally-coordinated selection extension."""
+
+import pytest
+
+from repro.chord.ring import ChordRing
+from repro.extensions.global_greedy import network_cost, select_global_greedy
+from repro.util.ids import IdSpace
+
+
+@pytest.fixture()
+def ring():
+    return ChordRing.build(24, space=IdSpace(14), seed=4)
+
+
+def make_demands(ring, weight=5.0):
+    ids = ring.alive_ids()
+    demands = {}
+    for index, source in enumerate(ids):
+        destination = ids[(index + len(ids) // 2) % len(ids)]
+        demands[source] = {destination: weight}
+    return demands
+
+
+class TestGlobalGreedy:
+    def test_assignment_covers_all_sources(self, ring):
+        demands = make_demands(ring)
+        result = select_global_greedy(ring, demands, k=2)
+        assert set(result.assignment) == set(demands)
+        for pointers in result.assignment.values():
+            assert len(pointers) <= 2
+
+    def test_install_reduces_network_cost(self, ring):
+        demands = make_demands(ring)
+        before = network_cost(ring, demands)
+        result = select_global_greedy(ring, demands, k=2)
+        result.install(ring)
+        after = network_cost(ring, demands)
+        assert after < before
+
+    def test_total_matches_network_cost_after_install(self, ring):
+        demands = make_demands(ring)
+        result = select_global_greedy(ring, demands, k=2)
+        result.install(ring)
+        assert network_cost(ring, demands) == pytest.approx(result.total_cost)
+
+    def test_k_zero_changes_nothing(self, ring):
+        demands = make_demands(ring)
+        result = select_global_greedy(ring, demands, k=0)
+        assert all(not pointers for pointers in result.assignment.values())
+
+    def test_network_cost_accounts_installed_auxiliaries(self, ring):
+        demands = make_demands(ring)
+        source = next(iter(demands))
+        destination = next(iter(demands[source]))
+        before = network_cost(ring, demands)
+        ring.node(source).set_auxiliary({destination})
+        after = network_cost(ring, demands)
+        assert after <= before

@@ -1,0 +1,71 @@
+"""Tests for the item-caching comparator."""
+
+import pytest
+
+from repro.extensions.item_cache import ItemCache, simulate_item_churn
+from repro.util.errors import ConfigurationError
+
+
+class TestItemCache:
+    def test_miss_then_hit(self):
+        cache = ItemCache(capacity=2)
+        assert not cache.lookup(1, current_version=0)
+        cache.store(1, version=0)
+        assert cache.lookup(1, current_version=0)
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.stale_rate == 0.0
+
+    def test_stale_hit_detected(self):
+        cache = ItemCache(capacity=2)
+        cache.store(1, version=0)
+        assert cache.lookup(1, current_version=3)
+        assert cache.stale_hits == 1
+        assert cache.stale_rate == 1.0
+
+    def test_lru_eviction(self):
+        cache = ItemCache(capacity=2)
+        cache.store(1, 0)
+        cache.store(2, 0)
+        cache.lookup(1, 0)  # touch 1 so 2 becomes LRU
+        cache.store(3, 0)
+        assert len(cache) == 2
+        assert not cache.lookup(2, 0)
+        assert cache.lookup(1, 0)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            ItemCache(capacity=0)
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return simulate_item_churn(
+            n=32, bits=16, queries=1500, update_probability=0.2, seed=1
+        )
+
+    def test_all_strategies_reported(self, reports):
+        assert set(reports) == {"pointer", "item-cache", "none"}
+
+    def test_pointer_never_stale(self, reports):
+        assert reports["pointer"].stale_answer_rate == 0.0
+        assert reports["none"].stale_answer_rate == 0.0
+
+    def test_item_cache_goes_stale_under_updates(self, reports):
+        assert reports["item-cache"].stale_answer_rate > 0.0
+        assert reports["item-cache"].cache_hit_rate > 0.0
+
+    def test_pointer_beats_plain_chord(self, reports):
+        assert reports["pointer"].mean_hops < reports["none"].mean_hops
+
+    def test_item_cache_cuts_hops(self, reports):
+        # Hits cost zero hops, so the average must drop versus plain Chord.
+        assert reports["item-cache"].mean_hops < reports["none"].mean_hops
+
+    def test_update_probability_validated(self):
+        with pytest.raises(ConfigurationError):
+            simulate_item_churn(n=8, bits=12, queries=10, update_probability=1.5)
+
+    def test_summary_text(self, reports):
+        assert "stale answers" in reports["item-cache"].summary()

@@ -1,0 +1,86 @@
+"""Tests for the protocol-faithful Pastry join (route-to-self table build)."""
+
+import pytest
+
+from repro.pastry.network import PastryNetwork
+from repro.pastry.routing import circular_distance
+from repro.util.errors import ConfigurationError, NodeAbsentError
+from repro.util.ids import IdSpace
+
+
+def fresh_id(network, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    while True:
+        candidate = rng.randrange(network.space.size)
+        if candidate not in network.nodes:
+            return candidate
+
+
+class TestJoinVia:
+    def test_joined_node_routes_correctly(self):
+        network = PastryNetwork.build(48, space=IdSpace(16), seed=1)
+        newcomer = fresh_id(network, seed=2)
+        network.join_via(newcomer, network.alive_ids()[0])
+        for key in range(0, 2**16, 7919):
+            result = network.lookup(newcomer, key, record_access=False)
+            assert result.succeeded
+
+    def test_leaf_set_seeded_from_numerical_neighborhood(self):
+        network = PastryNetwork.build(48, space=IdSpace(16), seed=3)
+        newcomer = fresh_id(network, seed=4)
+        node = network.join_via(newcomer, network.alive_ids()[0])
+        assert node.leaves
+        # All donated leaves sit in the newcomer's numeric vicinity: within
+        # twice the span of the true nearest |leaves| nodes.
+        others = [i for i in network.alive_ids() if i != newcomer]
+        nearest = sorted(others, key=lambda c: circular_distance(network.space, newcomer, c))
+        true_span = circular_distance(network.space, newcomer, nearest[min(len(node.leaves), len(nearest)) - 1])
+        for leaf in node.leaves:
+            assert circular_distance(network.space, newcomer, leaf) <= max(2 * true_span, 4)
+
+    def test_cells_filled_from_path(self):
+        network = PastryNetwork.build(64, space=IdSpace(16), seed=5)
+        newcomer = fresh_id(network, seed=6)
+        node = network.join_via(newcomer, network.alive_ids()[0])
+        # Every harvested entry is live and sits in its correct cell.
+        for (row, digit), entries in node.cells.items():
+            for entry in entries:
+                assert node.cell_key(entry) == (row, digit)
+        # The short-prefix rows (where candidates abound) must be populated.
+        assert any(row == 0 for row, __ in node.cells)
+
+    def test_others_learn_after_stabilization(self):
+        network = PastryNetwork.build(32, space=IdSpace(16), seed=7)
+        newcomer = fresh_id(network, seed=8)
+        bootstrap = network.alive_ids()[0]
+        network.join_via(newcomer, bootstrap)
+        assert network.responsible(newcomer) == newcomer
+        network.stabilize_all()
+        late = network.lookup(bootstrap, newcomer, record_access=False)
+        assert late.succeeded
+        assert late.destination == newcomer
+
+    def test_join_existing_rejected(self):
+        network = PastryNetwork.build(8, space=IdSpace(16), seed=9)
+        ids = network.alive_ids()
+        with pytest.raises(ConfigurationError):
+            network.join_via(ids[1], ids[0])
+
+    def test_dead_bootstrap_rejected(self):
+        network = PastryNetwork.build(8, space=IdSpace(16), seed=10)
+        victim = network.alive_ids()[0]
+        network.crash(victim)
+        newcomer = fresh_id(network, seed=11)
+        with pytest.raises(NodeAbsentError):
+            network.join_via(newcomer, victim)
+
+    def test_rejoin_after_crash_via_protocol(self):
+        network = PastryNetwork.build(24, space=IdSpace(16), seed=12)
+        victim = network.alive_ids()[3]
+        bootstrap = network.alive_ids()[0]
+        network.crash(victim)
+        node = network.join_via(victim, bootstrap)
+        assert node.alive
+        assert node.leaves

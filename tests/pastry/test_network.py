@@ -1,0 +1,143 @@
+"""Unit tests for the Pastry network: membership, tables, responsibility."""
+
+import random
+
+import pytest
+
+from repro.pastry.network import PastryNetwork, oblivious_policy, optimal_policy
+from repro.pastry.routing import circular_distance
+from repro.util.errors import ConfigurationError, NodeAbsentError
+from repro.util.ids import IdSpace
+
+
+class TestBuild:
+    def test_build_places_nodes(self):
+        network = PastryNetwork.build(32, space=IdSpace(16), seed=0)
+        assert network.alive_count() == 32
+
+    def test_build_rejects_overfull_space(self):
+        with pytest.raises(ConfigurationError):
+            PastryNetwork.build(20, space=IdSpace(4))
+
+    def test_duplicate_rejected(self):
+        network = PastryNetwork(IdSpace(8))
+        network.add_node(3)
+        with pytest.raises(ConfigurationError):
+            network.add_node(3)
+
+
+class TestResponsibility:
+    def test_numerically_closest(self):
+        network = PastryNetwork(IdSpace(8))
+        for node_id in [10, 100, 200]:
+            network.add_node(node_id)
+        assert network.responsible(10) == 10
+        assert network.responsible(40) == 10
+        assert network.responsible(60) == 100
+        assert network.responsible(160) == 200
+        assert network.responsible(250) == 10  # wraps: 250->10 is distance 16
+
+    def test_tie_breaks_to_lower_id(self):
+        network = PastryNetwork(IdSpace(8))
+        network.add_node(10)
+        network.add_node(20)
+        assert network.responsible(15) == 10
+
+
+class TestTables:
+    def test_core_entries_fill_prefix_cells(self):
+        network = PastryNetwork.build(64, space=IdSpace(16), seed=1)
+        node = network.node(network.alive_ids()[0])
+        for entry in node.core:
+            row, digit = node.cell_key(entry)
+            assert entry in node.cells[(row, digit)]
+            assert network.space.digit_at(node.node_id, row, 1) != digit
+
+    def test_leaf_set_is_numerically_nearest(self):
+        network = PastryNetwork.build(64, space=IdSpace(16), seed=2)
+        ids = network.alive_ids()
+        node = network.node(ids[10])
+        others = [i for i in ids if i != node.node_id]
+        nearest = sorted(others, key=lambda c: circular_distance(network.space, node.node_id, c))
+        expected_max = max(
+            circular_distance(network.space, node.node_id, c) for c in nearest[: len(node.leaves)]
+        )
+        actual_max = max(circular_distance(network.space, node.node_id, c) for c in node.leaves)
+        assert len(node.leaves) == 2 * network.leaf_radius
+        assert actual_max <= expected_max * 2  # both sides balanced, so close
+
+    def test_leaf_set_small_network(self):
+        network = PastryNetwork(IdSpace(8), leaf_radius=8)
+        for node_id in [1, 2, 3]:
+            network.add_node(node_id)
+        network.stabilize_all()
+        assert network.node(1).leaves == {2, 3}
+
+    def test_locality_core_prefers_near_candidates(self):
+        network = PastryNetwork.build(128, space=IdSpace(16), seed=3)
+        node = network.node(network.alive_ids()[0])
+        # Each chosen core entry must be the proximally closest of *some*
+        # sample; sanity-check it is never absurdly far versus the cell's
+        # true optimum (sampling keeps it within the candidate set).
+        for entry in node.core:
+            assert network.nodes[entry].alive
+
+
+class TestChurn:
+    def test_crash_rejoin_cycle(self):
+        network = PastryNetwork.build(32, space=IdSpace(16), seed=4)
+        victim = network.alive_ids()[5]
+        network.crash(victim)
+        assert victim not in network.alive_ids()
+        with pytest.raises(NodeAbsentError):
+            network.crash(victim)
+        network.rejoin(victim)
+        assert victim in network.alive_ids()
+        with pytest.raises(NodeAbsentError):
+            network.rejoin(victim)
+
+    def test_stabilize_drops_dead_aux(self):
+        network = PastryNetwork.build(32, space=IdSpace(16), seed=5)
+        ids = network.alive_ids()
+        holder, target = ids[0], ids[9]
+        network.node(holder).set_auxiliary({target})
+        network.crash(target)
+        network.stabilize(holder)
+        assert target not in network.node(holder).auxiliary
+
+
+class TestAuxiliaryPolicies:
+    def test_optimal_policy_installs_hot_peer(self):
+        network = PastryNetwork.build(32, space=IdSpace(16), seed=6)
+        ids = network.alive_ids()
+        source = ids[0]
+        node = network.node(source)
+        hot = next(
+            peer
+            for peer in sorted(ids[1:], key=lambda i: -network.space.pastry_distance(source, i))
+            if peer not in node.core | node.leaves
+        )
+        network.seed_frequencies(source, {hot: 100.0})
+        result = network.recompute_auxiliary(source, k=1, policy=optimal_policy, rng=random.Random(0))
+        assert result.auxiliary == {hot}
+        assert node.auxiliary == {hot}
+
+    def test_oblivious_policy_spends_budget(self):
+        network = PastryNetwork.build(64, space=IdSpace(16), seed=7)
+        source = network.alive_ids()[0]
+        frequencies = {peer: 1.0 for peer in network.alive_ids()[1:40]}
+        network.seed_frequencies(source, frequencies)
+        result = network.recompute_auxiliary(
+            source, k=6, policy=oblivious_policy, rng=random.Random(0)
+        )
+        assert len(result.auxiliary) == 6
+
+    def test_optimal_beats_oblivious_cost(self):
+        network = PastryNetwork.build(64, space=IdSpace(16), seed=8)
+        source = network.alive_ids()[0]
+        rng = random.Random(1)
+        frequencies = {peer: float(rng.randint(1, 50)) for peer in network.alive_ids()[1:40]}
+        network.seed_frequencies(source, frequencies)
+        optimal = network.recompute_auxiliary(source, k=4, policy=optimal_policy, rng=random.Random(2))
+        oblivious = network.recompute_auxiliary(source, k=4, policy=oblivious_policy, rng=random.Random(2))
+        assert optimal.cost <= oblivious.cost

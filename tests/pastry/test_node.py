@@ -1,0 +1,92 @@
+"""Unit tests for PastryNode cell bookkeeping."""
+
+import pytest
+
+from repro.pastry.node import PastryNode
+from repro.util.ids import IdSpace
+
+
+def make(node_id=0b00000000, digit_bits=1):
+    return PastryNode(node_id, IdSpace(8), digit_bits=digit_bits)
+
+
+class TestCellKeys:
+    def test_cell_key_binary(self):
+        node = make(0b00000000)
+        # 0b10000000 differs at bit 0 -> row 0, digit 1.
+        assert node.cell_key(0b10000000) == (0, 1)
+        # 0b00010000 shares 3 bits -> row 3, digit 1.
+        assert node.cell_key(0b00010000) == (3, 1)
+
+    def test_cell_key_multibit_digits(self):
+        node = make(0b00000000, digit_bits=2)
+        # 0b01100000: lcp 1 bit -> row 0; digit 0 of other = 0b01.
+        assert node.cell_key(0b01100000) == (0, 0b01)
+        # 0b00110000: lcp 2 bits -> row 1; digit 1 of other = 0b11.
+        assert node.cell_key(0b00110000) == (1, 0b11)
+
+    def test_candidates_for_matches_cell(self):
+        node = make(0b00000000)
+        node.set_core({0b10000000, 0b00010000})
+        # Key 0b10101010: first mismatch at bit 0, digit 1.
+        assert node.candidates_for(0b10101010) == {0b10000000}
+        # Key equal to own id: nothing to repair.
+        assert node.candidates_for(0b00000000) == set()
+
+
+class TestMembershipOverlap:
+    def test_entry_in_two_roles_survives_single_removal(self):
+        node = make()
+        node.set_core({0b10000000})
+        node.set_leaves({0b10000000, 0b00000001})
+        # Dropping it from the core must keep it as a leaf candidate.
+        node.set_core(set())
+        assert 0b10000000 in node.candidates_for(0b10101010)
+        assert 0b10000000 in node.leaves
+
+    def test_aux_then_core_overlap(self):
+        node = make()
+        node.set_auxiliary({0b01000000})
+        node.set_core({0b01000000})
+        node.set_auxiliary(set())
+        assert 0b01000000 in node.candidates_for(0b01111111)
+
+    def test_replacing_aux_removes_old_cells(self):
+        node = make()
+        node.set_auxiliary({0b01000000})
+        node.set_auxiliary({0b00100000})
+        assert node.candidates_for(0b01111111) == set()
+        assert node.candidates_for(0b00111111) == {0b00100000}
+
+    def test_evict_clears_everywhere(self):
+        node = make()
+        node.set_core({0b10000000})
+        node.set_leaves({0b10000000})
+        node.set_auxiliary({0b10000000})
+        node.evict(0b10000000)
+        assert node.neighbor_ids() == set()
+        assert node.candidates_for(0b11111111) == set()
+
+    def test_self_never_stored(self):
+        node = make(5)
+        node.set_core({5})
+        node.set_leaves({5})
+        node.set_auxiliary({5})
+        assert node.neighbor_ids() == set()
+
+
+class TestLifecycle:
+    def test_crash_wipes_state(self):
+        node = make()
+        node.set_core({0b10000000})
+        node.record_access(7)
+        node.crash()
+        assert not node.alive
+        assert node.neighbor_ids() == set()
+        assert node.frequency_snapshot() == {}
+
+    def test_snapshot_excludes_self(self):
+        node = make(9)
+        node.tracker.observe(9)
+        node.tracker.observe(3)
+        assert node.frequency_snapshot() == {3: 1.0}

@@ -1,0 +1,81 @@
+"""Unit tests for the churn process."""
+
+import random
+
+from repro.sim.churn import ChurnProcess
+from repro.sim.events import EventScheduler
+
+
+class FakeOverlay:
+    """Minimal churn target recording the transition trace."""
+
+    def __init__(self, node_ids):
+        self.up = set(node_ids)
+        self.down = set()
+        self.trace = []
+
+    def crash(self, node_id):
+        assert node_id in self.up
+        self.up.discard(node_id)
+        self.down.add(node_id)
+        self.trace.append(("crash", node_id))
+
+    def rejoin(self, node_id):
+        assert node_id in self.down
+        self.down.discard(node_id)
+        self.up.add(node_id)
+        self.trace.append(("rejoin", node_id))
+
+    def alive_count(self):
+        return len(self.up)
+
+
+def run_churn(n=20, duration=5000.0, seed=0, **kwargs):
+    scheduler = EventScheduler()
+    overlay = FakeOverlay(range(n))
+    process = ChurnProcess(
+        scheduler, overlay, list(range(n)), random.Random(seed), **kwargs
+    )
+    process.start()
+    scheduler.run_until(duration)
+    return overlay, process
+
+
+class TestChurnProcess:
+    def test_transitions_alternate_per_node(self):
+        overlay, __ = run_churn()
+        last = {}
+        for action, node in overlay.trace:
+            assert last.get(node) != action  # crash and rejoin alternate
+            last[node] = action
+
+    def test_event_rate_matches_mean_lifetime(self):
+        """With mean 900s sessions over 20 nodes and 9000s, expect roughly
+        duration/900 transitions per node on average."""
+        overlay, process = run_churn(n=20, duration=9000.0, mean_uptime=900.0, mean_downtime=900.0)
+        per_node = len(overlay.trace) / 20
+        assert 4 <= per_node <= 16  # ~10 expected, generous bounds
+
+    def test_min_alive_floor_respected(self):
+        overlay, __ = run_churn(n=4, duration=20000.0, min_alive=3)
+        # Replay the trace: alive count must never fall below the floor.
+        alive = 4
+        for action, __node in overlay.trace:
+            alive += -1 if action == "crash" else 1
+            assert alive >= 3
+
+    def test_deterministic_given_seed(self):
+        a, __ = run_churn(seed=7)
+        b, __ = run_churn(seed=7)
+        assert a.trace == b.trace
+
+    def test_counts_match_trace(self):
+        overlay, process = run_churn(seed=3)
+        assert process.crashes == sum(1 for action, _ in overlay.trace if action == "crash")
+        assert process.rejoins == sum(1 for action, _ in overlay.trace if action == "rejoin")
+
+    def test_steady_state_alive_fraction(self):
+        """Equal up/down means -> about half the population alive at the end
+        of a long run."""
+        overlay, __ = run_churn(n=100, duration=20000.0, seed=5)
+        assert 25 <= overlay.alive_count() <= 75

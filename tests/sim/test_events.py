@@ -1,0 +1,100 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.events import EventScheduler
+from repro.util.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(3.0, lambda: fired.append("c"))
+        scheduler.schedule(1.0, lambda: fired.append("a"))
+        scheduler.schedule(2.0, lambda: fired.append("b"))
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_submission_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        for name in "abc":
+            scheduler.schedule(1.0, lambda name=name: fired.append(name))
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(2.5, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [2.5]
+        assert scheduler.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventScheduler().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.step()
+        event = scheduler.schedule_at(5.0, lambda: None)
+        assert event.time == 5.0
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(1))
+        scheduler.schedule(10.0, lambda: fired.append(10))
+        scheduler.run_until(5.0)
+        assert fired == [1]
+        assert scheduler.now == 5.0
+        assert len(scheduler) == 1  # the 10.0 event still queued
+
+    def test_self_rescheduling_event(self):
+        scheduler = EventScheduler()
+        ticks = []
+
+        def tick():
+            ticks.append(scheduler.now)
+            scheduler.schedule(1.0, tick)
+
+        scheduler.schedule(1.0, tick)
+        scheduler.run_until(5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_event_scheduled_during_run_fires_if_due(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: scheduler.schedule(0.5, lambda: fired.append("child")))
+        scheduler.run_until(2.0)
+        assert fired == ["child"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        scheduler = EventScheduler()
+        fired = []
+        event = scheduler.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        scheduler.run()
+        assert fired == []
+        assert scheduler.events_fired == 0
+
+    def test_peek_skips_cancelled(self):
+        scheduler = EventScheduler()
+        first = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        first.cancel()
+        assert scheduler.peek_time() == 2.0
+
+    def test_step_returns_false_when_drained(self):
+        scheduler = EventScheduler()
+        assert scheduler.step() is False
+        scheduler.schedule(1.0, lambda: None)
+        assert scheduler.step() is True
+        assert scheduler.step() is False

@@ -1,0 +1,58 @@
+"""Tests for maintenance-cost accounting."""
+
+import pytest
+
+from repro.chord.ring import ChordRing
+from repro.sim.maintenance import cost_benefit_curve, maintenance_rate, table_sizes
+from repro.util.errors import ConfigurationError
+from repro.util.ids import IdSpace
+
+
+class TestTableSizes:
+    def test_counts_all_neighbor_kinds(self):
+        ring = ChordRing.build(16, space=IdSpace(14), seed=1)
+        node_id = ring.alive_ids()[0]
+        before = table_sizes(ring)[node_id]
+        extra = next(i for i in ring.alive_ids() if i not in ring.node(node_id).neighbor_ids() and i != node_id)
+        ring.node(node_id).set_auxiliary({extra})
+        after = table_sizes(ring)[node_id]
+        assert after == before + 1
+
+    def test_rate_scales_with_interval(self):
+        ring = ChordRing.build(16, space=IdSpace(14), seed=2)
+        fast = maintenance_rate(ring, stabilize_interval=5.0)
+        slow = maintenance_rate(ring, stabilize_interval=50.0)
+        assert fast == pytest.approx(10 * slow)
+        with pytest.raises(ConfigurationError):
+            maintenance_rate(ring, stabilize_interval=0.0)
+
+
+class TestCostBenefitCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return cost_benefit_curve(
+            overlay="chord", n=48, bits=16, budgets=(0, 5, 15), queries=1200, seed=3
+        )
+
+    def test_budgets_in_order(self, curve):
+        assert [point.k for point in curve] == [0, 5, 15]
+
+    def test_zero_budget_means_identical_policies(self, curve):
+        assert curve[0].improvement_pct == pytest.approx(0.0)
+
+    def test_more_pointers_more_pings(self, curve):
+        pings = [point.pings_per_second for point in curve]
+        assert pings == sorted(pings)
+        assert pings[-1] > pings[0]
+
+    def test_improvement_positive_once_budget_exists(self, curve):
+        assert curve[1].improvement_pct > 0
+        assert curve[2].improvement_pct > 0
+
+    def test_table_growth_roughly_matches_budget(self, curve):
+        growth = curve[2].mean_table_size - curve[0].mean_table_size
+        assert 10 <= growth <= 15  # <= k: some selections need fewer pointers
+
+    def test_empty_budgets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cost_benefit_curve(n=16, bits=14, budgets=())

@@ -1,0 +1,36 @@
+"""Run the docstring examples across the library.
+
+Every ``Example`` block in a public docstring is executable documentation;
+this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.chord.ring
+import repro.core.drift
+import repro.core.pastry_selection
+import repro.core.qos
+import repro.pastry.network
+import repro.sim.events
+import repro.util.rng
+import repro.workload.zipf
+
+MODULES = [
+    repro.chord.ring,
+    repro.core.drift,
+    repro.core.pastry_selection,
+    repro.core.qos,
+    repro.pastry.network,
+    repro.sim.events,
+    repro.util.rng,
+    repro.workload.zipf,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_docstring_examples(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0

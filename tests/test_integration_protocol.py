@@ -1,0 +1,114 @@
+"""End-to-end protocol integration: overlays grown purely by join messages.
+
+The unit tests use global-view construction (``build``); these grow whole
+networks through :meth:`join_via` only — every table entry a node holds
+was learned through routed lookups and stabilization, never injected —
+and then run the paper's comparison on the organically-grown overlay.
+"""
+
+import random
+
+import pytest
+
+from repro.chord.ring import ChordRing, optimal_policy
+from repro.pastry.network import PastryNetwork
+from repro.util.ids import IdSpace
+
+
+def grow_chord(n, bits=16, seed=0, stabilize_every=4):
+    """A ring bootstrapped from two nodes, grown join-by-join."""
+    rng = random.Random(seed)
+    ids = rng.sample(range(2**bits), n)
+    ring = ChordRing(IdSpace(bits))
+    ring.add_node(ids[0])
+    ring.add_node(ids[1])
+    ring.stabilize_all()
+    for index, node_id in enumerate(ids[2:], start=2):
+        bootstrap = ids[rng.randrange(index)]
+        ring.join_via(node_id, bootstrap)
+        if index % stabilize_every == 0:
+            ring.stabilize_all()  # periodic maintenance, as deployed
+    ring.stabilize_all()
+    return ring
+
+
+def grow_pastry(n, bits=16, seed=0, stabilize_every=4):
+    rng = random.Random(seed)
+    ids = rng.sample(range(2**bits), n)
+    network = PastryNetwork(IdSpace(bits))
+    network.add_node(ids[0])
+    network.add_node(ids[1])
+    network.stabilize_all()
+    for index, node_id in enumerate(ids[2:], start=2):
+        bootstrap = ids[rng.randrange(index)]
+        network.join_via(node_id, bootstrap)
+        if index % stabilize_every == 0:
+            network.stabilize_all()
+    network.stabilize_all()
+    return network
+
+
+class TestOrganicChord:
+    @pytest.fixture(scope="class")
+    def ring(self):
+        return grow_chord(48, seed=3)
+
+    def test_all_lookups_correct(self, ring):
+        rng = random.Random(3)
+        ids = ring.alive_ids()
+        for __ in range(60):
+            source = ids[rng.randrange(len(ids))]
+            key = rng.randrange(2**16)
+            result = ring.lookup(source, key, record_access=False)
+            assert result.succeeded
+            assert result.destination == ring.responsible(key)
+
+    def test_selection_works_on_grown_ring(self, ring):
+        rng = random.Random(4)
+        source = ring.alive_ids()[0]
+        frequencies = {peer: float(rng.randint(1, 30)) for peer in ring.alive_ids()[1:30]}
+        ring.seed_frequencies(source, frequencies)
+        result = ring.recompute_auxiliary(source, 5, optimal_policy, random.Random(5))
+        assert len(result.auxiliary) == 5
+
+
+class TestOrganicPastry:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return grow_pastry(48, seed=6)
+
+    def test_all_lookups_correct(self, network):
+        rng = random.Random(6)
+        ids = network.alive_ids()
+        for __ in range(60):
+            source = ids[rng.randrange(len(ids))]
+            key = rng.randrange(2**16)
+            result = network.lookup(source, key, record_access=False)
+            assert result.succeeded
+            assert result.destination == network.responsible(key)
+
+
+class TestGrownUnderInterleavedChurn:
+    def test_join_crash_interleaving_stays_consistent(self):
+        """Joins, crashes and rejoins interleaved; after final maintenance
+        everything routes correctly again."""
+        ring = grow_chord(24, seed=9)
+        rng = random.Random(9)
+        ids = ring.alive_ids()
+        for step in range(12):
+            victim = ids[rng.randrange(len(ids))]
+            if ring.node(victim).alive and ring.alive_count() > 4:
+                ring.crash(victim)
+            elif not ring.node(victim).alive:
+                bootstrap = rng.choice(ring.alive_ids())
+                ring.join_via(victim, bootstrap)
+            if step % 3 == 0:
+                ring.stabilize_all()
+        ring.stabilize_all()
+        survivors = ring.alive_ids()
+        for __ in range(40):
+            source = survivors[rng.randrange(len(survivors))]
+            key = rng.randrange(2**16)
+            result = ring.lookup(source, key, record_access=False)
+            assert result.succeeded
+            assert result.destination == ring.responsible(key)

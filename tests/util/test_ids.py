@@ -1,0 +1,157 @@
+"""Unit tests for the identifier-space arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.errors import IdSpaceError
+from repro.util.ids import IdSpace
+
+
+class TestConstruction:
+    def test_default_is_32_bits(self):
+        assert IdSpace().bits == 32
+
+    def test_size_and_mask(self):
+        space = IdSpace(4)
+        assert space.size == 16
+        assert space.mask == 15
+
+    @pytest.mark.parametrize("bad", [0, -1, 257, 2.5, "8"])
+    def test_rejects_bad_bits(self, bad):
+        with pytest.raises(IdSpaceError):
+            IdSpace(bad)
+
+    def test_contains_and_validate(self):
+        space = IdSpace(4)
+        assert space.contains(0)
+        assert space.contains(15)
+        assert not space.contains(16)
+        assert not space.contains(-1)
+        assert not space.contains("3")
+        with pytest.raises(IdSpaceError):
+            space.validate(16)
+
+
+class TestRingArithmetic:
+    def test_gap_wraps(self):
+        space = IdSpace(4)
+        assert space.gap(14, 2) == 4
+        assert space.gap(2, 14) == 12
+        assert space.gap(5, 5) == 0
+
+    def test_add_wraps_and_accepts_negative(self):
+        space = IdSpace(4)
+        assert space.add(15, 1) == 0
+        assert space.add(0, -1) == 15
+
+    def test_open_interval(self):
+        space = IdSpace(4)
+        assert space.in_open_interval(3, 1, 5)
+        assert not space.in_open_interval(1, 1, 5)
+        assert not space.in_open_interval(5, 1, 5)
+        # Wrapping interval (14, 2).
+        assert space.in_open_interval(15, 14, 2)
+        assert space.in_open_interval(0, 14, 2)
+        assert not space.in_open_interval(3, 14, 2)
+
+    def test_degenerate_interval_covers_everything_but_endpoint(self):
+        space = IdSpace(4)
+        assert space.in_open_interval(3, 7, 7)
+        assert not space.in_open_interval(7, 7, 7)
+
+    def test_half_open_interval(self):
+        space = IdSpace(4)
+        assert space.in_half_open_interval(5, 1, 5)
+        assert not space.in_half_open_interval(1, 1, 5)
+        assert space.in_half_open_interval(2, 14, 2)
+
+    def test_chord_distance_is_bit_length_of_gap(self):
+        space = IdSpace(8)
+        assert space.chord_distance(0, 0) == 0
+        assert space.chord_distance(0, 1) == 1
+        assert space.chord_distance(0, 2) == 2
+        assert space.chord_distance(0, 3) == 2
+        assert space.chord_distance(0, 4) == 3
+        assert space.chord_distance(0, 255) == 8
+        # Asymmetric: wrapping the other way is the long way round.
+        assert space.chord_distance(255, 0) == 1
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_chord_distance_bounds(self, u, v):
+        space = IdSpace(8)
+        d = space.chord_distance(u, v)
+        assert 0 <= d <= 8
+        assert (d == 0) == (u == v)
+
+
+class TestPrefixArithmetic:
+    def test_common_prefix_length(self):
+        space = IdSpace(4)
+        assert space.common_prefix_length(0b1011, 0b1111) == 1
+        assert space.common_prefix_length(0b1011, 0b1011) == 4
+        assert space.common_prefix_length(0b0000, 0b1000) == 0
+
+    def test_pastry_distance_matches_paper_example(self):
+        # Section IV: ids 1011 and 1111 share one bit, distance 3.
+        space = IdSpace(4)
+        assert space.pastry_distance(0b1011, 0b1111) == 3
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_pastry_distance_is_symmetric_metricish(self, a, b):
+        space = IdSpace(8)
+        assert space.pastry_distance(a, b) == space.pastry_distance(b, a)
+        assert (space.pastry_distance(a, b) == 0) == (a == b)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_pastry_distance_ultrametric(self, a, b, c):
+        """Trie distance satisfies the strong triangle inequality."""
+        space = IdSpace(8)
+        d = space.pastry_distance
+        assert d(a, c) <= max(d(a, b), d(b, c))
+
+    def test_bit_at_counts_from_msb(self):
+        space = IdSpace(4)
+        assert [space.bit_at(0b1010, i) for i in range(4)] == [1, 0, 1, 0]
+        with pytest.raises(IdSpaceError):
+            space.bit_at(0, 4)
+
+    def test_digit_at(self):
+        space = IdSpace(8)
+        value = 0b10110100
+        assert space.digit_at(value, 0, 4) == 0b1011
+        assert space.digit_at(value, 1, 4) == 0b0100
+        assert space.num_digits(4) == 2
+
+    def test_digit_at_uneven_final_digit(self):
+        space = IdSpace(10)
+        assert space.num_digits(4) == 3
+        value = 0b1011010011
+        assert space.digit_at(value, 0, 4) == 0b1011
+        assert space.digit_at(value, 1, 4) == 0b0100
+        assert space.digit_at(value, 2, 4) == 0b11  # only two bits remain
+
+    def test_prefix(self):
+        space = IdSpace(8)
+        assert space.prefix(0b10110100, 3) == 0b101
+        assert space.prefix(0b10110100, 0) == 0
+        assert space.prefix(0b10110100, 8) == 0b10110100
+
+    def test_bits_round_trip(self):
+        space = IdSpace(6)
+        assert space.to_bits(5) == "000101"
+        assert space.from_bits("000101") == 5
+        with pytest.raises(IdSpaceError):
+            space.from_bits("0101")
+
+
+class TestHashing:
+    def test_hash_is_deterministic_and_in_range(self):
+        space = IdSpace(16)
+        first = space.hash_name("example.com")
+        assert first == space.hash_name("example.com")
+        assert 0 <= first < space.size
+
+    def test_salt_changes_mapping(self):
+        space = IdSpace(32)
+        assert space.hash_name("example.com") != space.hash_name("example.com", salt="v2")

@@ -1,0 +1,135 @@
+"""Tests for time-varying popularity."""
+
+import random
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.util.ids import IdSpace
+from repro.workload.dynamics import DynamicPopularity, FlashCrowd
+from repro.workload.items import ItemCatalog
+
+
+def make(num_items=20, seed=1, **kwargs):
+    catalog = ItemCatalog(IdSpace(16), num_items, seed=seed)
+    defaults = dict(alpha=1.2, seed=seed, swap_interval=10.0, swap_count=1)
+    defaults.update(kwargs)
+    return catalog, DynamicPopularity(catalog, **defaults)
+
+
+class TestFlashCrowd:
+    def test_activity_window(self):
+        crowd = FlashCrowd(item=5, start=10.0, duration=5.0)
+        assert not crowd.active_at(9.9)
+        assert crowd.active_at(10.0)
+        assert crowd.active_at(14.9)
+        assert not crowd.active_at(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlashCrowd(item=5, start=-1.0, duration=5.0)
+        with pytest.raises(ConfigurationError):
+            FlashCrowd(item=5, start=0.0, duration=0.0)
+
+
+class TestDrift:
+    def test_ranking_is_permutation_forever(self):
+        catalog, pop = make()
+        pop.advance(500.0)
+        assert sorted(pop.ranking()) == sorted(catalog.item_ids)
+
+    def test_no_drift_before_first_interval(self):
+        __, pop = make()
+        before = pop.ranking()
+        assert pop.advance(9.9) == 0
+        assert pop.ranking() == before
+
+    def test_drift_steps_counted(self):
+        __, pop = make(swap_interval=10.0)
+        assert pop.advance(35.0) == 3
+        assert pop.advance(35.0) == 0  # idempotent at same time
+        assert pop.advance(40.0) == 1
+
+    def test_time_cannot_rewind(self):
+        __, pop = make()
+        pop.advance(50.0)
+        with pytest.raises(ConfigurationError):
+            pop.advance(49.0)
+
+    def test_deterministic_given_seed(self):
+        __, a = make(seed=7)
+        __, b = make(seed=7)
+        a.advance(200.0)
+        b.advance(200.0)
+        assert a.ranking() == b.ranking()
+
+    def test_step_granularity_independent_of_call_pattern(self):
+        __, a = make(seed=9)
+        __, b = make(seed=9)
+        a.advance(100.0)
+        for t in range(1, 101):
+            b.advance(float(t))
+        assert a.ranking() == b.ranking()
+
+    def test_zero_swap_count_is_static(self):
+        catalog, pop = make(swap_count=0)
+        pop.advance(1000.0)
+        assert pop.ranking() == catalog.item_ids
+
+
+class TestFlashCrowdIntegration:
+    def test_crowd_takes_rank_one(self):
+        catalog, __ = make()
+        victim = catalog.item_ids[-1]
+        pop = DynamicPopularity(
+            catalog,
+            alpha=1.2,
+            seed=1,
+            swap_count=0,
+            flash_crowds=[FlashCrowd(victim, start=10.0, duration=20.0)],
+        )
+        pop.advance(15.0)
+        assert pop.ranking()[0] == victim
+        pop.advance(40.0)
+        assert pop.ranking()[0] != victim
+
+    def test_crowd_changes_sampling(self):
+        catalog, __ = make(num_items=10)
+        victim = catalog.item_ids[-1]
+        pop = DynamicPopularity(
+            catalog,
+            alpha=2.0,
+            seed=1,
+            swap_count=0,
+            flash_crowds=[FlashCrowd(victim, start=0.0, duration=100.0)],
+        )
+        pop.advance(1.0)
+        rng = random.Random(3)
+        draws = [pop.sample_item(rng) for __ in range(500)]
+        assert draws.count(victim) > 200  # rank 1 under alpha=2 dominates
+
+    def test_unknown_item_rejected(self):
+        catalog, __ = make()
+        with pytest.raises(ConfigurationError):
+            DynamicPopularity(
+                catalog, alpha=1.2, flash_crowds=[FlashCrowd(item=10**9, start=0, duration=1)]
+            )
+
+    def test_node_frequencies_follow_crowd(self):
+        catalog, __ = make(num_items=10)
+        victim = catalog.item_ids[-1]
+        pop = DynamicPopularity(
+            catalog,
+            alpha=1.5,
+            seed=1,
+            swap_count=0,
+            flash_crowds=[FlashCrowd(victim, start=0.0, duration=100.0)],
+        )
+        pop.advance(1.0)
+        owner = 42
+
+        def responsible(item):
+            return owner if item == victim else 7
+
+        frequencies = pop.node_frequencies(responsible)
+        assert frequencies[owner] == pytest.approx(pop.distribution.weight(1))
