@@ -1,10 +1,15 @@
 """Generate the EXPERIMENTS.md measurement tables.
 
 Runs every figure at "report" scale: the paper's node counts and 32-bit
-ids, with query volumes and churn durations sized for a single-core box.
+ids, with query volumes and churn durations sized for a small box.
 Writes markdown tables and the detailed series to results/report.*.
+
+Figure cells fan out over worker processes (``--jobs``, or the
+``REPRO_JOBS`` environment variable, default: all CPUs); the emitted
+series are bit-identical at any worker count.
 """
 
+import argparse
 import json
 import pathlib
 import sys
@@ -14,6 +19,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.experiments.figures import FigurePreset, run_figure
 from repro.experiments.report import render_detail, render_markdown, render_table
+from repro.util.parallel import resolve_jobs
 
 REPORT = FigurePreset(
     name="report",
@@ -29,14 +35,32 @@ REPORT = FigurePreset(
 )
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for figure cells (default: REPRO_JOBS or CPU count)",
+    )
+    parser.add_argument(
+        "--figures",
+        nargs="+",
+        default=("3", "4", "5", "6"),
+        choices=("3", "4", "5", "6"),
+        help="subset of figures to regenerate",
+    )
+    args = parser.parse_args(argv)
+    jobs = resolve_jobs(args.jobs)
+    print(f"running figures {', '.join(args.figures)} with {jobs} worker(s)", flush=True)
+
     out_dir = pathlib.Path(__file__).resolve().parent.parent / "results"
     out_dir.mkdir(exist_ok=True)
     markdown_parts = []
     raw = {}
-    for figure_id in ("3", "4", "5", "6"):
+    for figure_id in args.figures:
         started = time.time()
-        result = run_figure(figure_id, REPORT)
+        result = run_figure(figure_id, REPORT, jobs=jobs)
         elapsed = time.time() - started
         print(render_table(result))
         print(f"[{elapsed:.0f}s]\n", flush=True)
@@ -45,6 +69,7 @@ def main() -> None:
         raw[figure_id] = {
             "title": result.title,
             "elapsed_s": round(elapsed, 1),
+            "jobs": jobs,
             "series": {
                 series.label: {
                     "x": [point.x for point in series.points],

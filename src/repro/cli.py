@@ -10,8 +10,15 @@ Commands
     Run a single comparison cell with explicit parameters.
 ``sweep``
     Sweep one configuration parameter and print a table or CSV.
+``bench``
+    Run the perf-regression benchmarks and emit a BENCH_v1 document;
+    ``--check BASELINE`` fails if any microbenchmark regressed.
 ``demo``
     A 30-second end-to-end tour (used by the quickstart).
+
+``figure`` and ``sweep`` accept ``--jobs`` to fan cells over worker
+processes (default: ``REPRO_JOBS`` or the CPU count); outputs are
+bit-identical at any worker count.
 """
 
 from __future__ import annotations
@@ -43,6 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--detail", action="store_true", help="print raw hop counts too")
     figure.add_argument("--markdown", action="store_true", help="emit a markdown table")
     figure.add_argument("--chart", action="store_true", help="render an ASCII chart")
+    figure.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for figure cells (default: REPRO_JOBS or CPU count)",
+    )
 
     compare = sub.add_parser("compare", help="run a single comparison cell")
     compare.add_argument("overlay", choices=["chord", "pastry"])
@@ -64,6 +77,34 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--queries", type=int, default=3000)
     sw.add_argument("--seed", type=int, default=0)
     sw.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    sw.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweep cells (default: REPRO_JOBS or CPU count)",
+    )
+
+    bench = sub.add_parser("bench", help="run perf benchmarks, emit BENCH_v1 JSON")
+    bench.add_argument("--smoke", action="store_true", help="trimmed sizes/repeats (for CI)")
+    bench.add_argument("--output", default=None, help="write the BENCH_v1 document here")
+    bench.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare micro medians against a baseline BENCH_v1.json; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="regression threshold for --check (default 2.0x)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the parallel identity check",
+    )
 
     sub.add_parser("demo", help="30-second end-to-end tour")
     return parser
@@ -72,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_figure(args: argparse.Namespace) -> int:
     preset = FigurePreset.paper(args.seed) if args.paper else FigurePreset.quick(args.seed)
     started = time.time()
-    result = run_figure(args.figure_id, preset)
+    result = run_figure(args.figure_id, preset, jobs=args.jobs)
     print(render_table(result))
     if args.detail:
         print()
@@ -143,8 +184,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 continue
         return text
 
-    rows = sweep(base, args.parameter, [convert(value) for value in args.values])
+    rows = sweep(base, args.parameter, [convert(value) for value in args.values], jobs=args.jobs)
     print(rows_to_csv(rows) if args.csv else rows_to_table(rows))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.compare import find_regressions, load_bench
+    from repro.perf.runner import print_summary, run_bench, write_bench
+
+    # Load the baseline before the (minutes-long) bench run so a bad
+    # --check path fails immediately.
+    baseline = load_bench(args.check) if args.check else None
+    document = run_bench(smoke=args.smoke, jobs=args.jobs)
+    print_summary(document)
+    if args.output:
+        path = write_bench(document, args.output)
+        print(f"\nbench document written to {path}")
+    if not document["parallel"]["identical"]:
+        print("\nFAIL: parallel sweep output diverged from the serial run", file=sys.stderr)
+        return 1
+    if baseline is not None:
+        regressions = find_regressions(baseline, document, threshold=args.threshold)
+        if regressions:
+            print(f"\n{len(regressions)} regression(s) vs {args.check}:", file=sys.stderr)
+            for regression in regressions:
+                print(f"  {regression.describe()}", file=sys.stderr)
+            return 1
+        print(f"\nno regressions vs {args.check} (threshold {args.threshold:.1f}x)")
     return 0
 
 
@@ -167,7 +234,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"figure": _cmd_figure, "compare": _cmd_compare, "sweep": _cmd_sweep, "demo": _cmd_demo}
+    handlers = {
+        "figure": _cmd_figure,
+        "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
+        "demo": _cmd_demo,
+    }
     return handlers[args.command](args)
 
 

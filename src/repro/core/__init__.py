@@ -6,9 +6,14 @@ from repro.core.chord_selection import select_chord, select_chord_dp, select_cho
 from repro.core.cost import (
     brute_force_optimal,
     chord_cost,
+    chord_cost_scalar,
+    chord_cost_vectorized,
     chord_peer_distance,
+    chord_sorted_offsets,
     evaluate,
     pastry_cost,
+    pastry_cost_scalar,
+    pastry_cost_vectorized,
     pastry_peer_distance,
 )
 from repro.core.frequency import (
@@ -43,9 +48,14 @@ __all__ = [
     "TrieVertex",
     "brute_force_optimal",
     "chord_cost",
+    "chord_cost_scalar",
+    "chord_cost_vectorized",
     "chord_peer_distance",
+    "chord_sorted_offsets",
     "evaluate",
     "pastry_cost",
+    "pastry_cost_scalar",
+    "pastry_cost_vectorized",
     "pastry_peer_distance",
     "select_chord",
     "select_chord_dp",

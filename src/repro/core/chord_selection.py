@@ -41,8 +41,14 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
+from repro.core.cost import _MAX_VECTOR_BITS, _bit_lengths
 from repro.core.types import SelectionProblem, SelectionResult
 from repro.util.errors import ConfigurationError, InfeasibleConstraintError
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    _np = None
 
 __all__ = ["select_chord", "select_chord_dp", "select_chord_fast"]
 
@@ -110,11 +116,32 @@ def _serving_distance(inst: _ChordInstance, pointer_gap: int | None, peer_gap: i
     return (peer_gap - best).bit_length()
 
 
+def _vectorizable(inst: _ChordInstance) -> bool:
+    return _np is not None and inst.bits <= _MAX_VECTOR_BITS and inst.n > 0
+
+
 def _base_costs(inst: _ChordInstance) -> list[float]:
     """``C_0(m)``: prefix costs (and QoS feasibility) with cores only.
 
     ``base[m]`` covers peers ``0 .. m-1`` (m = paper's 1-based index).
+    Unconstrained instances use one NumPy sweep (searchsorted over the
+    core offsets + cumulative sum); QoS-bounded ones keep the scalar
+    loop, which must track per-peer infeasibility.
     """
+    if _vectorizable(inst) and not any(bound is not None for bound in inst.bounds):
+        gaps = _np.asarray(inst.gaps, dtype=_np.int64)
+        weights = _np.asarray(inst.weights, dtype=_np.float64)
+        cores = _np.asarray(inst.core_gaps, dtype=_np.int64)
+        if cores.size == 0:
+            distances = _np.full(inst.n, inst.bits, dtype=_np.int64)
+        else:
+            index = _np.searchsorted(cores, gaps, side="right")
+            preceding = cores[_np.maximum(index - 1, 0)]
+            distances = _np.where(index > 0, _bit_lengths(gaps - preceding), inst.bits)
+        base = _np.empty(inst.n + 1, dtype=_np.float64)
+        base[0] = 0.0
+        _np.cumsum(weights * distances, out=base[1:])
+        return base.tolist()
     base = [0.0]
     running = 0.0
     for i in range(inst.n):
@@ -232,20 +259,45 @@ class _SpanOracle:
         self.freq_prefix = [0.0]
         for weight in inst.weights:
             self.freq_prefix.append(self.freq_prefix[-1] + weight)
-        # Anchor tables for every peer gap and every core gap.
+        # Anchor tables for every peer gap and every core gap. The
+        # vectorized build resolves all anchors × all radii with one
+        # searchsorted and a row-wise cumulative sum (eq. 9 batched);
+        # the scalar loop below it is the reference/fallback.
         self._reach: dict[int, list[int]] = {}
         self._hops: dict[int, list[float]] = {}
-        for gap in set(inst.gaps) | set(inst.core_gaps):
-            reach = [bisect_right(self.gaps, gap)]
-            hops = [0.0]
-            for r in range(1, bits + 1):
-                limit = gap + (1 << r) - 1
-                index = bisect_right(self.gaps, limit)
-                shell = self.freq_prefix[index] - self.freq_prefix[reach[-1]]
-                hops.append(hops[-1] + r * shell)
-                reach.append(index)
-            self._reach[gap] = reach
-            self._hops[gap] = hops
+        anchors = sorted(set(inst.gaps) | set(inst.core_gaps))
+        if _vectorizable(inst) and anchors:
+            gaps_arr = _np.asarray(self.gaps, dtype=_np.int64)
+            prefix_arr = _np.asarray(self.freq_prefix, dtype=_np.float64)
+            anchor_arr = _np.asarray(anchors, dtype=_np.int64)
+            radii = _np.arange(1, bits + 1, dtype=_np.int64)
+            limits = anchor_arr[:, None] + ((_np.int64(1) << radii) - 1)[None, :]
+            outer = _np.searchsorted(gaps_arr, limits.ravel(), side="right")
+            reach = _np.concatenate(
+                [
+                    _np.searchsorted(gaps_arr, anchor_arr, side="right")[:, None],
+                    outer.reshape(len(anchors), bits),
+                ],
+                axis=1,
+            )
+            shells = prefix_arr[reach[:, 1:]] - prefix_arr[reach[:, :-1]]
+            hops = _np.zeros((len(anchors), bits + 1), dtype=_np.float64)
+            _np.cumsum(radii * shells, axis=1, out=hops[:, 1:])
+            for row, gap in enumerate(anchors):
+                self._reach[gap] = reach[row].tolist()
+                self._hops[gap] = hops[row].tolist()
+        else:
+            for gap in anchors:
+                reach = [bisect_right(self.gaps, gap)]
+                hops = [0.0]
+                for r in range(1, bits + 1):
+                    limit = gap + (1 << r) - 1
+                    index = bisect_right(self.gaps, limit)
+                    shell = self.freq_prefix[index] - self.freq_prefix[reach[-1]]
+                    hops.append(hops[-1] + r * shell)
+                    reach.append(index)
+                self._reach[gap] = reach
+                self._hops[gap] = hops
         # Cumulative costs of complete core→core segments (eq. 10).
         cores = inst.core_gaps
         self.segment_prefix = [0.0]

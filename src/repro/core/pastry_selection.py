@@ -38,6 +38,11 @@ from repro.core.types import SelectionProblem, SelectionResult
 from repro.util.errors import ConfigurationError, InfeasibleConstraintError
 from repro.util.ids import IdSpace
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    _np = None
+
 __all__ = [
     "select_pastry",
     "select_pastry_dp",
@@ -46,6 +51,10 @@ __all__ = [
 ]
 
 _INF = float("inf")
+
+#: Budget size beyond which the DP merge switches to the NumPy min-plus
+#: kernel (below it, array setup dominates the O(k^2) Python loop).
+_DP_VECTOR_MIN_BUDGET = 32
 
 
 class _CostTable:
@@ -104,6 +113,8 @@ def _merge_dp(vertex: TrieVertex, k: int) -> _CostTable:
         child_max = len(child.memo.costs) - 1  # type: ignore[union-attr]
         costs = [_child_cost(child, min(j, child_max)) for j in range(jmax + 1)]
         table = _CostTable(costs, [min(j, child_max) for j in range(jmax + 1)])
+    elif _np is not None and jmax >= _DP_VECTOR_MIN_BUDGET:
+        table = _merge_dp_vectorized(vertex, jmax)
     else:
         first, second = children
         first_max = len(first.memo.costs) - 1  # type: ignore[union-attr]
@@ -126,6 +137,33 @@ def _merge_dp(vertex: TrieVertex, k: int) -> _CostTable:
     if vertex.required and not vertex.has_core and table.costs:
         table.costs[0] = _INF
     return table
+
+
+def _merge_dp_vectorized(vertex: TrieVertex, jmax: int) -> _CostTable:
+    """NumPy form of the exact two-child merge: the ``(j, i)`` split matrix
+    ``fc[i] + sc[j-i]`` (a min-plus convolution) is built once and reduced
+    with a row-wise argmin. Matches the scalar loop's leftmost-minimum tie
+    break, so the reconstructed selections are identical."""
+    first, second = vertex.child_order()
+    fc = list(first.memo.costs)  # type: ignore[union-attr]
+    sc = list(second.memo.costs)  # type: ignore[union-attr]
+    if not first.has_core:
+        fc[0] += _edge_penalty(first)
+    if not second.has_core:
+        sc[0] += _edge_penalty(second)
+    fc_arr = _np.asarray(fc, dtype=_np.float64)
+    sc_arr = _np.asarray(sc, dtype=_np.float64)
+    i_index = _np.arange(len(fc))[None, :]
+    remainder = _np.arange(jmax + 1)[:, None] - i_index
+    valid = (remainder >= 0) & (remainder < len(sc))
+    matrix = _np.where(
+        valid,
+        fc_arr[i_index] + sc_arr[_np.clip(remainder, 0, len(sc) - 1)],
+        _INF,
+    )
+    splits = _np.argmin(matrix, axis=1)
+    costs = matrix[_np.arange(jmax + 1), splits]
+    return _CostTable(costs.tolist(), splits.tolist())
 
 
 def _merge_greedy(vertex: TrieVertex, k: int) -> _CostTable:

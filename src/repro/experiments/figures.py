@@ -19,6 +19,15 @@ Every runner accepts a :class:`FigurePreset`: ``paper()`` uses the paper's
 parameters (n up to 2048, 32-bit ids, 1800 s churn runs — minutes of wall
 time), ``quick()`` shrinks sizes for CI and benchmarking while preserving
 every qualitative trend.
+
+Execution model: each figure first *plans* its grid as a list of
+:class:`FigureCell` specs (series label, x value, stable/churn kind, one
+frozen config per cell), then executes the plan — fanning cells and seed
+replicates over worker processes when ``jobs > 1`` (see
+:mod:`repro.util.parallel`). Every cell/replicate derives all randomness
+from its own config-embedded seed via :class:`~repro.util.rng.
+SeedSequenceRegistry` substreams, so serial and parallel runs return
+bit-identical results.
 """
 
 from __future__ import annotations
@@ -26,11 +35,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
-from repro.sim.metrics import ComparisonResult
+from repro.sim.metrics import ComparisonResult, HopStatistics
 from repro.sim.runner import ChurnConfig, ExperimentConfig, run_churn, run_stable
+from repro.util.parallel import run_tasks
+from repro.util.rng import substream_seed
 
 __all__ = [
     "FigurePreset",
+    "FigureCell",
     "FigurePoint",
     "FigureSeries",
     "FigureResult",
@@ -50,7 +62,8 @@ class FigurePreset:
     ``replicas`` runs every cell that many times with derived seeds and
     merges the hop statistics — churn cells in particular are noisy at
     short durations (see EXPERIMENTS.md), and replication tightens them
-    at a linear cost in wall time.
+    at a linear cost in wall time (amortized by ``jobs`` workers, since
+    replicates fan out exactly like cells).
     """
 
     name: str
@@ -99,6 +112,16 @@ class FigurePreset:
 
 
 @dataclass(frozen=True)
+class FigureCell:
+    """One planned experiment cell: which series/x it lands on and how to run it."""
+
+    series: str
+    x: float
+    kind: str  # "stable" or "churn"
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
 class FigurePoint:
     """One x-axis point of one series."""
 
@@ -135,23 +158,66 @@ def _log2(n: int) -> int:
     return max(1, n.bit_length() - 1)
 
 
-def _run_replicated(runner, config, replicas: int) -> ComparisonResult:
-    """Run one cell ``replicas`` times with derived seeds, merging the
-    per-policy hop statistics into a single tighter comparison."""
-    first = runner(config)
-    if replicas <= 1:
-        return first
-    from repro.sim.metrics import HopStatistics
+# ----------------------------------------------------------------------
+# Plan execution (shared by every figure)
+# ----------------------------------------------------------------------
 
+
+def _replica_config(config: ExperimentConfig, replica: int) -> ExperimentConfig:
+    """Replica 0 keeps the cell's seed; later replicates get independent
+    seeds from the cell's own substream, so the replicate set is stable
+    regardless of which worker (or how many workers) runs it."""
+    if replica == 0:
+        return config
+    return replace(config, seed=substream_seed(config.seed, f"replica-{replica}"))
+
+
+def _run_cell(task: tuple[str, ExperimentConfig]) -> ComparisonResult:
+    """Execute one (kind, config) task. Module-level so it pickles."""
+    kind, config = task
+    runner = run_churn if kind == "churn" else run_stable
+    return runner(config)
+
+
+def _merge_replicas(group: list[ComparisonResult]) -> ComparisonResult:
+    """Merge one cell's replicate results into a single tighter comparison."""
+    first = group[0]
+    if len(group) == 1:
+        return first
     optimized = HopStatistics()
     baseline = HopStatistics()
-    optimized.merge(first.optimized)
-    baseline.merge(first.baseline)
-    for extra in range(1, replicas):
-        again = runner(replace(config, seed=config.seed + 1000 * extra))
-        optimized.merge(again.optimized)
-        baseline.merge(again.baseline)
-    return ComparisonResult(f"{first.label} (x{replicas} seeds)", optimized, baseline)
+    for comparison in group:
+        optimized.merge(comparison.optimized)
+        baseline.merge(comparison.baseline)
+    return ComparisonResult(f"{first.label} (x{len(group)} seeds)", optimized, baseline)
+
+
+def _execute_plan(
+    cells: list[FigureCell], replicas: int, jobs: int | None
+) -> list[ComparisonResult]:
+    """Run every cell × replicate, fanning out over processes, and return
+    one merged comparison per cell in plan order."""
+    replicas = max(1, replicas)
+    tasks = [
+        (cell.kind, _replica_config(cell.config, replica))
+        for cell in cells
+        for replica in range(replicas)
+    ]
+    results = run_tasks(_run_cell, tasks, jobs)
+    return [
+        _merge_replicas(results[index * replicas : (index + 1) * replicas])
+        for index in range(len(cells))
+    ]
+
+
+def _assemble_series(
+    cells: list[FigureCell], comparisons: list[ComparisonResult]
+) -> tuple[FigureSeries, ...]:
+    """Group per-cell results into series, preserving plan order."""
+    grouped: dict[str, list[FigurePoint]] = {}
+    for cell, comparison in zip(cells, comparisons):
+        grouped.setdefault(cell.series, []).append(FigurePoint(cell.x, comparison))
+    return tuple(FigureSeries(label, tuple(points)) for label, points in grouped.items())
 
 
 # ----------------------------------------------------------------------
@@ -159,7 +225,7 @@ def _run_replicated(runner, config, replicas: int) -> ComparisonResult:
 # ----------------------------------------------------------------------
 
 
-def figure3(preset: FigurePreset | None = None) -> FigureResult:
+def figure3(preset: FigurePreset | None = None, jobs: int | None = None) -> FigureResult:
     """Figure 3: Pastry improvement vs number of nodes.
 
     Paper observations to reproduce: strongly positive improvements for
@@ -167,11 +233,12 @@ def figure3(preset: FigurePreset | None = None) -> FigureResult:
     ~49% (alpha=1.2) and ~29% (alpha=0.91) at the largest n.
     """
     preset = preset or FigurePreset.quick()
-    series = []
-    for alpha in (1.2, 0.91):
-        points = []
-        for n in preset.pastry_sizes:
-            config = ExperimentConfig(
+    cells = [
+        FigureCell(
+            f"alpha={alpha}",
+            n,
+            "stable",
+            ExperimentConfig(
                 overlay="pastry",
                 n=n,
                 k=_log2(n),
@@ -180,18 +247,21 @@ def figure3(preset: FigurePreset | None = None) -> FigureResult:
                 queries=preset.queries,
                 num_rankings=1,
                 seed=preset.seed,
-            )
-            points.append(FigurePoint(n, _run_replicated(run_stable, config, preset.replicas)))
-        series.append(FigureSeries(f"alpha={alpha}", tuple(points)))
+            ),
+        )
+        for alpha in (1.2, 0.91)
+        for n in preset.pastry_sizes
+    ]
+    series = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
     return FigureResult(
         "figure3",
         "Pastry: % hop reduction vs n (k = log n, identical rankings)",
         "n (number of nodes)",
-        tuple(series),
+        series,
     )
 
 
-def figure4(preset: FigurePreset | None = None) -> FigureResult:
+def figure4(preset: FigurePreset | None = None, jobs: int | None = None) -> FigureResult:
     """Figure 4: Pastry improvement vs number of auxiliary neighbors.
 
     Uses the locality-aware routing mode; the paper reports improvement
@@ -201,11 +271,12 @@ def figure4(preset: FigurePreset | None = None) -> FigureResult:
     preset = preset or FigurePreset.quick()
     n = preset.pastry_k_base
     base_k = _log2(n)
-    series = []
-    for alpha in (1.2, 0.91):
-        points = []
-        for multiple in (1, 2, 3):
-            config = ExperimentConfig(
+    cells = [
+        FigureCell(
+            f"alpha={alpha}",
+            multiple * base_k,
+            "stable",
+            ExperimentConfig(
                 overlay="pastry",
                 n=n,
                 k=multiple * base_k,
@@ -215,16 +286,17 @@ def figure4(preset: FigurePreset | None = None) -> FigureResult:
                 num_rankings=1,
                 seed=preset.seed,
                 pastry_mode="proximity",
-            )
-            points.append(
-                FigurePoint(multiple * base_k, _run_replicated(run_stable, config, preset.replicas))
-            )
-        series.append(FigureSeries(f"alpha={alpha}", tuple(points)))
+            ),
+        )
+        for alpha in (1.2, 0.91)
+        for multiple in (1, 2, 3)
+    ]
+    series = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
     return FigureResult(
         "figure4",
         f"Pastry: % hop reduction vs k (n = {n}, locality-aware routing)",
         "k (auxiliary neighbors)",
-        tuple(series),
+        series,
     )
 
 
@@ -233,10 +305,10 @@ def figure4(preset: FigurePreset | None = None) -> FigureResult:
 # ----------------------------------------------------------------------
 
 
-def _chord_stable(
+def _chord_stable_config(
     preset: FigurePreset, n: int, k: int, learned: bool = False
-) -> ComparisonResult:
-    config = ExperimentConfig(
+) -> ExperimentConfig:
+    return ExperimentConfig(
         overlay="chord",
         n=n,
         k=k,
@@ -252,11 +324,10 @@ def _chord_stable(
         # mechanism behind Figure 6's decreasing trend.
         warmup_queries=20 * n if learned else None,
     )
-    return _run_replicated(run_stable, config, preset.replicas)
 
 
-def _chord_churn(preset: FigurePreset, n: int, k: int) -> ComparisonResult:
-    config = ChurnConfig(
+def _chord_churn_config(preset: FigurePreset, n: int, k: int) -> ChurnConfig:
+    return ChurnConfig(
         overlay="chord",
         n=n,
         k=k,
@@ -267,34 +338,32 @@ def _chord_churn(preset: FigurePreset, n: int, k: int) -> ComparisonResult:
         duration=preset.churn_duration,
         warmup=preset.churn_warmup,
     )
-    return _run_replicated(run_churn, config, preset.replicas)
 
 
-def figure5(preset: FigurePreset | None = None) -> FigureResult:
+def figure5(preset: FigurePreset | None = None, jobs: int | None = None) -> FigureResult:
     """Figure 5: Chord improvement vs number of nodes, stable and churn.
 
     Paper observations: up to ~57% reduction in the stable system at the
     largest n; still ~25% under the high-churn regime.
     """
     preset = preset or FigurePreset.quick()
-    stable_points = []
-    churn_points = []
-    for n in preset.chord_sizes:
-        k = _log2(n)
-        stable_points.append(FigurePoint(n, _chord_stable(preset, n, k)))
-        churn_points.append(FigurePoint(n, _chord_churn(preset, n, k)))
+    cells = [
+        FigureCell("stable", n, "stable", _chord_stable_config(preset, n, _log2(n)))
+        for n in preset.chord_sizes
+    ] + [
+        FigureCell("high churn", n, "churn", _chord_churn_config(preset, n, _log2(n)))
+        for n in preset.chord_sizes
+    ]
+    series = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
     return FigureResult(
         "figure5",
         "Chord: % hop reduction vs n (k = log n, 5 per-node rankings)",
         "n (number of nodes)",
-        (
-            FigureSeries("stable", tuple(stable_points)),
-            FigureSeries("high churn", tuple(churn_points)),
-        ),
+        series,
     )
 
 
-def figure6(preset: FigurePreset | None = None) -> FigureResult:
+def figure6(preset: FigurePreset | None = None, jobs: int | None = None) -> FigureResult:
     """Figure 6: Chord improvement vs k, stable and churn.
 
     Paper observations: improvement *decreases* as k grows (random extra
@@ -303,25 +372,34 @@ def figure6(preset: FigurePreset | None = None) -> FigureResult:
     preset = preset or FigurePreset.quick()
     n = preset.chord_k_base
     base_k = _log2(n)
-    stable_points = []
-    churn_points = []
-    for multiple in (1, 2, 3):
-        k = multiple * base_k
-        stable_points.append(FigurePoint(k, _chord_stable(preset, n, k, learned=True)))
-        churn_points.append(FigurePoint(k, _chord_churn(preset, n, k)))
+    cells = [
+        FigureCell(
+            "stable",
+            multiple * base_k,
+            "stable",
+            _chord_stable_config(preset, n, multiple * base_k, learned=True),
+        )
+        for multiple in (1, 2, 3)
+    ] + [
+        FigureCell(
+            "high churn",
+            multiple * base_k,
+            "churn",
+            _chord_churn_config(preset, n, multiple * base_k),
+        )
+        for multiple in (1, 2, 3)
+    ]
+    series = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
     return FigureResult(
         "figure6",
         f"Chord: % hop reduction vs k (n = {n})",
         "k (auxiliary neighbors)",
-        (
-            FigureSeries("stable", tuple(stable_points)),
-            FigureSeries("high churn", tuple(churn_points)),
-        ),
+        series,
     )
 
 
 #: Registry used by the CLI and the benchmark harness.
-FIGURES: dict[str, Callable[[FigurePreset | None], FigureResult]] = {
+FIGURES: dict[str, Callable[..., FigureResult]] = {
     "3": figure3,
     "4": figure4,
     "5": figure5,
@@ -329,11 +407,13 @@ FIGURES: dict[str, Callable[[FigurePreset | None], FigureResult]] = {
 }
 
 
-def run_figure(figure_id: str, preset: FigurePreset | None = None) -> FigureResult:
+def run_figure(
+    figure_id: str, preset: FigurePreset | None = None, jobs: int | None = None
+) -> FigureResult:
     """Run one figure by id ('3', '4', '5' or '6')."""
     from repro.util.errors import ConfigurationError
 
     runner = FIGURES.get(str(figure_id))
     if runner is None:
         raise ConfigurationError(f"unknown figure {figure_id!r}; expected one of {sorted(FIGURES)}")
-    return runner(preset)
+    return runner(preset, jobs)

@@ -5,6 +5,11 @@ wants arbitrary one-dimensional sweeps ("improvement vs alpha", "vs churn
 rate", "vs successor-list size", ...). :func:`sweep` runs the stable or
 churn comparison across any ``ExperimentConfig``/``ChurnConfig`` field and
 returns rows ready for a table or CSV.
+
+Sweep points are independent (each runner call builds its own overlay and
+RNG registry from the point's config), so :func:`sweep` fans them out
+over worker processes when ``jobs > 1``; results are assembled in value
+order either way, making serial and parallel sweeps bit-identical.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import Sequence
 
 from repro.sim.runner import ChurnConfig, ExperimentConfig, run_churn, run_stable
 from repro.util.errors import ConfigurationError
+from repro.util.parallel import run_tasks
 
 __all__ = ["SweepRow", "sweep", "rows_to_csv", "rows_to_table"]
 
@@ -37,11 +43,14 @@ def sweep(
     base: ExperimentConfig,
     parameter: str,
     values: Sequence[object],
+    jobs: int | None = None,
 ) -> list[SweepRow]:
     """Run the comparison once per value of ``parameter``.
 
     ``base`` decides the mode: a :class:`ChurnConfig` sweeps the churn
     simulation, a plain :class:`ExperimentConfig` the stable one.
+    ``jobs`` caps the process fan-out (default: ``REPRO_JOBS`` or the
+    CPU count); rows come back in value order at any worker count.
     """
     valid = {field.name for field in fields(base)}
     if parameter not in valid:
@@ -51,22 +60,20 @@ def sweep(
     if not values:
         raise ConfigurationError("values must not be empty")
     runner = run_churn if isinstance(base, ChurnConfig) else run_stable
-    rows = []
-    for value in values:
-        config = replace(base, **{parameter: value})
-        result = runner(config)
-        rows.append(
-            SweepRow(
-                parameter=parameter,
-                value=value,
-                improvement_pct=result.improvement,
-                optimal_mean_hops=result.optimized.mean_hops,
-                baseline_mean_hops=result.baseline.mean_hops,
-                optimal_failure_rate=result.optimized.failure_rate,
-                baseline_failure_rate=result.baseline.failure_rate,
-            )
+    configs = [replace(base, **{parameter: value}) for value in values]
+    results = run_tasks(runner, configs, jobs)
+    return [
+        SweepRow(
+            parameter=parameter,
+            value=value,
+            improvement_pct=result.improvement,
+            optimal_mean_hops=result.optimized.mean_hops,
+            baseline_mean_hops=result.baseline.mean_hops,
+            optimal_failure_rate=result.optimized.failure_rate,
+            baseline_failure_rate=result.baseline.failure_rate,
         )
-    return rows
+        for value, result in zip(values, results)
+    ]
 
 
 def rows_to_csv(rows: list[SweepRow]) -> str:

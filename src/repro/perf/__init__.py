@@ -1,0 +1,30 @@
+"""Performance-regression harness.
+
+Times the hot kernels (cost evaluation, selection solvers, routing loops)
+and whole figure cells, and emits a ``BENCH_v1.json`` document so every
+future change has a perf trajectory to compare against:
+
+* :mod:`repro.perf.harness` — warmup + repeats timing with median/p95.
+* :mod:`repro.perf.micro` — kernel and routing-loop microbenchmarks.
+* :mod:`repro.perf.macro` — per-figure-cell timings and the serial-vs-
+  parallel sweep identity check.
+* :mod:`repro.perf.compare` — regression detection between two bench
+  documents (used by CI).
+* :mod:`repro.perf.runner` — assembles the full document; backs
+  ``python -m repro bench``.
+"""
+
+from repro.perf.compare import Regression, find_regressions, load_bench
+from repro.perf.harness import BenchTiming, measure
+from repro.perf.runner import BENCH_SCHEMA, run_bench, write_bench
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchTiming",
+    "Regression",
+    "find_regressions",
+    "load_bench",
+    "measure",
+    "run_bench",
+    "write_bench",
+]

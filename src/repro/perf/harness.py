@@ -1,0 +1,108 @@
+"""Timing harness: warmup + repeats + robust summary statistics.
+
+Wall-clock timing in a shared environment is noisy; the harness therefore
+runs ``warmup`` unmeasured calls (JIT-free Python still benefits: branch
+caches, allocator pools, NumPy import side effects), then ``repeats``
+measured calls, and summarizes with order statistics — the *median* is the
+headline number (robust to one-off scheduler hiccups) and the *p95* bounds
+the tail. Comparisons between runs should use medians.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["BenchTiming", "measure", "percentile"]
+
+
+def percentile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]) of pre-sorted samples."""
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q!r}")
+    if not sorted_samples:
+        return float("nan")
+    rank = min(len(sorted_samples) - 1, max(0, math.ceil(q * len(sorted_samples)) - 1))
+    return sorted_samples[rank]
+
+
+@dataclass(frozen=True)
+class BenchTiming:
+    """Summary of one benchmark: per-call wall-clock seconds."""
+
+    name: str
+    repeats: int
+    warmup: int
+    min_s: float
+    median_s: float
+    mean_s: float
+    p95_s: float
+    max_s: float
+
+    @property
+    def ops_per_s(self) -> float:
+        """Throughput implied by the median per-call time."""
+        if self.median_s <= 0:
+            return float("inf")
+        return 1.0 / self.median_s
+
+    def to_dict(self) -> dict:
+        return {
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "min_s": self.min_s,
+            "median_s": self.median_s,
+            "mean_s": self.mean_s,
+            "p95_s": self.p95_s,
+            "max_s": self.max_s,
+            "ops_per_s": self.ops_per_s,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping) -> "BenchTiming":
+        return cls(
+            name=name,
+            repeats=int(data["repeats"]),
+            warmup=int(data.get("warmup", 0)),
+            min_s=float(data["min_s"]),
+            median_s=float(data["median_s"]),
+            mean_s=float(data["mean_s"]),
+            p95_s=float(data["p95_s"]),
+            max_s=float(data["max_s"]),
+        )
+
+
+def measure(
+    name: str,
+    fn: Callable[[], object],
+    *,
+    repeats: int = 7,
+    warmup: int = 2,
+) -> BenchTiming:
+    """Time ``fn`` with ``warmup`` discarded calls and ``repeats`` measured ones."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    samples.sort()
+    return BenchTiming(
+        name=name,
+        repeats=repeats,
+        warmup=warmup,
+        min_s=samples[0],
+        median_s=percentile(samples, 0.5),
+        mean_s=sum(samples) / len(samples),
+        p95_s=percentile(samples, 0.95),
+        max_s=samples[-1],
+    )

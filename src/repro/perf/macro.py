@@ -1,0 +1,99 @@
+"""Macro timings: whole figure cells and the parallel-sweep identity check.
+
+Macro entries time one full ``run_stable``/``run_churn`` comparison cell —
+overlay construction, frequency seeding, two auxiliary-selection passes
+over every node, and the full query stream under both policies — i.e. the
+unit of work the report generator fans out. They are timed once (cells
+take seconds, and run-to-run variance is far below the 2x regression
+threshold).
+
+The ``parallel`` section runs the same small sweep serially and with
+worker processes, records both wall times, and asserts the rows are
+**equal** — the bench document thereby carries the proof that the
+process fan-out is bit-identical to the serial path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.sweep import sweep
+from repro.perf.harness import BenchTiming, measure
+from repro.sim.runner import ChurnConfig, ExperimentConfig, run_churn, run_stable
+
+__all__ = ["macro_benchmarks", "parallel_identity_check"]
+
+
+def _figure5_stable_cell(smoke: bool) -> ExperimentConfig:
+    """The Figure 5 stable cell: paper-scale n=1024 in full mode."""
+    if smoke:
+        return ExperimentConfig(
+            overlay="chord", n=192, k=7, alpha=1.2, bits=20, queries=1500, num_rankings=5, seed=0
+        )
+    return ExperimentConfig(
+        overlay="chord", n=1024, k=10, alpha=1.2, bits=32, queries=5000, num_rankings=5, seed=0
+    )
+
+
+def _figure3_pastry_cell(smoke: bool) -> ExperimentConfig:
+    if smoke:
+        return ExperimentConfig(
+            overlay="pastry", n=128, k=7, alpha=1.2, bits=20, queries=1500, num_rankings=1, seed=0
+        )
+    return ExperimentConfig(
+        overlay="pastry", n=512, k=9, alpha=1.2, bits=32, queries=5000, num_rankings=1, seed=0
+    )
+
+
+def _figure5_churn_cell(smoke: bool) -> ChurnConfig:
+    return ChurnConfig(
+        overlay="chord",
+        n=64 if smoke else 128,
+        k=6 if smoke else 7,
+        alpha=1.2,
+        bits=20,
+        num_rankings=5,
+        seed=0,
+        duration=120.0 if smoke else 300.0,
+        warmup=30.0 if smoke else 75.0,
+    )
+
+
+def macro_benchmarks(smoke: bool = False) -> dict[str, BenchTiming]:
+    """Time one stable cell per overlay plus one churn cell."""
+    mode = "smoke" if smoke else "full"
+    cells = {
+        f"figure5_stable_cell[{mode}]": (run_stable, _figure5_stable_cell(smoke)),
+        f"figure3_pastry_cell[{mode}]": (run_stable, _figure3_pastry_cell(smoke)),
+        f"figure5_churn_cell[{mode}]": (run_churn, _figure5_churn_cell(smoke)),
+    }
+    timings: dict[str, BenchTiming] = {}
+    for name, (runner, config) in cells.items():
+        timings[name] = measure(name, lambda: runner(config), repeats=1, warmup=0)
+    return timings
+
+
+def parallel_identity_check(jobs: int, smoke: bool = False) -> dict:
+    """Run one sweep serially and with ``jobs`` workers; time both and
+    verify the outputs are identical (exact float equality, not approx)."""
+    base = ExperimentConfig(
+        overlay="chord",
+        n=48 if smoke else 96,
+        bits=16 if smoke else 20,
+        queries=400 if smoke else 1500,
+        seed=3,
+    )
+    values = [0.8, 1.0, 1.2, 1.4]
+    started = time.perf_counter()
+    serial_rows = sweep(base, "alpha", values, jobs=1)
+    serial_s = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel_rows = sweep(base, "alpha", values, jobs=jobs)
+    parallel_s = time.perf_counter() - started
+    return {
+        "jobs": jobs,
+        "sweep_cells": len(values),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "identical": serial_rows == parallel_rows,
+    }

@@ -1,0 +1,103 @@
+"""Assemble the full BENCH_v1 document; backs ``python -m repro bench``.
+
+Document layout::
+
+    {
+      "schema": "BENCH_v1",
+      "mode": "full" | "smoke",
+      "python": "3.x.y", "platform": "...", "cpu_count": N,
+      "numpy": "x.y.z" | null,
+      "micro":    {name: {repeats, warmup, min_s, median_s, ...}},
+      "macro":    {name: {...}},                # one-shot figure cells
+      "speedups": {kernel: scalar_median / vectorized_median},
+      "parallel": {jobs, sweep_cells, serial_s, parallel_s, identical}
+    }
+
+``speedups`` is derived from paired micro entries (see
+:data:`repro.perf.micro.KERNEL_PAIRS`); the vectorization acceptance bar
+is >= 5x on both cost kernels at n=1024. ``parallel.identical`` must be
+``true`` — it certifies that worker-process fan-out reproduces the serial
+sweep bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import sys
+
+from repro.perf.macro import macro_benchmarks, parallel_identity_check
+from repro.perf.micro import KERNEL_PAIRS, micro_benchmarks
+from repro.util.parallel import resolve_jobs
+
+__all__ = ["BENCH_SCHEMA", "run_bench", "write_bench"]
+
+BENCH_SCHEMA = "BENCH_v1"
+
+
+def _numpy_version() -> str | None:
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy.__version__
+
+
+def run_bench(smoke: bool = False, jobs: int | None = None) -> dict:
+    """Run the full bench matrix and return the BENCH_v1 document."""
+    resolved_jobs = resolve_jobs(jobs)
+    micro = micro_benchmarks(smoke=smoke)
+    macro = macro_benchmarks(smoke=smoke)
+    speedups = {}
+    for key, scalar_name, vector_name in KERNEL_PAIRS:
+        if scalar_name in micro and vector_name in micro:
+            speedups[key] = round(micro[scalar_name].median_s / micro[vector_name].median_s, 2)
+    return {
+        "schema": BENCH_SCHEMA,
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "numpy": _numpy_version(),
+        "micro": {name: timing.to_dict() for name, timing in micro.items()},
+        "macro": {name: timing.to_dict() for name, timing in macro.items()},
+        "speedups": speedups,
+        # At least two workers so the check exercises a real process pool
+        # even on single-CPU boxes.
+        "parallel": parallel_identity_check(max(2, resolved_jobs), smoke=smoke),
+    }
+
+
+def write_bench(document: dict, path: str | pathlib.Path) -> pathlib.Path:
+    """Write the document as stable, diff-friendly JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def print_summary(document: dict, stream=None) -> None:
+    """Human-readable one-screen summary of a bench document."""
+    if stream is None:
+        stream = sys.stdout
+    print(f"bench mode={document['mode']} python={document['python']} "
+          f"cpus={document['cpu_count']} numpy={document['numpy']}", file=stream)
+    print("\nmicro (median per call):", file=stream)
+    for name, entry in document["micro"].items():
+        print(f"  {name:<34} {entry['median_s'] * 1e3:10.3f} ms", file=stream)
+    if document["macro"]:
+        print("\nmacro (single run):", file=stream)
+        for name, entry in document["macro"].items():
+            print(f"  {name:<34} {entry['median_s']:10.2f} s", file=stream)
+    if document["speedups"]:
+        print("\nvectorized speedups (scalar / vectorized):", file=stream)
+        for name, ratio in document["speedups"].items():
+            print(f"  {name:<34} {ratio:10.1f}x", file=stream)
+    parallel = document["parallel"]
+    print(
+        f"\nparallel identity: jobs={parallel['jobs']} cells={parallel['sweep_cells']} "
+        f"serial={parallel['serial_s']:.2f}s parallel={parallel['parallel_s']:.2f}s "
+        f"identical={parallel['identical']}",
+        file=stream,
+    )

@@ -73,6 +73,12 @@ class ExperimentConfig:
             raise ConfigurationError(f"unknown overlay {self.overlay!r}; expected one of {OVERLAYS}")
         if self.n < 2:
             raise ConfigurationError("need at least 2 nodes")
+        if self.queries <= 0:
+            raise ConfigurationError(f"queries must be positive, got {self.queries}")
+        if self.alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+        if self.k is not None and self.k < 0:
+            raise ConfigurationError(f"k must be non-negative, got {self.k}")
 
     @property
     def effective_warmup_queries(self) -> int:

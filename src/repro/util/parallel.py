@@ -1,0 +1,68 @@
+"""Process-parallel task execution for experiment sweeps.
+
+Experiment cells (one figure point, one sweep value, one seed replicate)
+are embarrassingly parallel: each builds its own overlay and RNG registry
+from a config-embedded seed, so results do not depend on *where* or *in
+which order* cells run. :func:`run_tasks` exploits that with a
+``ProcessPoolExecutor`` fan-out whose output is returned in submission
+order — a parallel run is therefore bit-identical to a serial one.
+
+Worker count resolution (:func:`resolve_jobs`): an explicit ``jobs``
+argument wins, then the ``REPRO_JOBS`` environment variable, then
+``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["JOBS_ENV_VAR", "resolve_jobs", "run_tasks"]
+
+#: Environment variable consulted when no explicit worker count is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve the worker count: explicit value > ``REPRO_JOBS`` > CPU count."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR)
+        if env is not None and env.strip():
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{JOBS_ENV_VAR}={env!r} is not an integer worker count"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+        raise ConfigurationError(f"jobs must be a positive integer, got {jobs!r}")
+    return jobs
+
+
+def run_tasks(
+    fn: Callable[[_T], _R],
+    tasks: Iterable[_T],
+    jobs: int | None = None,
+) -> list[_R]:
+    """Map ``fn`` over ``tasks``, process-parallel when ``jobs > 1``.
+
+    Results come back in task order regardless of completion order, so
+    callers assemble identical outputs at any worker count. ``fn`` and
+    every task must be picklable when ``jobs > 1`` (module-level functions
+    and frozen dataclass configs are).
+    """
+    jobs = resolve_jobs(jobs)
+    task_list: Sequence[_T] = list(tasks)
+    if jobs == 1 or len(task_list) <= 1:
+        return [fn(task) for task in task_list]
+    workers = min(jobs, len(task_list))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, task_list))

@@ -1,0 +1,79 @@
+"""Worker-process fan-out must be bit-identical to the serial path."""
+
+import pytest
+
+from repro.experiments.figures import FigurePreset, run_figure
+from repro.experiments.sweep import sweep
+from repro.sim.runner import ExperimentConfig
+from repro.util.errors import ConfigurationError
+from repro.util.parallel import JOBS_ENV_VAR, resolve_jobs, run_tasks
+
+
+def _square(value):
+    return value * value
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert resolve_jobs(None) == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) >= 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(0)
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-2)
+
+    def test_rejects_bad_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(None)
+
+
+class TestRunTasks:
+    def test_serial_preserves_order(self):
+        assert run_tasks(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        assert run_tasks(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
+
+    def test_empty(self):
+        assert run_tasks(_square, [], jobs=4) == []
+
+
+class TestDeterminism:
+    """Serial and parallel runs must produce identical outputs — exact
+    equality, not approx: both paths execute the same per-cell code with
+    the same derived seeds, so every float must match bit for bit."""
+
+    def test_sweep_identical_across_job_counts(self):
+        base = ExperimentConfig(overlay="chord", n=24, bits=16, queries=300, seed=7)
+        values = [0.9, 1.2, 1.5]
+        serial = sweep(base, "alpha", values, jobs=1)
+        parallel = sweep(base, "alpha", values, jobs=4)
+        assert serial == parallel
+
+    def test_figure_identical_across_job_counts(self):
+        preset = FigurePreset(
+            name="tiny",
+            bits=16,
+            queries=200,
+            pastry_sizes=(16, 24),
+            pastry_k_base=16,
+            chord_sizes=(16, 24),
+            chord_k_base=16,
+            churn_duration=60.0,
+            churn_warmup=15.0,
+            seed=11,
+        )
+        serial = run_figure("3", preset, jobs=1)
+        parallel = run_figure("3", preset, jobs=4)
+        assert serial == parallel

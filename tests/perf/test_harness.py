@@ -1,0 +1,57 @@
+"""Unit tests for the timing harness and statistics."""
+
+import pytest
+
+from repro.perf.harness import BenchTiming, measure, percentile
+from repro.util.errors import ConfigurationError
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_median_even_is_lower_of_middle_pair(self):
+        # Nearest-rank: no interpolation.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        samples = [float(i) for i in range(1, 11)]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 10.0
+
+    def test_p95(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 0.95) == 95.0
+
+    def test_empty_is_nan(self):
+        assert percentile([], 0.5) != percentile([], 0.5)  # NaN
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 1.5)
+
+
+class TestMeasure:
+    def test_counts_calls(self):
+        calls = []
+        timing = measure("t", lambda: calls.append(1), repeats=5, warmup=2)
+        assert len(calls) == 7
+        assert timing.repeats == 5
+        assert timing.warmup == 2
+
+    def test_ordering_invariants(self):
+        timing = measure("t", lambda: sum(range(500)), repeats=9, warmup=1)
+        assert 0 <= timing.min_s <= timing.median_s <= timing.p95_s <= timing.max_s
+        assert timing.min_s <= timing.mean_s <= timing.max_s
+        assert timing.ops_per_s > 0
+
+    def test_round_trips_through_dict(self):
+        timing = measure("t", lambda: None, repeats=3, warmup=0)
+        restored = BenchTiming.from_dict("t", timing.to_dict())
+        assert restored == timing
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            measure("t", lambda: None, repeats=0)
+        with pytest.raises(ConfigurationError):
+            measure("t", lambda: None, warmup=-1)

@@ -35,6 +35,25 @@ class TestConfig:
         with pytest.raises(ConfigurationError):
             ExperimentConfig(overlay="kademlia")
 
+    def test_rejects_non_positive_queries(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlay="chord", queries=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlay="chord", queries=-5)
+
+    def test_rejects_non_positive_alpha(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlay="chord", alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlay="pastry", alpha=-1.2)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlay="chord", k=-1)
+        # k = 0 (no auxiliary pointers) and k = None (log2 n) stay legal.
+        ExperimentConfig(overlay="chord", k=0)
+        ExperimentConfig(overlay="chord", k=None)
+
     def test_churn_rejects_long_warmup(self):
         with pytest.raises(ConfigurationError):
             ChurnConfig(overlay="chord", duration=100.0, warmup=200.0)
