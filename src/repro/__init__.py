@@ -25,6 +25,7 @@ from repro.core import (
 )
 from repro.core.drift import DriftDetector, RecomputationTrigger
 from repro.core.qos import QosClass, QosPolicy
+from repro.faults import FaultPlane, FaultSchedule, RetryPolicy
 from repro.util import IdSpace, SeedSequenceRegistry
 
 __version__ = "1.0.0"
@@ -32,12 +33,15 @@ __version__ = "1.0.0"
 __all__ = [
     "DriftDetector",
     "ExactFrequencyTable",
+    "FaultPlane",
+    "FaultSchedule",
     "IdSpace",
     "IncrementalPastrySelector",
     "LossyCountingSketch",
     "QosClass",
     "QosPolicy",
     "RecomputationTrigger",
+    "RetryPolicy",
     "SeedSequenceRegistry",
     "SelectionProblem",
     "SelectionResult",

@@ -336,9 +336,22 @@ class ChordRing:
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
-    def lookup(self, source: int, key: int, record_access: bool = True) -> LookupResult:
-        """Route a query for ``key`` from ``source``; see :func:`route`."""
-        return route(self, source, key, record_access=record_access)
+    def lookup(
+        self,
+        source: int,
+        key: int,
+        record_access: bool = True,
+        retry=None,
+        faults=None,
+    ) -> LookupResult:
+        """Route a query for ``key`` from ``source``; see :func:`route`.
+
+        ``retry``/``faults`` forward to the router's fault-aware knobs
+        (:class:`~repro.faults.retry.RetryPolicy`,
+        :class:`~repro.faults.plane.FaultPlane`)."""
+        return route(
+            self, source, key, record_access=record_access, retry=retry, faults=faults
+        )
 
     def seed_frequencies(self, node_id: int, frequencies: dict[int, float]) -> None:
         """Pre-load a node's tracker (used by stable-mode experiments that

@@ -10,6 +10,15 @@ is the table's ring-predecessor of ``v`` — found by a single ``bisect``.
 forward to a dead neighbor costs a timeout, evicts the stale entry from the
 forwarding node's table (the node learned the neighbor is gone) and retries
 with the next-best entry, exactly like a lookup timeout in a deployed DHT.
+
+Fault-aware routing: an optional :class:`~repro.faults.retry.RetryPolicy`
+re-attempts a timed-out forward with exponential backoff (accumulated as a
+hop penalty) before evicting, and an optional :class:`~repro.faults.plane.
+FaultPlane` can drop or block individual messages (loss, partitions). The
+defaults — single attempt, no fault plane — reproduce the pre-fault
+behaviour bit for bit. Failover after eviction is implicit in the merged
+table: the next ``next_hop`` query returns the next-best entry, which
+includes the successor list.
 """
 
 from __future__ import annotations
@@ -18,13 +27,18 @@ from bisect import bisect_right, insort
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.faults.retry import RetryPolicy
 from repro.util.errors import NodeAbsentError
 from repro.util.ids import IdSpace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.chord.ring import ChordRing
+    from repro.faults.plane import FaultPlane
 
 __all__ = ["RingTable", "LookupResult", "route"]
+
+#: Default policy: one attempt, unit timeout penalty (legacy behaviour).
+_SINGLE_ATTEMPT = RetryPolicy.single()
 
 
 class RingTable:
@@ -87,9 +101,10 @@ class LookupResult:
     """Outcome of one Chord lookup.
 
     ``hops`` counts successful forwards; ``timeouts`` counts attempts that
-    hit a dead neighbor (each also triggered an eviction at the forwarding
-    node). ``latency`` — the metric the paper plots — treats a timeout like
-    a wasted hop.
+    failed (dead neighbor, dropped or partition-blocked message).
+    ``latency`` — the metric the paper plots — treats a timeout like a
+    wasted hop; ``penalty`` holds any *extra* backoff latency beyond the
+    one-hop-per-timeout baseline (0 under the single-attempt policy).
     """
 
     key: int
@@ -99,11 +114,13 @@ class LookupResult:
     timeouts: int = 0
     succeeded: bool = True
     path: list[int] = field(default_factory=list)
+    penalty: float = 0.0
 
     @property
-    def latency(self) -> int:
+    def latency(self) -> int | float:
         """Hop-count latency proxy: forwards plus timeout penalties."""
-        return self.hops + self.timeouts
+        base = self.hops + self.timeouts
+        return base + self.penalty if self.penalty else base
 
 
 def route(
@@ -112,6 +129,8 @@ def route(
     key: int,
     max_hops: int | None = None,
     record_access: bool = True,
+    retry: RetryPolicy | None = None,
+    faults: "FaultPlane | None" = None,
 ) -> LookupResult:
     """Route a query for ``key`` from node ``source`` across ``ring``.
 
@@ -121,6 +140,12 @@ def route(
     the ring's ground truth; under churn, stale tables can strand a query
     early, which is reported as a failure.
 
+    ``retry`` bounds delivery attempts per neighbor (default: one attempt,
+    evict on first timeout); ``faults`` lets a fault plane drop or block
+    individual forwards. A neighbor that exhausts its attempts is evicted
+    and the next-best table entry (successor-list failover included) is
+    tried on the next iteration.
+
     When ``record_access`` is set, the source node's frequency tracker is
     fed the true destination (the paper's "note the node containing the
     queried item for every query", Section III).
@@ -128,6 +153,7 @@ def route(
     node = ring.node(source)
     if not node.alive:
         raise NodeAbsentError(f"source node {source} is not alive")
+    policy = retry if retry is not None else _SINGLE_ATTEMPT
     space = ring.space
     limit = max_hops if max_hops is not None else 4 * space.bits
     true_destination = ring.responsible(key)
@@ -137,6 +163,7 @@ def route(
     current = node
     hops = 0
     timeouts = 0
+    penalty = 0.0
     path = [source]
     while hops + timeouts <= limit:
         next_id = current.table.next_hop(key)
@@ -150,10 +177,19 @@ def route(
                 timeouts=timeouts,
                 succeeded=succeeded,
                 path=path,
+                penalty=penalty,
             )
         next_node = ring.node(next_id)
-        if not next_node.alive:
+        delivered = False
+        for attempt in range(policy.max_attempts):
+            if hops + timeouts > limit:
+                break
+            if next_node.alive and (faults is None or faults.deliver(current.node_id, next_id)):
+                delivered = True
+                break
             timeouts += 1
+            penalty += policy.attempt_penalty(attempt) - 1.0
+        if not delivered:
             current.evict(next_id)
             continue
         hops += 1
@@ -167,4 +203,5 @@ def route(
         timeouts=timeouts,
         succeeded=False,
         path=path,
+        penalty=penalty,
     )

@@ -13,11 +13,15 @@ Commands
 ``bench``
     Run the perf-regression benchmarks and emit a BENCH_v1 document;
     ``--check BASELINE`` fails if any microbenchmark regressed.
+``faults``
+    Run the fault-injection robustness grid (%-reduction vs message-loss
+    rate and vs crash-burst size) and fail if the frequency-aware policy
+    stops winning under >= 5% message loss.
 ``demo``
     A 30-second end-to-end tour (used by the quickstart).
 
-``figure`` and ``sweep`` accept ``--jobs`` to fan cells over worker
-processes (default: ``REPRO_JOBS`` or the CPU count); outputs are
+``figure``, ``sweep`` and ``faults`` accept ``--jobs`` to fan cells over
+worker processes (default: ``REPRO_JOBS`` or the CPU count); outputs are
 bit-identical at any worker count.
 """
 
@@ -104,6 +108,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes for the parallel identity check",
+    )
+
+    faults = sub.add_parser("faults", help="fault-injection robustness grid")
+    faults.add_argument("--smoke", action="store_true", help="CI-scale grid (seconds)")
+    faults.add_argument("--seed", type=int, default=0, help="master random seed")
+    faults.add_argument("--json", default=None, metavar="PATH", help="write the grid as canonical JSON")
+    faults.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for grid cells (default: REPRO_JOBS or CPU count)",
     )
 
     sub.add_parser("demo", help="30-second end-to-end tour")
@@ -215,6 +230,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments.robustness import (
+        RobustnessPreset,
+        robustness,
+        rows_to_json,
+        rows_to_table,
+    )
+
+    preset = (
+        RobustnessPreset.smoke(args.seed) if args.smoke else RobustnessPreset.quick(args.seed)
+    )
+    started = time.time()
+    rows = robustness(preset, jobs=args.jobs)
+    print(rows_to_table(rows))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(rows_to_json(rows, preset))
+        print(f"\ngrid written to {args.json}")
+    print(f"\n[{preset.name} preset, {time.time() - started:.1f}s]")
+    # The robustness claim this command guards: frequency-aware selection
+    # must keep a positive hop reduction under >= 5% message loss.
+    losers = [
+        row
+        for row in rows
+        if row.axis == "loss" and row.value >= 0.05 and row.improvement_pct <= 0.0
+    ]
+    if losers:
+        for row in losers:
+            print(
+                f"FAIL: {row.overlay} loses at loss={row.value:g} "
+                f"({row.improvement_pct:.1f}% reduction)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.sim.runner import ExperimentConfig, run_stable
 
@@ -239,6 +291,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
+        "faults": _cmd_faults,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

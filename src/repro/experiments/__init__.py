@@ -33,3 +33,7 @@ __all__ = [
 from repro.experiments.sweep import SweepRow, rows_to_csv, rows_to_table, sweep
 
 __all__ += ["SweepRow", "rows_to_csv", "rows_to_table", "sweep"]
+
+from repro.experiments.robustness import RobustnessPreset, RobustnessRow, robustness
+
+__all__ += ["RobustnessPreset", "RobustnessRow", "robustness"]

@@ -1,0 +1,32 @@
+"""Deterministic fault injection for the overlay simulations.
+
+The package splits fault handling into four small pieces:
+
+* :mod:`repro.faults.schedule` — :class:`FaultSchedule`, the frozen
+  description of what to inject (loss rate, crash bursts, partitions,
+  stale-pointer corruption);
+* :mod:`repro.faults.plane` — :class:`FaultPlane`, the seeded runtime
+  decision-maker the routing layer consults per forward;
+* :mod:`repro.faults.retry` — :class:`RetryPolicy`, bounded retries with
+  backoff-as-hop-penalty and eviction-based failover;
+* :mod:`repro.faults.injector` — glue that applies a schedule to the
+  stable runner (one-shot setup faults) or arms it on the churn
+  simulation's event scheduler.
+
+Everything is driven by named RNG substreams derived from the experiment
+seed, so a fault-injected run is bit-reproducible at any worker count.
+"""
+
+from repro.faults.injector import apply_stable_faults, install_fault_events, maybe_corrupt
+from repro.faults.plane import FaultPlane
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "FaultPlane",
+    "FaultSchedule",
+    "RetryPolicy",
+    "apply_stable_faults",
+    "install_fault_events",
+    "maybe_corrupt",
+]

@@ -1,0 +1,110 @@
+"""Wiring a :class:`FaultSchedule` into the two experiment modes.
+
+Stable mode has no clock, so :func:`apply_stable_faults` applies the
+"setup" faults once before measurement: one crash burst (victims stay
+down, leaving stale pointers everywhere) and one static partition. The
+per-query faults (message loss via :meth:`FaultPlane.deliver`, stale
+corruption via :func:`maybe_corrupt`) are drawn during routing.
+
+Churn mode runs on the discrete-event scheduler, so
+:func:`install_fault_events` arms self-rescheduling events: periodic
+crash bursts whose victims rejoin after ``crash_burst_downtime``, the
+partition window, and a Poisson stream of stale-pointer corruptions.
+Burst crashes deliberately overlap with the background churn process, so
+both sides treat crash/rejoin as idempotent (a burst may hit an
+already-down node, a churn rejoin may race a burst rejoin); the
+tolerant transitions keep the event timeline deterministic either way.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.faults.plane import FaultPlane
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a faults <-> sim import cycle
+    from repro.sim.events import EventScheduler
+
+__all__ = ["apply_stable_faults", "install_fault_events", "maybe_corrupt"]
+
+
+def apply_stable_faults(plane: FaultPlane, overlay) -> None:
+    """One-shot setup faults for a stable-mode run: crash burst + static
+    partition. Burst victims crash abruptly (stale pointers to them remain
+    at every other node) and never come back during the measurement."""
+    schedule = plane.schedule
+    if schedule.crash_burst_size > 0:
+        for victim in plane.choose_burst(overlay.alive_ids()):
+            overlay.crash(victim)
+    if schedule.partition_fraction > 0.0:
+        plane.start_partition(overlay.alive_ids())
+
+
+def maybe_corrupt(plane: FaultPlane, overlay) -> None:
+    """Stable mode's per-query corruption draw: with ``stale_rate``
+    probability, plant one stale pointer before the query routes."""
+    if plane.schedule.stale_rate > 0.0 and plane.rng.random() < plane.schedule.stale_rate:
+        plane.corrupt_pointer(overlay)
+
+
+def install_fault_events(
+    scheduler: EventScheduler,
+    plane: FaultPlane,
+    overlay,
+    events_rng: random.Random,
+    duration: float,
+) -> None:
+    """Arm every scheduled fault of ``plane.schedule`` on ``scheduler``.
+
+    ``events_rng`` drives event *timing* (burst jitter-free periods need no
+    draws, but Poisson corruption does); keeping it separate from the
+    plane's own message-loss stream means adding a corruption process does
+    not shift which messages get dropped.
+    """
+    schedule = plane.schedule
+
+    if schedule.crash_burst_size > 0:
+        def fire_burst() -> None:
+            victims = plane.choose_burst(overlay.alive_ids())
+            for victim in victims:
+                _crash_tolerant(overlay, victim)
+                scheduler.schedule(
+                    schedule.crash_burst_downtime, _make_rejoin(overlay, victim)
+                )
+            scheduler.schedule(schedule.crash_burst_interval, fire_burst)
+
+        scheduler.schedule(schedule.crash_burst_interval, fire_burst)
+
+    if schedule.partition_fraction > 0.0:
+        def form_partition() -> None:
+            plane.start_partition(overlay.alive_ids())
+
+        scheduler.schedule_at(schedule.partition_start, form_partition)
+        end = (
+            schedule.partition_start + schedule.partition_duration
+            if schedule.partition_duration > 0.0
+            else duration
+        )
+        scheduler.schedule_at(end, plane.end_partition)
+
+    if schedule.stale_rate > 0.0:
+        def fire_corruption() -> None:
+            plane.corrupt_pointer(overlay)
+            scheduler.schedule(events_rng.expovariate(schedule.stale_rate), fire_corruption)
+
+        scheduler.schedule(events_rng.expovariate(schedule.stale_rate), fire_corruption)
+
+
+def _crash_tolerant(overlay, node_id: int) -> None:
+    """Crash a node unless it is already down (burst/churn overlap)."""
+    if overlay.node(node_id).alive:
+        overlay.crash(node_id)
+
+
+def _make_rejoin(overlay, node_id: int):
+    def rejoin() -> None:
+        if not overlay.node(node_id).alive:
+            overlay.rejoin(node_id)
+
+    return rejoin

@@ -1,0 +1,163 @@
+"""The deterministic fault plane: decides which messages die and who breaks.
+
+One :class:`FaultPlane` instance accompanies one experiment run. All of
+its randomness comes from a single :class:`random.Random` handed in by the
+caller — in the experiment runners that generator is the registry
+substream ``"fault-plane"`` derived from the cell's master seed, so the
+exact sequence of injected faults is a pure function of the seed. Worker
+processes rebuild the same registry from the same config, which is why
+fault-injected cells stay bit-identical at any ``--jobs`` value.
+
+Responsibilities:
+
+* **Message loss** — :meth:`deliver` is consulted by the routing layer on
+  every forward attempt; it drops the message with ``schedule.loss_rate``
+  probability.
+* **Partitions** — while a partition is active, messages crossing the cut
+  (exactly one endpoint inside the isolated group) are blocked without
+  consuming a random draw, so partition checks never perturb the loss
+  stream.
+* **Crash bursts** — :meth:`choose_burst` picks the victims of one
+  correlated crash event (the caller applies the crashes, so the plane
+  works against either overlay).
+* **Stale-pointer corruption** — :meth:`corrupt_pointer` plants a pointer
+  to a dead (preferably) or arbitrary node into a random live node's
+  auxiliary set, modelling gossip that propagated outdated routing state.
+
+The plane also counts everything it does (:attr:`dropped`,
+:attr:`blocked`, :attr:`bursts`, :attr:`corrupted`), which the robustness
+report surfaces so a reviewer can see the injected fault volume.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.faults.schedule import FaultSchedule
+
+__all__ = ["FaultPlane"]
+
+
+class FaultPlane:
+    """Seeded decision-maker for all injected faults of one run.
+
+    Example
+    -------
+    >>> plane = FaultPlane(FaultSchedule(loss_rate=0.5), random.Random(7))
+    >>> outcomes = [plane.deliver(1, 2) for _ in range(100)]
+    >>> 20 < sum(outcomes) < 80
+    True
+    """
+
+    __slots__ = (
+        "schedule",
+        "rng",
+        "partitioned",
+        "delivered",
+        "dropped",
+        "blocked",
+        "bursts",
+        "corrupted",
+    )
+
+    def __init__(self, schedule: FaultSchedule, rng: random.Random) -> None:
+        self.schedule = schedule
+        self.rng = rng
+        self.partitioned: frozenset[int] = frozenset()
+        self.delivered = 0
+        self.dropped = 0
+        self.blocked = 0
+        self.bursts = 0
+        self.corrupted = 0
+
+    # ------------------------------------------------------------------
+    # Message-level faults
+    # ------------------------------------------------------------------
+    def deliver(self, sender: int, receiver: int) -> bool:
+        """Whether one message from ``sender`` to ``receiver`` gets through.
+
+        Partition blocking is checked first and deterministically (no
+        random draw); only then is the loss coin flipped, so enabling a
+        partition does not shift the loss stream of unrelated messages.
+        """
+        if self.partitioned and (sender in self.partitioned) != (receiver in self.partitioned):
+            self.blocked += 1
+            return False
+        if self.schedule.loss_rate > 0.0 and self.rng.random() < self.schedule.loss_rate:
+            self.dropped += 1
+            return False
+        self.delivered += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def start_partition(self, population: Sequence[int]) -> frozenset[int]:
+        """Isolate a ``schedule.partition_fraction`` sample of ``population``.
+
+        Returns the isolated group (also kept in :attr:`partitioned`).
+        A no-op returning the empty set when the fraction is zero or the
+        sample would be empty.
+        """
+        count = int(len(population) * self.schedule.partition_fraction)
+        if count <= 0:
+            return frozenset()
+        self.partitioned = frozenset(self.rng.sample(list(population), count))
+        return self.partitioned
+
+    def end_partition(self) -> None:
+        """Heal the partition (messages flow everywhere again)."""
+        self.partitioned = frozenset()
+
+    # ------------------------------------------------------------------
+    # Crash bursts
+    # ------------------------------------------------------------------
+    def choose_burst(self, alive: Sequence[int], min_alive: int = 2) -> list[int]:
+        """Victims of one crash burst, capped so at least ``min_alive``
+        nodes survive. Sorted for reproducible crash order."""
+        budget = min(self.schedule.crash_burst_size, max(0, len(alive) - min_alive))
+        if budget <= 0:
+            return []
+        self.bursts += 1
+        return sorted(self.rng.sample(list(alive), budget))
+
+    # ------------------------------------------------------------------
+    # Stale-pointer corruption
+    # ------------------------------------------------------------------
+    def corrupt_pointer(self, overlay) -> tuple[int, int] | None:
+        """Plant one stale auxiliary pointer somewhere in ``overlay``.
+
+        Picks a random live node and points it at a dead node when one
+        exists (true staleness), else at a random other node (wrong-but-
+        live state). Returns ``(victim, target)`` or ``None`` when the
+        overlay is too small to corrupt.
+        """
+        alive = overlay.alive_ids()
+        if not alive:
+            return None
+        victim_id = alive[self.rng.randrange(len(alive))]
+        dead = sorted(
+            node_id for node_id, node in overlay.nodes.items() if not node.alive
+        )
+        pool = dead if dead else [node_id for node_id in alive if node_id != victim_id]
+        if not pool:
+            return None
+        target = pool[self.rng.randrange(len(pool))]
+        victim = overlay.node(victim_id)
+        victim.set_auxiliary(set(victim.auxiliary) | {target})
+        self.corrupted += 1
+        return victim_id, target
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        """Snapshot of everything the plane injected so far."""
+        return {
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "blocked": self.blocked,
+            "bursts": self.bursts,
+            "corrupted": self.corrupted,
+        }

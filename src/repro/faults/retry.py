@@ -1,0 +1,76 @@
+"""Retry policy for overlay routing under faults.
+
+A real DHT node that times out on a neighbor does not immediately declare
+it dead: transient message loss would otherwise evict perfectly healthy
+entries. The :class:`RetryPolicy` models the standard production answer —
+bounded retransmissions with exponential backoff — in the hop-count
+currency the paper's evaluation uses: every failed attempt adds
+``backoff_base * backoff_factor**attempt`` hop-equivalents of latency
+(attempt 0 is the ordinary timeout, so the defaults reproduce the
+pre-existing "a timeout costs one hop" accounting exactly).
+
+After ``max_attempts`` consecutive failures the router *fails over*: the
+neighbor is evicted from the forwarding node's table and the next-best
+entry — successor list on Chord, leaf set / next-ranked candidate on
+Pastry — is tried, which is where the successor-list/leaf-set redundancy
+pays for itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with backoff expressed as a hop penalty.
+
+    Example
+    -------
+    >>> RetryPolicy.single().max_attempts
+    1
+    >>> RetryPolicy.robust().attempt_penalty(2)
+    4.0
+    """
+
+    #: Delivery attempts per neighbor before failing over (>= 1).
+    max_attempts: int = 1
+    #: Hop-equivalent cost of the first failed attempt.
+    backoff_base: float = 1.0
+    #: Multiplicative backoff between consecutive attempts.
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be at least 1, got {self.max_attempts!r}"
+            )
+        if self.backoff_base <= 0:
+            raise ConfigurationError(
+                f"backoff_base must be positive, got {self.backoff_base!r}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+
+    def attempt_penalty(self, attempt: int) -> float:
+        """Latency penalty (in hops) of the ``attempt``-th failure (0-based)."""
+        return self.backoff_base * self.backoff_factor**attempt
+
+    @classmethod
+    def single(cls) -> "RetryPolicy":
+        """One attempt, one-hop timeout penalty — the pre-fault-plane
+        behaviour (evict on first timeout)."""
+        return cls(max_attempts=1, backoff_base=1.0, backoff_factor=2.0)
+
+    @classmethod
+    def robust(cls) -> "RetryPolicy":
+        """Three attempts with doubling backoff — the default whenever a
+        fault schedule is active, so transient loss does not evict live
+        neighbors."""
+        return cls(max_attempts=3, backoff_base=1.0, backoff_factor=2.0)

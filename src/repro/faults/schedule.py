@@ -1,0 +1,107 @@
+"""Declarative fault schedules for the deterministic fault plane.
+
+A :class:`FaultSchedule` describes *what* degradation to inject into an
+experiment — per-message loss, periodic crash bursts, a temporary network
+partition, stale-pointer corruption — without saying anything about *when
+individual faults fire*: that is decided by :class:`~repro.faults.plane.
+FaultPlane` drawing from a named :class:`~repro.util.rng.
+SeedSequenceRegistry` substream, which is what makes every injected fault
+bit-reproducible given the master seed (including under ``--jobs``
+process fan-out, where each cell derives its own registry from a
+config-embedded seed).
+
+The schedule is a frozen dataclass so it can live inside the frozen
+:class:`~repro.sim.runner.ExperimentConfig`, be pickled to worker
+processes, and compare by value in determinism tests.
+
+Field semantics differ slightly between the two experiment modes:
+
+========================  ==============================  =========================
+field                     stable mode                     churn mode
+========================  ==============================  =========================
+``loss_rate``             per-forward drop probability    same
+``crash_burst_size``      one burst before measurement    a burst every
+                                                          ``crash_burst_interval`` s
+``crash_burst_downtime``  victims stay down               victims rejoin after this
+``partition_fraction``    static partition for the        partition active during
+                          whole measurement               ``[partition_start,
+                                                          partition_start +
+                                                          partition_duration)``
+``stale_rate``            per-query corruption            corruption events as a
+                          probability                     Poisson process (events/s)
+========================  ==============================  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["FaultSchedule"]
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """What to break, how hard, and (in churn mode) when.
+
+    Example
+    -------
+    >>> FaultSchedule(loss_rate=0.05).active
+    True
+    >>> FaultSchedule().active
+    False
+    """
+
+    #: Probability that any single forward (one overlay message) is lost.
+    loss_rate: float = 0.0
+    #: Nodes crashed per burst (0 disables bursts).
+    crash_burst_size: int = 0
+    #: Churn mode: virtual seconds between bursts.
+    crash_burst_interval: float = 300.0
+    #: Churn mode: burst victims rejoin after this many virtual seconds.
+    crash_burst_downtime: float = 120.0
+    #: Fraction of live nodes isolated behind a partition (0 disables).
+    partition_fraction: float = 0.0
+    #: Churn mode: virtual time at which the partition forms.
+    partition_start: float = 0.0
+    #: Churn mode: how long the partition lasts (0 with a positive
+    #: fraction means "for the rest of the run").
+    partition_duration: float = 0.0
+    #: Stable mode: per-query probability of corrupting one node's table;
+    #: churn mode: corruption events per virtual second.
+    stale_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(f"loss_rate must be in [0, 1), got {self.loss_rate!r}")
+        if self.crash_burst_size < 0:
+            raise ConfigurationError(
+                f"crash_burst_size must be non-negative, got {self.crash_burst_size!r}"
+            )
+        if self.crash_burst_interval <= 0:
+            raise ConfigurationError(
+                f"crash_burst_interval must be positive, got {self.crash_burst_interval!r}"
+            )
+        if self.crash_burst_downtime <= 0:
+            raise ConfigurationError(
+                f"crash_burst_downtime must be positive, got {self.crash_burst_downtime!r}"
+            )
+        if not 0.0 <= self.partition_fraction < 1.0:
+            raise ConfigurationError(
+                f"partition_fraction must be in [0, 1), got {self.partition_fraction!r}"
+            )
+        if self.partition_start < 0 or self.partition_duration < 0:
+            raise ConfigurationError("partition window must not be negative")
+        if not 0.0 <= self.stale_rate:
+            raise ConfigurationError(f"stale_rate must be non-negative, got {self.stale_rate!r}")
+
+    @property
+    def active(self) -> bool:
+        """Whether this schedule injects any fault at all."""
+        return (
+            self.loss_rate > 0.0
+            or self.crash_burst_size > 0
+            or self.partition_fraction > 0.0
+            or self.stale_rate > 0.0
+        )

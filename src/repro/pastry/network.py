@@ -300,9 +300,23 @@ class PastryNetwork:
         key: int,
         mode: str = "proximity",
         record_access: bool = True,
+        retry=None,
+        faults=None,
     ) -> PastryLookupResult:
-        """Route a query for ``key`` from ``source``; see :func:`route`."""
-        return route(self, source, key, mode=mode, record_access=record_access)
+        """Route a query for ``key`` from ``source``; see :func:`route`.
+
+        ``retry``/``faults`` forward to the router's fault-aware knobs
+        (:class:`~repro.faults.retry.RetryPolicy`,
+        :class:`~repro.faults.plane.FaultPlane`)."""
+        return route(
+            self,
+            source,
+            key,
+            mode=mode,
+            record_access=record_access,
+            retry=retry,
+            faults=faults,
+        )
 
     def seed_frequencies(self, node_id: int, frequencies: dict[int, float]) -> None:
         """Pre-load a node's tracker with a destination distribution."""

@@ -19,6 +19,13 @@ Two next-hop choices among the candidates that repair the next digit:
 
 Dead candidates cost a timeout, are evicted from the forwarding node and
 the next-best candidate is tried, exactly as in the Chord substrate.
+
+Fault-aware routing mirrors the Chord side: an optional
+:class:`~repro.faults.retry.RetryPolicy` retries a timed-out forward with
+backoff-as-hop-penalty before evicting and failing over (leaf set and
+next-ranked candidate provide the redundancy), and an optional
+:class:`~repro.faults.plane.FaultPlane` can drop or block messages. The
+defaults reproduce the pre-fault behaviour bit for bit.
 """
 
 from __future__ import annotations
@@ -26,15 +33,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.faults.retry import RetryPolicy
 from repro.util.errors import ConfigurationError, NodeAbsentError
 from repro.util.ids import IdSpace
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.faults.plane import FaultPlane
     from repro.pastry.network import PastryNetwork
 
 __all__ = ["PastryLookupResult", "circular_distance", "route"]
 
 ROUTING_MODES = ("greedy", "proximity")
+
+#: Default policy: one attempt, unit timeout penalty (legacy behaviour).
+_SINGLE_ATTEMPT = RetryPolicy.single()
 
 
 def circular_distance(space: IdSpace, a: int, b: int) -> int:
@@ -54,11 +66,13 @@ class PastryLookupResult:
     timeouts: int = 0
     succeeded: bool = True
     path: list[int] = field(default_factory=list)
+    penalty: float = 0.0
 
     @property
-    def latency(self) -> int:
+    def latency(self) -> int | float:
         """Hop-count latency proxy: forwards plus timeout penalties."""
-        return self.hops + self.timeouts
+        base = self.hops + self.timeouts
+        return base + self.penalty if self.penalty else base
 
 
 def _ranked_candidates(network: "PastryNetwork", node, key: int, mode: str) -> list[int]:
@@ -101,13 +115,23 @@ def route(
     mode: str = "proximity",
     max_hops: int | None = None,
     record_access: bool = True,
+    retry: RetryPolicy | None = None,
+    faults: "FaultPlane | None" = None,
 ) -> PastryLookupResult:
-    """Route a query for ``key`` from ``source`` across ``network``."""
+    """Route a query for ``key`` from ``source`` across ``network``.
+
+    ``retry`` bounds delivery attempts per neighbor (default: one attempt,
+    evict on first timeout); ``faults`` lets a fault plane drop or block
+    individual forwards. A neighbor that exhausts its attempts is evicted
+    and the next iteration fails over to the leaf set / next-ranked
+    candidate.
+    """
     if mode not in ROUTING_MODES:
         raise ConfigurationError(f"unknown routing mode {mode!r}; expected one of {ROUTING_MODES}")
     node = network.node(source)
     if not node.alive:
         raise NodeAbsentError(f"source node {source} is not alive")
+    policy = retry if retry is not None else _SINGLE_ATTEMPT
     space = network.space
     limit = max_hops if max_hops is not None else 4 * space.bits
     true_destination = network.responsible(key)
@@ -117,7 +141,25 @@ def route(
     current = node
     hops = 0
     timeouts = 0
+    penalty = 0.0
     path = [source]
+
+    def attempt_forward(target_id: int) -> bool:
+        """Try to deliver to ``target_id`` under the retry policy; on
+        exhaustion evict it from ``current`` so the next iteration fails
+        over to the next-best neighbor."""
+        nonlocal timeouts, penalty
+        target = network.node(target_id)
+        for attempt in range(policy.max_attempts):
+            if hops + timeouts > limit:
+                break
+            if target.alive and (faults is None or faults.deliver(current.node_id, target_id)):
+                return True
+            timeouts += 1
+            penalty += policy.attempt_penalty(attempt) - 1.0
+        current.evict(target_id)
+        return False
+
     while hops + timeouts <= limit:
         # Leaf-set delivery: when the key falls inside the current leaf
         # coverage, jump straight to the numerically closest known node.
@@ -132,31 +174,23 @@ def route(
                 timeouts=timeouts,
                 succeeded=succeeded,
                 path=path,
+                penalty=penalty,
             )
         if closest is not None:
-            target = network.node(closest)
-            if not target.alive:
-                timeouts += 1
-                current.evict(closest)
-                continue
-            hops += 1
-            path.append(closest)
-            current = target
+            if attempt_forward(closest):
+                hops += 1
+                path.append(closest)
+                current = network.node(closest)
             continue
-        forwarded = False
-        for candidate in _ranked_candidates(network, current, key, mode):
-            candidate_node = network.node(candidate)
-            if not candidate_node.alive:
-                timeouts += 1
-                current.evict(candidate)
-                forwarded = True  # state changed; re-enter the loop
-                break
-            hops += 1
-            path.append(candidate)
-            current = candidate_node
-            forwarded = True
-            break
-        if forwarded:
+        candidates = _ranked_candidates(network, current, key, mode)
+        if candidates:
+            # Only the best-ranked candidate is attempted; on failure the
+            # eviction changes the candidate set, so re-rank from scratch.
+            best = candidates[0]
+            if attempt_forward(best):
+                hops += 1
+                path.append(best)
+                current = network.node(best)
             continue
         # Rare case: empty cell. Fall back to any known neighbor strictly
         # numerically closer to the key (Section II-A's "numerically
@@ -172,15 +206,12 @@ def route(
                 timeouts=timeouts,
                 succeeded=succeeded,
                 path=path,
+                penalty=penalty,
             )
-        fallback_node = network.node(fallback)
-        if not fallback_node.alive:
-            timeouts += 1
-            current.evict(fallback)
-            continue
-        hops += 1
-        path.append(fallback)
-        current = fallback_node
+        if attempt_forward(fallback):
+            hops += 1
+            path.append(fallback)
+            current = network.node(fallback)
     return PastryLookupResult(
         key=key,
         source=source,
@@ -189,6 +220,7 @@ def route(
         timeouts=timeouts,
         succeeded=False,
         path=path,
+        penalty=penalty,
     )
 
 

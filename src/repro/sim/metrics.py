@@ -84,6 +84,13 @@ class HopStatistics:
             return 0.0
         return self.failures / self.lookups
 
+    @property
+    def timeout_rate(self) -> float:
+        """Average timeouts per lookup (fault/staleness pressure gauge)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.total_timeouts / self.lookups
+
     def confidence_halfwidth(self, z: float = 1.96) -> float:
         """Half-width of the normal-approximation CI on ``mean_hops``."""
         if self.successes < 2:
@@ -105,6 +112,15 @@ class HopStatistics:
         ordered = sorted(self.per_lookup)
         rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
         return float(ordered[rank])
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """The reporting trio ``{"p50", "p95", "p99"}`` of the latency
+        proxy (requires ``keep_samples=True``, like :meth:`percentile`)."""
+        return {
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
 
     def merge(self, other: "HopStatistics") -> None:
         """Fold another accumulator into this one."""

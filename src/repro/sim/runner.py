@@ -24,6 +24,10 @@ from dataclasses import dataclass, field, replace
 from repro.chord.ring import ChordRing
 from repro.chord.ring import oblivious_policy as chord_oblivious
 from repro.chord.ring import optimal_policy as chord_optimal
+from repro.faults.injector import apply_stable_faults, install_fault_events, maybe_corrupt
+from repro.faults.plane import FaultPlane
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule
 from repro.pastry.network import PastryNetwork
 from repro.pastry.network import oblivious_policy as pastry_oblivious
 from repro.pastry.network import optimal_policy as pastry_optimal
@@ -67,12 +71,23 @@ class ExperimentConfig:
     learned_frequencies: bool = False
     #: Warmup traffic for learned mode; ``None`` = 40 queries per node.
     warmup_queries: int | None = None
+    #: Deterministic fault-injection schedule; ``None`` = fault-free.
+    faults: FaultSchedule | None = None
+    #: Lookup retry policy; ``None`` picks the legacy single-attempt
+    #: policy, or :meth:`RetryPolicy.robust` when faults are active.
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.overlay not in OVERLAYS:
             raise ConfigurationError(f"unknown overlay {self.overlay!r}; expected one of {OVERLAYS}")
         if self.n < 2:
             raise ConfigurationError("need at least 2 nodes")
+        if self.bits <= 0:
+            raise ConfigurationError(f"bits must be positive, got {self.bits}")
+        if self.n > 2**self.bits:
+            raise ConfigurationError(
+                f"n={self.n} exceeds the id-space capacity 2**{self.bits}={2**self.bits}"
+            )
         if self.queries <= 0:
             raise ConfigurationError(f"queries must be positive, got {self.queries}")
         if self.alpha <= 0:
@@ -104,6 +119,22 @@ class ExperimentConfig:
         if self.num_rankings is not None:
             return self.num_rankings
         return 5 if self.overlay == "chord" else 1
+
+    @property
+    def faults_active(self) -> bool:
+        """True when a fault schedule is attached and actually injects."""
+        return self.faults is not None and self.faults.active
+
+    @property
+    def effective_retry(self) -> RetryPolicy | None:
+        """The retry policy lookups run under: the explicit ``retry`` when
+        set, the robust default when faults are active, otherwise ``None``
+        (routing's legacy evict-on-first-timeout behaviour)."""
+        if self.retry is not None:
+            return self.retry
+        if self.faults_active:
+            return RetryPolicy.robust()
+        return None
 
 
 @dataclass(frozen=True)
@@ -184,11 +215,25 @@ class _Bench:
             return chord_optimal, chord_oblivious
         return pastry_optimal, pastry_oblivious
 
-    def lookup(self, source: int, item: int, record_access: bool):
+    def lookup(
+        self,
+        source: int,
+        item: int,
+        record_access: bool,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlane | None = None,
+    ):
         if self.config.overlay == "chord":
-            return self.overlay.lookup(source, item, record_access=record_access)
+            return self.overlay.lookup(
+                source, item, record_access=record_access, retry=retry, faults=faults
+            )
         return self.overlay.lookup(
-            source, item, mode=self.config.pastry_mode, record_access=record_access
+            source,
+            item,
+            mode=self.config.pastry_mode,
+            record_access=record_access,
+            retry=retry,
+            faults=faults,
         )
 
     def query_generator(self, stream_name: str) -> QueryGenerator:
@@ -208,7 +253,20 @@ def run_stable(config: ExperimentConfig) -> ComparisonResult:
     The same overlay instance is reused for both policies (auxiliary sets
     are simply reinstalled) and both route an identical query stream, so
     the measured difference is attributable to pointer selection alone.
+
+    When ``config.faults`` injects anything, the shared-overlay shortcut
+    would be unfair — fault-driven evictions and planted stale pointers
+    from the first policy's traffic would leak into the second — so each
+    policy instead runs in its own fresh universe built from the same
+    seeds (identical overlay, workload and fault realization).
     """
+    if config.faults_active:
+        stats = {name: _run_stable_once(config, name) for name in ("optimal", "oblivious")}
+        label = (
+            f"{config.overlay} stable n={config.n} k={config.effective_k} "
+            f"alpha={config.alpha} faults"
+        )
+        return ComparisonResult(label, stats["optimal"], stats["oblivious"])
     registry = SeedSequenceRegistry(config.seed)
     bench = _Bench(config, registry)
     if config.learned_frequencies:
@@ -221,6 +279,7 @@ def run_stable(config: ExperimentConfig) -> ComparisonResult:
     else:
         bench.seed_all()
     optimal, oblivious = bench.policies()
+    retry = config.effective_retry
     stats = {}
     for name, policy in (("optimal", optimal), ("oblivious", oblivious)):
         bench.overlay.recompute_all_auxiliary(
@@ -233,13 +292,57 @@ def run_stable(config: ExperimentConfig) -> ComparisonResult:
         collected = HopStatistics()
         alive = bench.overlay.alive_ids()
         for query in generator.stream(config.queries, lambda: alive):
-            collected.record(bench.lookup(query.source, query.item, record_access=False))
+            collected.record(
+                bench.lookup(query.source, query.item, record_access=False, retry=retry)
+            )
         stats[name] = collected
     label = (
         f"{config.overlay} stable n={config.n} k={config.effective_k} "
         f"alpha={config.alpha}"
     )
     return ComparisonResult(label, stats["optimal"], stats["oblivious"])
+
+
+def _run_stable_once(config: ExperimentConfig, policy_name: str) -> HopStatistics:
+    """One policy's universe of a fault-injected stable run.
+
+    Setup faults (one crash burst, a static partition) land *after*
+    frequency seeding and auxiliary installation, so every surviving node
+    carries stale pointers to the burst victims — the stress the retry /
+    failover machinery is measured under. Per-lookup samples are kept so
+    robustness reports can quote latency percentiles.
+    """
+    registry = SeedSequenceRegistry(config.seed)
+    bench = _Bench(config, registry)
+    if config.learned_frequencies:
+        generator = bench.query_generator("warmup-queries")
+        alive = bench.overlay.alive_ids()
+        for query in generator.stream(config.effective_warmup_queries, lambda: alive):
+            bench.lookup(query.source, query.item, record_access=True)
+    else:
+        bench.seed_all()
+    optimal, oblivious = bench.policies()
+    policy = optimal if policy_name == "optimal" else oblivious
+    bench.overlay.recompute_all_auxiliary(
+        config.effective_k,
+        policy,
+        registry.fresh(f"policy-rng-{policy_name}"),
+        frequency_limit=config.frequency_limit,
+    )
+    # The plane's stream depends only on the seed, not the policy: both
+    # universes realize the same burst, partition and loss pattern.
+    plane = FaultPlane(config.faults, registry.fresh("fault-plane"))
+    apply_stable_faults(plane, bench.overlay)
+    retry = config.effective_retry
+    generator = bench.query_generator("queries")
+    stats = HopStatistics(keep_samples=True)
+    alive = bench.overlay.alive_ids()
+    for query in generator.stream(config.queries, lambda: alive):
+        maybe_corrupt(plane, bench.overlay)
+        stats.record(
+            bench.lookup(query.source, query.item, record_access=False, retry=retry, faults=plane)
+        )
+    return stats
 
 
 # ----------------------------------------------------------------------
@@ -274,7 +377,7 @@ def _run_churn_once(config: ChurnConfig, policy_name: str) -> HopStatistics:
     k = config.effective_k
 
     scheduler = EventScheduler()
-    stats = HopStatistics()
+    stats = HopStatistics(keep_samples=config.faults_active)
 
     # Initial auxiliary installation at t=0.
     overlay.recompute_all_auxiliary(k, policy, policy_rng, config.frequency_limit)
@@ -290,6 +393,15 @@ def _run_churn_once(config: ChurnConfig, policy_name: str) -> HopStatistics:
         mean_downtime=config.mean_downtime,
     )
     churn.start()
+
+    # Fault plane: same realization for both policies (seed-only streams).
+    plane: FaultPlane | None = None
+    if config.faults_active:
+        plane = FaultPlane(config.faults, registry.fresh("fault-plane"))
+        install_fault_events(
+            scheduler, plane, overlay, registry.fresh("fault-events"), config.duration
+        )
+    retry = config.effective_retry
 
     # Staggered per-node maintenance loops.
     offset_rng = registry.fresh("maintenance-offsets")
@@ -317,7 +429,9 @@ def _run_churn_once(config: ChurnConfig, policy_name: str) -> HopStatistics:
         alive = overlay.alive_ids()
         if alive:
             query = generator.query_from(generator.random_source(alive))
-            result = bench.lookup(query.source, query.item, record_access=True)
+            result = bench.lookup(
+                query.source, query.item, record_access=True, retry=retry, faults=plane
+            )
             if scheduler.now >= config.warmup:
                 stats.record(result)
         scheduler.schedule(query_rng.expovariate(config.queries_per_second), fire_query)
@@ -330,16 +444,25 @@ def _run_churn_once(config: ChurnConfig, policy_name: str) -> HopStatistics:
 class _ChurnAdapter:
     """Adapter giving the churn process rejoin-with-reseed semantics:
     a node that comes back starts with empty observations (its state was
-    volatile) — it re-learns frequencies from live traffic."""
+    volatile) — it re-learns frequencies from live traffic.
+
+    Transitions are idempotent because fault-plane crash bursts overlap
+    the churn timeline: a churn crash may find its node already felled by
+    a burst, and a churn rejoin may race a burst rejoin. Without faults
+    the guards never trigger (churn alone strictly alternates states)."""
 
     def __init__(self, bench: _Bench) -> None:
         self.bench = bench
 
     def crash(self, node_id: int) -> None:
-        self.bench.overlay.crash(node_id)
+        overlay = self.bench.overlay
+        if overlay.node(node_id).alive:
+            overlay.crash(node_id)
 
     def rejoin(self, node_id: int) -> None:
-        self.bench.overlay.rejoin(node_id)
+        overlay = self.bench.overlay
+        if not overlay.node(node_id).alive:
+            overlay.rejoin(node_id)
 
     def alive_count(self) -> int:
         return self.bench.overlay.alive_count()

@@ -4,20 +4,36 @@ These encode the paper's structural claims as executable properties:
 
 * optimality dominance: optimal <= oblivious <= empty set, in eq.-1 cost;
 * the nesting property (P) of Section IV-B, observed on actual outputs;
-* marginal gains: each extra pointer helps, but by (weakly) less.
+* marginal gains: each extra pointer helps, but by (weakly) less;
+* the three-way oracle: the DP, the Lemma-4.1 greedy and the exponential
+  brute force must agree on optimal cost (Pastry), and the Monge-D&C fast
+  path must match the quadratic DP (Chord) — including on adversarial
+  weight profiles (ties everywhere, zero-frequency peers).
 """
 
+import math
 import random
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.chord_selection import select_chord_fast
-from repro.core.cost import evaluate
+from repro.core.chord_selection import select_chord_dp, select_chord_fast
+from repro.core.cost import brute_force_optimal, evaluate
 from repro.core.oblivious import select_chord_oblivious, select_pastry_oblivious
-from repro.core.pastry_selection import select_pastry_greedy
+from repro.core.pastry_selection import select_pastry_dp, select_pastry_greedy
 from tests.helpers import random_problem
+
+
+def with_weights(problem, weights):
+    """Copy ``problem`` with a replacement frequency map."""
+    return problem.__class__(
+        space=problem.space,
+        source=problem.source,
+        frequencies=weights,
+        core_neighbors=problem.core_neighbors,
+        k=problem.k,
+    )
 
 
 @settings(max_examples=25, deadline=None)
@@ -95,6 +111,60 @@ def test_scaling_frequencies_preserves_selection_cost_ratio(seed):
         base = solver(problem)
         scaled = solver(doubled)
         assert scaled.cost == pytest.approx(2 * base.cost)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_pastry_three_way_oracle(seed):
+    """The paper's two polynomial Pastry algorithms and the exponential
+    ground truth must land on the same optimal eq.-2 cost. Integer weights
+    keep every cost an exact float, so equality needs no tolerance."""
+    rng = random.Random(seed)
+    problem = random_problem(rng, bits=6, peers=7, cores=2, k=3)
+    dp = select_pastry_dp(problem)
+    greedy = select_pastry_greedy(problem)
+    brute = brute_force_optimal(problem, "pastry")
+    assert math.isclose(dp.cost, brute.cost, abs_tol=1e-9)
+    assert math.isclose(greedy.cost, brute.cost, abs_tol=1e-9)
+    # The returned sets must actually realize the claimed cost.
+    assert math.isclose(evaluate(problem, dp.auxiliary, "pastry"), dp.cost, abs_tol=1e-9)
+    assert math.isclose(
+        evaluate(problem, greedy.auxiliary, "pastry"), greedy.cost, abs_tol=1e-9
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_chord_fast_matches_dp_with_ties_and_zero_frequencies(seed):
+    """Differential oracle for the Chord fast path (span oracle + Monge
+    divide & conquer) against the O(n^2 k) DP, on the adversarial weight
+    profile: heavy ties plus peers the source never queries (weight 0),
+    where tie-breaking bugs and empty-span edge cases would surface."""
+    rng = random.Random(seed)
+    base = random_problem(rng, bits=8, peers=12, cores=2, k=4)
+    tied = with_weights(
+        base,
+        {peer: float(rng.choice((0, 0, 1, 2))) for peer in base.frequencies},
+    )
+    fast = select_chord_fast(tied)
+    dp = select_chord_dp(tied)
+    assert math.isclose(fast.cost, dp.cost, abs_tol=1e-9)
+    assert math.isclose(evaluate(tied, fast.auxiliary, "chord"), fast.cost, abs_tol=1e-9)
+    assert math.isclose(evaluate(tied, dp.auxiliary, "chord"), dp.cost, abs_tol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_chord_fast_matches_brute_force_on_tiny_instances(seed):
+    rng = random.Random(seed)
+    base = random_problem(rng, bits=6, peers=6, cores=2, k=2)
+    tied = with_weights(
+        base,
+        {peer: float(rng.choice((0, 1, 1, 3))) for peer in base.frequencies},
+    )
+    fast = select_chord_fast(tied)
+    brute = brute_force_optimal(tied, "chord")
+    assert math.isclose(fast.cost, brute.cost, abs_tol=1e-9)
 
 
 @settings(max_examples=15, deadline=None)

@@ -56,6 +56,22 @@ class TestExecution:
         assert code == 0
         assert "reduction" in capsys.readouterr().out
 
+    def test_faults_parser_arguments(self):
+        args = build_parser().parse_args(["faults", "--smoke", "--seed", "9", "--jobs", "2"])
+        assert args.command == "faults"
+        assert args.smoke
+        assert args.seed == 9
+        assert args.jobs == 2
+
+    def test_faults_smoke_runs_and_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "robustness.json"
+        code = main(["faults", "--smoke", "--jobs", "2", "--json", str(target)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+        assert target.exists()
+        assert '"schema": "ROBUSTNESS_v1"' in target.read_text()
+
     def test_demo_runs(self, capsys):
         assert main(["demo"]) == 0
         out = capsys.readouterr().out

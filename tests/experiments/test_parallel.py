@@ -4,7 +4,8 @@ import pytest
 
 from repro.experiments.figures import FigurePreset, run_figure
 from repro.experiments.sweep import sweep
-from repro.sim.runner import ExperimentConfig
+from repro.faults import FaultSchedule
+from repro.sim.runner import ChurnConfig, ExperimentConfig
 from repro.util.errors import ConfigurationError
 from repro.util.parallel import JOBS_ENV_VAR, resolve_jobs, run_tasks
 
@@ -76,4 +77,54 @@ class TestDeterminism:
         )
         serial = run_figure("3", preset, jobs=1)
         parallel = run_figure("3", preset, jobs=4)
+        assert serial == parallel
+
+    def test_churn_cell_identical_across_job_counts(self):
+        """A churn-mode cell drives the full event machinery (scheduler,
+        churn process, online learning) in each worker; serial and
+        parallel fan-out must still agree bit for bit."""
+        base = ChurnConfig(
+            overlay="chord", n=16, bits=16, seed=13, duration=80.0, warmup=20.0
+        )
+        values = [0.9, 1.4]
+        serial = sweep(base, "alpha", values, jobs=1)
+        parallel = sweep(base, "alpha", values, jobs=4)
+        assert serial == parallel
+
+    def test_fault_injected_cell_identical_across_job_counts(self):
+        """Injected faults draw from registry substreams rebuilt inside
+        each worker from the config-embedded seed, so a fault-injected
+        cell must be bit-identical at any worker count too."""
+        base = ExperimentConfig(
+            overlay="chord",
+            n=24,
+            bits=16,
+            queries=300,
+            seed=21,
+            faults=FaultSchedule(loss_rate=0.05, crash_burst_size=2, stale_rate=0.01),
+        )
+        values = [0.9, 1.2, 1.5]
+        serial = sweep(base, "alpha", values, jobs=1)
+        parallel = sweep(base, "alpha", values, jobs=4)
+        assert serial == parallel
+
+    def test_fault_injected_churn_cell_identical_across_job_counts(self):
+        base = ChurnConfig(
+            overlay="pastry",
+            n=16,
+            bits=16,
+            seed=17,
+            duration=80.0,
+            warmup=20.0,
+            faults=FaultSchedule(
+                loss_rate=0.02,
+                crash_burst_size=2,
+                crash_burst_interval=30.0,
+                crash_burst_downtime=15.0,
+                stale_rate=0.05,
+            ),
+        )
+        values = [1.0, 1.3]
+        serial = sweep(base, "alpha", values, jobs=1)
+        parallel = sweep(base, "alpha", values, jobs=4)
         assert serial == parallel

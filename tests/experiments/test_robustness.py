@@ -1,0 +1,80 @@
+"""The robustness grid: ordering, metrics, JSON canonicality, CLI."""
+
+import json
+
+from repro.experiments.robustness import (
+    RobustnessPreset,
+    robustness,
+    rows_to_json,
+    rows_to_table,
+)
+
+
+def tiny_preset(seed: int = 3) -> RobustnessPreset:
+    return RobustnessPreset(
+        name="tiny",
+        n=16,
+        bits=16,
+        queries=200,
+        seed=seed,
+        loss_rates=(0.0, 0.05),
+        burst_sizes=(2,),
+        overlays=("chord",),
+    )
+
+
+class TestGrid:
+    def test_rows_follow_cell_order(self):
+        rows = robustness(tiny_preset(), jobs=1)
+        assert [(r.axis, r.value) for r in rows] == [
+            ("loss", 0.0),
+            ("loss", 0.05),
+            ("burst", 2.0),
+        ]
+        assert all(r.overlay == "chord" for r in rows)
+
+    def test_faulted_cells_report_percentiles(self):
+        rows = robustness(tiny_preset(), jobs=1)
+        clean, lossy, burst = rows
+        # Fault-free fast path keeps no samples; faulted cells do.
+        assert clean.optimal_p95 is None
+        assert lossy.optimal_p95 is not None
+        assert burst.optimal_p99 >= burst.optimal_p95 >= burst.optimal_p50
+
+    def test_loss_costs_timeouts_not_failures(self):
+        rows = robustness(tiny_preset(), jobs=1)
+        lossy = rows[1]
+        assert lossy.optimal_timeout_rate > 0.0
+        assert lossy.optimal_failure_rate <= 0.05
+
+    def test_json_is_identical_across_job_counts(self):
+        preset = tiny_preset(seed=5)
+        serial = rows_to_json(robustness(preset, jobs=1), preset)
+        parallel = rows_to_json(robustness(preset, jobs=2), preset)
+        assert serial == parallel
+
+    def test_json_round_trips(self):
+        preset = tiny_preset()
+        document = json.loads(rows_to_json(robustness(preset, jobs=1), preset))
+        assert document["schema"] == "ROBUSTNESS_v1"
+        assert document["preset"]["name"] == "tiny"
+        assert len(document["rows"]) == 3
+
+    def test_table_renders_every_row(self):
+        rows = robustness(tiny_preset(), jobs=1)
+        table = rows_to_table(rows)
+        assert "improvement" in table
+        assert table.count("\n") == len(rows) + 1  # header + rule + rows
+
+    def test_empty_table(self):
+        assert rows_to_table([]) == "(empty grid)"
+
+
+class TestPresets:
+    def test_smoke_uses_the_issue_loss_axis(self):
+        preset = RobustnessPreset.smoke()
+        assert preset.loss_rates == (0.0, 0.01, 0.05, 0.1)
+        assert preset.overlays == ("chord", "pastry")
+
+    def test_quick_is_larger_than_smoke(self):
+        assert RobustnessPreset.quick().n > RobustnessPreset.smoke().n

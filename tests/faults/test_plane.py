@@ -1,0 +1,109 @@
+"""FaultPlane unit tests: determinism, partitions, bursts, corruption."""
+
+import random
+
+from repro.chord.ring import ChordRing
+from repro.faults import FaultPlane, FaultSchedule
+from repro.util.ids import IdSpace
+
+
+def make_plane(schedule: FaultSchedule, seed: int = 7) -> FaultPlane:
+    return FaultPlane(schedule, random.Random(seed))
+
+
+class TestDeliver:
+    def test_lossless_plane_delivers_everything(self):
+        plane = make_plane(FaultSchedule())
+        assert all(plane.deliver(1, 2) for _ in range(200))
+        assert plane.dropped == 0
+        assert plane.delivered == 200
+
+    def test_loss_stream_is_seed_deterministic(self):
+        schedule = FaultSchedule(loss_rate=0.3)
+        a = make_plane(schedule, seed=5)
+        b = make_plane(schedule, seed=5)
+        assert [a.deliver(1, 2) for _ in range(500)] == [b.deliver(1, 2) for _ in range(500)]
+
+    def test_loss_rate_is_roughly_honored(self):
+        plane = make_plane(FaultSchedule(loss_rate=0.2), seed=11)
+        outcomes = [plane.deliver(1, 2) for _ in range(2000)]
+        drop_fraction = outcomes.count(False) / len(outcomes)
+        assert 0.15 < drop_fraction < 0.25
+        assert plane.dropped + plane.delivered == 2000
+
+
+class TestPartition:
+    def test_cut_blocks_only_crossing_messages(self):
+        plane = make_plane(FaultSchedule(partition_fraction=0.5))
+        plane.start_partition([1, 2, 3, 4])
+        inside = plane.partitioned
+        outside = [n for n in [1, 2, 3, 4] if n not in inside]
+        a, b = sorted(inside)[0], outside[0]
+        assert not plane.deliver(a, b)  # crossing: blocked
+        assert not plane.deliver(b, a)  # crossing, either direction
+        assert plane.deliver(outside[0], outside[1])  # same side: flows
+        assert plane.deliver(*sorted(inside)[:2])
+        assert plane.blocked == 2
+
+    def test_blocked_messages_consume_no_random_draws(self):
+        """Partition checks must not shift the loss stream: a plane that
+        blocks some crossing messages first must afterwards flip the same
+        coins as one that never saw them."""
+        schedule = FaultSchedule(loss_rate=0.4, partition_fraction=0.5)
+        blocked = make_plane(schedule, seed=3)
+        blocked.partitioned = frozenset({1})
+        for _ in range(50):
+            assert not blocked.deliver(1, 2)  # all blocked, zero draws
+        blocked.end_partition()
+        clean = make_plane(schedule, seed=3)
+        assert [blocked.deliver(5, 6) for _ in range(300)] == [
+            clean.deliver(5, 6) for _ in range(300)
+        ]
+
+    def test_end_partition_heals(self):
+        plane = make_plane(FaultSchedule(partition_fraction=0.5))
+        plane.start_partition([1, 2])
+        plane.end_partition()
+        assert plane.deliver(1, 2)
+
+    def test_zero_fraction_is_a_noop(self):
+        plane = make_plane(FaultSchedule())
+        assert plane.start_partition([1, 2, 3]) == frozenset()
+
+
+class TestChooseBurst:
+    def test_burst_is_sorted_and_deterministic(self):
+        schedule = FaultSchedule(crash_burst_size=4)
+        a = make_plane(schedule, seed=9).choose_burst(list(range(20)))
+        b = make_plane(schedule, seed=9).choose_burst(list(range(20)))
+        assert a == b == sorted(a)
+        assert len(a) == 4
+
+    def test_burst_respects_min_alive_floor(self):
+        plane = make_plane(FaultSchedule(crash_burst_size=10))
+        victims = plane.choose_burst([1, 2, 3, 4], min_alive=2)
+        assert len(victims) == 2
+
+    def test_disabled_burst_is_empty(self):
+        plane = make_plane(FaultSchedule())
+        assert plane.choose_burst(list(range(10))) == []
+        assert plane.bursts == 0
+
+
+class TestCorruptPointer:
+    def test_prefers_a_dead_target(self):
+        ring = ChordRing.build(16, space=IdSpace(16), seed=4)
+        dead = ring.alive_ids()[3]
+        ring.crash(dead)
+        plane = make_plane(FaultSchedule(stale_rate=1.0))
+        victim, target = plane.corrupt_pointer(ring)
+        assert target == dead
+        assert target in ring.node(victim).auxiliary
+        assert plane.corrupted == 1
+
+    def test_falls_back_to_a_live_wrong_target(self):
+        ring = ChordRing.build(8, space=IdSpace(16), seed=4)
+        plane = make_plane(FaultSchedule(stale_rate=1.0))
+        victim, target = plane.corrupt_pointer(ring)
+        assert target != victim
+        assert ring.node(target).alive

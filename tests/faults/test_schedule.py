@@ -1,0 +1,80 @@
+"""FaultSchedule / RetryPolicy validation and semantics."""
+
+import pytest
+
+from repro.faults import FaultSchedule, RetryPolicy
+from repro.util.errors import ConfigurationError
+
+
+class TestFaultSchedule:
+    def test_default_is_inactive(self):
+        assert not FaultSchedule().active
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"loss_rate": 0.05},
+            {"crash_burst_size": 3},
+            {"partition_fraction": 0.25},
+            {"stale_rate": 0.01},
+        ],
+    )
+    def test_each_fault_kind_activates(self, overrides):
+        assert FaultSchedule(**overrides).active
+
+    def test_timing_only_fields_do_not_activate(self):
+        schedule = FaultSchedule(crash_burst_interval=10.0, partition_start=5.0)
+        assert not schedule.active
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"loss_rate": -0.1},
+            {"loss_rate": 1.0},
+            {"crash_burst_size": -1},
+            {"crash_burst_interval": 0.0},
+            {"crash_burst_downtime": -3.0},
+            {"partition_fraction": 1.0},
+            {"partition_start": -1.0},
+            {"partition_duration": -2.0},
+            {"stale_rate": -0.5},
+        ],
+    )
+    def test_rejects_invalid_fields(self, overrides):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(**overrides)
+
+    def test_is_hashable_and_comparable(self):
+        """Frozen-by-value: lives inside the frozen ExperimentConfig and
+        must compare equal across pickling boundaries."""
+        a = FaultSchedule(loss_rate=0.05, crash_burst_size=2)
+        b = FaultSchedule(loss_rate=0.05, crash_burst_size=2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRetryPolicy:
+    def test_single_reproduces_legacy_accounting(self):
+        policy = RetryPolicy.single()
+        assert policy.max_attempts == 1
+        # attempt 0 must cost exactly one hop-equivalent: the routing layer
+        # subtracts 1.0 (the classic timeout) and keeps only the excess.
+        assert policy.attempt_penalty(0) == 1.0
+
+    def test_robust_backoff_doubles(self):
+        policy = RetryPolicy.robust()
+        assert policy.max_attempts == 3
+        assert [policy.attempt_penalty(i) for i in range(3)] == [1.0, 2.0, 4.0]
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"max_attempts": 0},
+            {"backoff_base": 0.0},
+            {"backoff_base": -1.0},
+            {"backoff_factor": 0.5},
+        ],
+    )
+    def test_rejects_invalid_fields(self, overrides):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**overrides)

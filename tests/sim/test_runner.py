@@ -35,6 +35,18 @@ class TestConfig:
         with pytest.raises(ConfigurationError):
             ExperimentConfig(overlay="kademlia")
 
+    def test_rejects_non_positive_bits(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlay="chord", bits=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlay="chord", bits=-4)
+
+    def test_rejects_population_exceeding_id_space(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlay="chord", n=300, bits=8)
+        # Exactly filling the space is legal.
+        assert ExperimentConfig(overlay="chord", n=256, bits=8).n == 256
+
     def test_rejects_non_positive_queries(self):
         with pytest.raises(ConfigurationError):
             ExperimentConfig(overlay="chord", queries=0)
@@ -168,3 +180,64 @@ class TestLearnedFrequencies:
             small_stable("chord", seed=9, learned_frequencies=True, warmup_queries=600)
         )
         assert learned.optimized.mean_hops >= converged.optimized.mean_hops - 0.05
+
+
+class TestFaultInjection:
+    def test_stable_faults_deterministic_and_still_winning(self):
+        from repro.faults import FaultSchedule
+
+        config = small_stable(
+            "chord",
+            seed=12,
+            faults=FaultSchedule(loss_rate=0.05, crash_burst_size=4, stale_rate=0.01),
+        )
+        first = run_stable(config)
+        second = run_stable(config)
+        assert first.optimized.per_lookup == second.optimized.per_lookup
+        assert first.baseline.per_lookup == second.baseline.per_lookup
+        assert first.improvement > 0.0
+        assert first.optimized.timeout_rate > 0.0
+        assert "faults" in first.label
+
+    def test_stable_fault_percentiles_available(self):
+        from repro.faults import FaultSchedule
+
+        result = run_stable(small_stable("pastry", seed=4, faults=FaultSchedule(loss_rate=0.05)))
+        percentiles = result.optimized.latency_percentiles()
+        assert percentiles["p50"] <= percentiles["p95"] <= percentiles["p99"]
+
+    def test_inactive_schedule_matches_no_schedule_bit_for_bit(self):
+        """An attached-but-empty FaultSchedule must take the shared-bench
+        fast path and reproduce the fault-free numbers exactly."""
+        from repro.faults import FaultSchedule
+
+        plain = run_stable(small_stable("chord", seed=5))
+        empty = run_stable(small_stable("chord", seed=5, faults=FaultSchedule()))
+        assert plain.optimized.mean_hops == empty.optimized.mean_hops
+        assert plain.baseline.mean_hops == empty.baseline.mean_hops
+
+    def test_churn_with_fault_bursts_runs_and_wins(self):
+        from repro.faults import FaultSchedule
+
+        config = ChurnConfig(
+            overlay="chord",
+            n=32,
+            bits=16,
+            seed=10,
+            duration=200.0,
+            warmup=50.0,
+            faults=FaultSchedule(
+                loss_rate=0.02,
+                crash_burst_size=3,
+                crash_burst_interval=60.0,
+                crash_burst_downtime=30.0,
+                partition_fraction=0.1,
+                partition_start=80.0,
+                partition_duration=40.0,
+                stale_rate=0.02,
+            ),
+        )
+        first = run_churn(config)
+        second = run_churn(config)
+        assert first.optimized.per_lookup == second.optimized.per_lookup
+        assert first.improvement > 0.0
