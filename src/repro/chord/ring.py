@@ -177,16 +177,43 @@ class ChordRing:
         return node
 
     def _successor_of(self, node: ChordNode, target: int) -> int | None:
-        """The first entry at or clockwise-after ``target`` that ``node``
-        knows about (successor list first, then its whole table)."""
+        """The first *live* entry at or clockwise-after ``target`` that
+        ``node`` knows about (successor list first, then its whole table).
+
+        Filtering liveness matters after a crash burst at the top of the
+        ring: the join/refresh walkers would otherwise install crashed ids
+        into successor lists, and a later failover would stop at the dead
+        entry instead of wrapping to the first live one. When *everything*
+        the node knows is crashed (the whole burst landed on its view),
+        fall back to the ring's bookkeeping and wrap to the first live
+        node at or after the target — the walkers calling this already
+        operate on the global view, and aborting would leave the node with
+        an empty successor list."""
         best = None
         best_gap = self.space.size
         for candidate in node.successors + node.table.entries():
+            if not self.nodes[candidate].alive:
+                continue
             gap = self.space.gap(target, candidate)
             if gap < best_gap:
                 best = candidate
                 best_gap = gap
-        return best
+        if best is not None:
+            return best
+        return self._first_live_at_or_after(target, exclude=node.node_id)
+
+    def _first_live_at_or_after(self, target: int, exclude: int | None = None) -> int | None:
+        """The first live node at or clockwise-after ``target``, wrapping
+        around the ring; ``None`` when no live node (other than
+        ``exclude``) exists."""
+        if not self._alive:
+            return None
+        index = bisect_left(self._alive, target)
+        for offset in range(len(self._alive)):
+            candidate = self._alive[(index + offset) % len(self._alive)]
+            if candidate != exclude:
+                return candidate
+        return None
 
     # ------------------------------------------------------------------
     # Membership queries
@@ -343,14 +370,22 @@ class ChordRing:
         record_access: bool = True,
         retry=None,
         faults=None,
+        trace=None,
     ) -> LookupResult:
         """Route a query for ``key`` from ``source``; see :func:`route`.
 
         ``retry``/``faults`` forward to the router's fault-aware knobs
         (:class:`~repro.faults.retry.RetryPolicy`,
-        :class:`~repro.faults.plane.FaultPlane`)."""
+        :class:`~repro.faults.plane.FaultPlane`); ``trace`` attaches an
+        observe-only :class:`~repro.obs.recorder.TraceRecorder`."""
         return route(
-            self, source, key, record_access=record_access, retry=retry, faults=faults
+            self,
+            source,
+            key,
+            record_access=record_access,
+            retry=retry,
+            faults=faults,
+            trace=trace,
         )
 
     def seed_frequencies(self, node_id: int, frequencies: dict[int, float]) -> None:

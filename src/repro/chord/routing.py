@@ -28,12 +28,14 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.faults.retry import RetryPolicy
+from repro.obs.recorder import HopEvent
 from repro.util.errors import NodeAbsentError
 from repro.util.ids import IdSpace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.chord.ring import ChordRing
     from repro.faults.plane import FaultPlane
+    from repro.obs.recorder import TraceRecorder
 
 __all__ = ["RingTable", "LookupResult", "route"]
 
@@ -123,6 +125,18 @@ class LookupResult:
         return base + self.penalty if self.penalty else base
 
 
+def _pointer_class(node, target: int) -> str:
+    """Which pointer kind resolved this hop; an id living in several sets
+    is credited to the strongest claim (core > successor > auxiliary)."""
+    if target in node.core:
+        return "core"
+    if target in node.successors:
+        return "successor"
+    if target in node.auxiliary:
+        return "auxiliary"
+    return "unknown"
+
+
 def route(
     ring: "ChordRing",
     source: int,
@@ -131,6 +145,7 @@ def route(
     record_access: bool = True,
     retry: RetryPolicy | None = None,
     faults: "FaultPlane | None" = None,
+    trace: "TraceRecorder | None" = None,
 ) -> LookupResult:
     """Route a query for ``key`` from node ``source`` across ``ring``.
 
@@ -149,10 +164,18 @@ def route(
     When ``record_access`` is set, the source node's frequency tracker is
     fed the true destination (the paper's "note the node containing the
     queried item for every query", Section III).
+
+    ``trace`` attaches an observe-only recorder (see
+    :mod:`repro.obs.recorder`): one :class:`~repro.obs.recorder.HopEvent`
+    per attempted forwarding target, delivered to the recorder together
+    with the finished result. Disabled recorders are normalized to
+    ``None`` up front, so the default path pays only inert branch checks.
     """
     node = ring.node(source)
     if not node.alive:
         raise NodeAbsentError(f"source node {source} is not alive")
+    rec = trace if trace is not None and trace.enabled else None
+    events: list[HopEvent] | None = [] if rec is not None else None
     policy = retry if retry is not None else _SINGLE_ATTEMPT
     space = ring.space
     limit = max_hops if max_hops is not None else 4 * space.bits
@@ -169,7 +192,7 @@ def route(
         next_id = current.table.next_hop(key)
         if next_id is None:
             succeeded = current.node_id == true_destination
-            return LookupResult(
+            result = LookupResult(
                 key=key,
                 source=source,
                 destination=current.node_id if succeeded else None,
@@ -179,23 +202,47 @@ def route(
                 path=path,
                 penalty=penalty,
             )
+            if rec is not None:
+                rec.record_lookup(result, events)
+            return result
         next_node = ring.node(next_id)
         delivered = False
+        if rec is not None:
+            pointer_class = _pointer_class(current, next_id)
+            timeouts_before = timeouts
+            penalty_before = penalty
+            verdicts: list[str] = []
         for attempt in range(policy.max_attempts):
             if hops + timeouts > limit:
                 break
             if next_node.alive and (faults is None or faults.deliver(current.node_id, next_id)):
                 delivered = True
                 break
+            if rec is not None:
+                verdicts.append("dead" if not next_node.alive else faults.last_verdict)
             timeouts += 1
             penalty += policy.attempt_penalty(attempt) - 1.0
+        if rec is not None:
+            failed = timeouts - timeouts_before
+            events.append(
+                HopEvent(
+                    forwarder=current.node_id,
+                    target=next_id,
+                    pointer_class=pointer_class,
+                    delivered=delivered,
+                    attempts=failed + (1 if delivered else 0),
+                    timeouts=failed,
+                    penalty=penalty - penalty_before,
+                    verdicts=tuple(verdicts),
+                )
+            )
         if not delivered:
             current.evict(next_id)
             continue
         hops += 1
         path.append(next_id)
         current = next_node
-    return LookupResult(
+    result = LookupResult(
         key=key,
         source=source,
         destination=None,
@@ -205,3 +252,6 @@ def route(
         path=path,
         penalty=penalty,
     )
+    if rec is not None:
+        rec.record_lookup(result, events)
+    return result

@@ -12,17 +12,26 @@ Commands
     Sweep one configuration parameter and print a table or CSV.
 ``bench``
     Run the perf-regression benchmarks and emit a BENCH_v1 document;
-    ``--check BASELINE`` fails if any microbenchmark regressed.
+    ``--check BASELINE`` fails if any microbenchmark regressed. Also
+    fails when the disabled-tracing overhead gate
+    (``obs_overhead.passed``) does not hold.
 ``faults``
     Run the fault-injection robustness grid (%-reduction vs message-loss
     rate and vs crash-burst size) and fail if the frequency-aware policy
     stops winning under >= 5% message loss.
+``trace``
+    Run one traced cell (:mod:`repro.obs`): per-lookup hop paths with
+    pointer-class attribution, a hop-class/verdict breakdown table, and
+    optionally the full TRACE_v1 document as JSON. ``--sample N`` keeps
+    a seeded reservoir of N lookup traces instead of all of them.
 ``demo``
     A 30-second end-to-end tour (used by the quickstart).
 
 ``figure``, ``sweep`` and ``faults`` accept ``--jobs`` to fan cells over
 worker processes (default: ``REPRO_JOBS`` or the CPU count); outputs are
-bit-identical at any worker count.
+bit-identical at any worker count. ``figure``, ``sweep``, ``faults`` and
+``trace`` can write JSON documents that embed a MANIFEST_v1 provenance
+block (config digest, seed, git revision, environment).
 """
 
 from __future__ import annotations
@@ -60,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for figure cells (default: REPRO_JOBS or CPU count)",
     )
+    figure.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the figure as a FIGURE_v1 JSON document (with manifest)",
+    )
 
     compare = sub.add_parser("compare", help="run a single comparison cell")
     compare.add_argument("overlay", choices=["chord", "pastry"])
@@ -86,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes for sweep cells (default: REPRO_JOBS or CPU count)",
+    )
+    sw.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the sweep as a SWEEP_v1 JSON document (with manifest)",
     )
 
     bench = sub.add_parser("bench", help="run perf benchmarks, emit BENCH_v1 JSON")
@@ -121,6 +142,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for grid cells (default: REPRO_JOBS or CPU count)",
     )
 
+    trace = sub.add_parser("trace", help="trace per-lookup hop paths for one cell")
+    trace.add_argument(
+        "overlay", nargs="?", choices=["chord", "pastry"], default="chord",
+        help="overlay to trace (default: chord)",
+    )
+    trace.add_argument("--n", type=int, default=128)
+    trace.add_argument("--k", type=int, default=None, help="auxiliary pointers (default log2 n)")
+    trace.add_argument("--alpha", type=float, default=1.2)
+    trace.add_argument("--bits", type=int, default=20)
+    trace.add_argument("--queries", type=int, default=2000)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--policy",
+        choices=["optimal", "oblivious"],
+        default="optimal",
+        help="which auxiliary-selection policy to trace",
+    )
+    trace.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep a seeded reservoir of N lookup traces (default: keep all)",
+    )
+    trace.add_argument(
+        "--loss", type=float, default=0.0, help="per-message drop probability (fault plane)"
+    )
+    trace.add_argument(
+        "--burst", type=int, default=0, help="correlated crash-burst size (fault plane)"
+    )
+    trace.add_argument(
+        "--paths", type=int, default=5, help="print the first N kept lookup paths (default 5)"
+    )
+    trace.add_argument(
+        "--json", default=None, metavar="PATH", help="write the TRACE_v1 document here"
+    )
+
     sub.add_parser("demo", help="30-second end-to-end tour")
     return parser
 
@@ -141,6 +199,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
         print()
         print(render_chart(result))
+    if args.json:
+        from repro.experiments.figures import result_to_json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result_to_json(result, preset))
+        print(f"\nfigure document written to {args.json}")
     print(f"\n[{preset.name} preset, {time.time() - started:.1f}s]")
     return 0
 
@@ -181,7 +245,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sim.runner import ExperimentConfig
-    from repro.experiments.sweep import rows_to_csv, rows_to_table, sweep
+    from repro.experiments.sweep import rows_to_csv, rows_to_json, rows_to_table, sweep
 
     base = ExperimentConfig(
         overlay=args.overlay,
@@ -201,6 +265,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     rows = sweep(base, args.parameter, [convert(value) for value in args.values], jobs=args.jobs)
     print(rows_to_csv(rows) if args.csv else rows_to_table(rows))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(rows_to_json(rows, base))
+        print(f"\nsweep document written to {args.json}")
     return 0
 
 
@@ -218,6 +286,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"\nbench document written to {path}")
     if not document["parallel"]["identical"]:
         print("\nFAIL: parallel sweep output diverged from the serial run", file=sys.stderr)
+        return 1
+    overhead = document["obs_overhead"]
+    if not overhead["passed"]:
+        print(
+            f"\nFAIL: disabled-tracing overhead {overhead['worst_ratio']:.4f} exceeds "
+            f"the {overhead['threshold']:.2f} gate",
+            file=sys.stderr,
+        )
         return 1
     if baseline is not None:
         regressions = find_regressions(baseline, document, threshold=args.threshold)
@@ -267,6 +343,93 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults.schedule import FaultSchedule
+    from repro.obs.driver import trace_cell
+    from repro.sim.runner import ExperimentConfig
+
+    schedule = None
+    if args.loss > 0.0 or args.burst > 0:
+        schedule = FaultSchedule(loss_rate=args.loss, crash_burst_size=args.burst)
+    config = ExperimentConfig(
+        overlay=args.overlay,
+        n=args.n,
+        k=args.k,
+        alpha=args.alpha,
+        bits=args.bits,
+        queries=args.queries,
+        seed=args.seed,
+        faults=schedule,
+    )
+    started = time.time()
+    document = trace_cell(config, policy=args.policy, sample=args.sample)
+    stats = document["stats"]
+    print(
+        f"traced {stats['lookups']} {args.overlay} lookups "
+        f"(policy={args.policy}, n={args.n}, seed={args.seed}): "
+        f"mean hops {stats['mean_hops']:.3f}, "
+        f"failure rate {stats['failure_rate']:.4f}, "
+        f"timeout rate {stats['timeout_rate']:.4f}"
+    )
+    print(_render_hop_classes(document["counters"]))
+    if document["counters"]["timeouts_by_verdict"]:
+        verdicts = ", ".join(
+            f"{verdict}={count}"
+            for verdict, count in sorted(document["counters"]["timeouts_by_verdict"].items())
+        )
+        print(f"timeout verdicts: {verdicts}")
+    kept = document["traces"]
+    shown = kept[: max(0, args.paths)]
+    if shown:
+        print(
+            f"\nper-lookup paths ({len(shown)} of {document['kept']} kept, "
+            f"{document['seen']} seen):"
+        )
+        for trace in shown:
+            print(_render_trace(trace))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(document, sort_keys=True, indent=2) + "\n")
+        print(f"\ntrace document written to {args.json}")
+    print(f"\n[{time.time() - started:.1f}s]")
+    return 0
+
+
+def _render_hop_classes(counters: dict) -> str:
+    """Aligned pointer-class breakdown of every forward in the cell."""
+    hops = counters["hops_by_class"]
+    total = sum(hops.values()) or 1
+    lines = ["hop breakdown by pointer class:"]
+    for name, count in sorted(hops.items(), key=lambda item: (-item[1], item[0])):
+        lines.append(f"  {name:<10} {count:>8}  {100.0 * count / total:5.1f}%")
+    return "\n".join(lines)
+
+
+def _render_trace(trace: dict) -> str:
+    """One kept lookup as an indented per-hop path dump."""
+    status = "ok" if trace["succeeded"] else "FAILED"
+    header = (
+        f"  key={trace['key']} source={trace['source']} dest={trace['destination']} "
+        f"hops={trace['hops']} timeouts={trace['timeouts']} {status}"
+    )
+    lines = [header]
+    for index, event in enumerate(trace["events"], start=1):
+        if event["delivered"]:
+            outcome = "delivered"
+        else:
+            verdicts = ",".join(event["verdicts"]) or "timeout"
+            outcome = f"EVICTED ({verdicts})"
+        retry = f" attempts={event['attempts']}" if event["attempts"] > 1 else ""
+        penalty = f" penalty=+{event['penalty']:g}" if event["penalty"] else ""
+        lines.append(
+            f"    hop {index}: {event['forwarder']} -> {event['target']} "
+            f"[{event['pointer_class']}] {outcome}{retry}{penalty}"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.sim.runner import ExperimentConfig, run_stable
 
@@ -292,6 +455,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "faults": _cmd_faults,
+        "trace": _cmd_trace,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

@@ -58,16 +58,23 @@ def coverage_drift(
     current: Mapping[int, float],
     previous_coverage: float,
 ) -> float:
-    """Loss of query-mass coverage by the previously selected pointers.
+    """Change in query-mass coverage by the previously selected pointers.
 
     ``previous_coverage`` is the coverage measured at selection time; the
-    returned drift is how much of it has evaporated (clamped to [0, 1]).
+    returned drift is how far today's coverage has moved from it, in
+    either direction, clamped to [0, 1]. The direction matters: clamping
+    gains to zero (the original behaviour) reported *no* drift when query
+    mass concentrated onto the selected set while the distribution
+    shifted underneath it — exactly the regime where a fresh selection
+    could cover even more — so :class:`RecomputationTrigger` never fired.
+    A significant change in coverage either way is evidence the snapshot
+    behind the last selection is stale.
     """
     total = sum(current.values())
     if total <= 0:
         return 0.0
     covered = sum(current.get(peer, 0.0) for peer in selected) / total
-    return max(0.0, min(1.0, previous_coverage - covered))
+    return min(1.0, abs(previous_coverage - covered))
 
 
 class DriftDetector:

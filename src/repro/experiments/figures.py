@@ -32,9 +32,12 @@ bit-identical results.
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
+from repro.obs.manifest import build_manifest
 from repro.sim.metrics import ComparisonResult, HopStatistics
 from repro.sim.runner import ChurnConfig, ExperimentConfig, run_churn, run_stable
 from repro.util.parallel import run_tasks
@@ -51,6 +54,7 @@ __all__ = [
     "figure5",
     "figure6",
     "run_figure",
+    "result_to_json",
     "FIGURES",
 ]
 
@@ -417,3 +421,49 @@ def run_figure(
     if runner is None:
         raise ConfigurationError(f"unknown figure {figure_id!r}; expected one of {sorted(FIGURES)}")
     return runner(preset, jobs)
+
+
+def _json_float(value: float) -> float | None:
+    """NaN is not valid JSON; emit null for degraded cells."""
+    return None if isinstance(value, float) and math.isnan(value) else value
+
+
+def result_to_json(result: FigureResult, preset: FigurePreset) -> str:
+    """Canonical FIGURE_v1 JSON for a regenerated figure.
+
+    Carries a MANIFEST_v1 provenance block; strip its ``volatile`` keys
+    (:func:`repro.obs.manifest.strip_volatile`) before byte-comparing two
+    documents from the same seed.
+    """
+    from dataclasses import asdict
+
+    document = {
+        "schema": "FIGURE_v1",
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "preset": asdict(preset),
+        "manifest": build_manifest(preset),
+        "series": [
+            {
+                "label": series.label,
+                "points": [
+                    {
+                        "x": point.x,
+                        "improvement_pct": _json_float(point.improvement),
+                        "optimal_mean_hops": _json_float(point.comparison.optimized.mean_hops),
+                        "baseline_mean_hops": _json_float(point.comparison.baseline.mean_hops),
+                        "optimal_failure_rate": _json_float(
+                            point.comparison.optimized.failure_rate
+                        ),
+                        "baseline_failure_rate": _json_float(
+                            point.comparison.baseline.failure_rate
+                        ),
+                    }
+                    for point in series.points
+                ],
+            }
+            for series in result.series
+        ],
+    }
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"

@@ -26,6 +26,7 @@ from dataclasses import asdict, dataclass
 from typing import Sequence
 
 from repro.faults.schedule import FaultSchedule
+from repro.obs.manifest import build_manifest
 from repro.sim.metrics import ComparisonResult, HopStatistics
 from repro.sim.runner import ExperimentConfig, run_stable
 from repro.util.errors import ConfigurationError
@@ -172,10 +173,12 @@ def robustness(preset: RobustnessPreset, jobs: int | None = None) -> list[Robust
 
 def rows_to_json(rows: Sequence[RobustnessRow], preset: RobustnessPreset) -> str:
     """Canonical JSON document (sorted keys, fixed indent): byte-identical
-    for the same seed at any worker count."""
+    for the same seed at any worker count once the manifest's ``volatile``
+    keys are stripped (:func:`repro.obs.manifest.strip_volatile`)."""
     document = {
         "schema": "ROBUSTNESS_v1",
         "preset": asdict(preset),
+        "manifest": build_manifest(preset),
         "rows": [asdict(row) for row in rows],
     }
     return json.dumps(document, sort_keys=True, indent=2) + "\n"

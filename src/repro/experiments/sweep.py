@@ -16,14 +16,17 @@ from __future__ import annotations
 
 import csv
 import io
-from dataclasses import dataclass, fields, replace
+import json
+import math
+from dataclasses import asdict, dataclass, fields, replace
 from typing import Sequence
 
+from repro.obs.manifest import build_manifest
 from repro.sim.runner import ChurnConfig, ExperimentConfig, run_churn, run_stable
 from repro.util.errors import ConfigurationError
 from repro.util.parallel import run_tasks
 
-__all__ = ["SweepRow", "sweep", "rows_to_csv", "rows_to_table"]
+__all__ = ["SweepRow", "sweep", "rows_to_csv", "rows_to_json", "rows_to_table"]
 
 
 @dataclass(frozen=True)
@@ -104,6 +107,25 @@ def rows_to_csv(rows: list[SweepRow]) -> str:
             ]
         )
     return buffer.getvalue()
+
+
+def rows_to_json(rows: list[SweepRow], base: ExperimentConfig | ChurnConfig) -> str:
+    """Canonical SWEEP_v1 JSON with a MANIFEST_v1 provenance block.
+
+    Strip the manifest's ``volatile`` keys before byte-comparing two
+    documents produced from the same base config and values.
+    """
+
+    def scrub(value):
+        return None if isinstance(value, float) and math.isnan(value) else value
+
+    document = {
+        "schema": "SWEEP_v1",
+        "base": {**asdict(base), "__type__": type(base).__name__},
+        "manifest": build_manifest(base),
+        "rows": [{key: scrub(value) for key, value in asdict(row).items()} for row in rows],
+    }
+    return json.dumps(document, sort_keys=True, indent=2, default=str) + "\n"
 
 
 def rows_to_table(rows: list[SweepRow]) -> str:

@@ -59,6 +59,7 @@ class FaultPlane:
         "blocked",
         "bursts",
         "corrupted",
+        "last_verdict",
     )
 
     def __init__(self, schedule: FaultSchedule, rng: random.Random) -> None:
@@ -70,6 +71,10 @@ class FaultPlane:
         self.blocked = 0
         self.bursts = 0
         self.corrupted = 0
+        #: Why the most recent :meth:`deliver` refusal happened
+        #: (``"dropped"`` or ``"blocked"``) — read by the tracing plane
+        #: right after a failed delivery to attribute the timeout.
+        self.last_verdict: str | None = None
 
     # ------------------------------------------------------------------
     # Message-level faults
@@ -83,9 +88,11 @@ class FaultPlane:
         """
         if self.partitioned and (sender in self.partitioned) != (receiver in self.partitioned):
             self.blocked += 1
+            self.last_verdict = "blocked"
             return False
         if self.schedule.loss_rate > 0.0 and self.rng.random() < self.schedule.loss_rate:
             self.dropped += 1
+            self.last_verdict = "dropped"
             return False
         self.delivered += 1
         return True

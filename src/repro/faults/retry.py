@@ -4,10 +4,13 @@ A real DHT node that times out on a neighbor does not immediately declare
 it dead: transient message loss would otherwise evict perfectly healthy
 entries. The :class:`RetryPolicy` models the standard production answer —
 bounded retransmissions with exponential backoff — in the hop-count
-currency the paper's evaluation uses: every failed attempt adds
-``backoff_base * backoff_factor**attempt`` hop-equivalents of latency
-(attempt 0 is the ordinary timeout, so the defaults reproduce the
-pre-existing "a timeout costs one hop" accounting exactly).
+currency the paper's evaluation uses: attempt 0 is the ordinary timeout
+and costs exactly one hop, and every *retry* (attempt ``i >= 1``) adds
+``1 + backoff_base * backoff_factor**(i - 1)`` hop-equivalents of
+latency — the timeout itself plus the backoff wait before it. Because
+attempt 0 carries no backoff term, any policy reproduces the
+pre-existing "a timeout costs one hop" accounting exactly until it
+actually retries.
 
 After ``max_attempts`` consecutive failures the router *fails over*: the
 neighbor is evicted from the forwarding node's table and the next-best
@@ -33,13 +36,15 @@ class RetryPolicy:
     -------
     >>> RetryPolicy.single().max_attempts
     1
+    >>> RetryPolicy.robust().attempt_penalty(0)
+    1.0
     >>> RetryPolicy.robust().attempt_penalty(2)
-    4.0
+    3.0
     """
 
     #: Delivery attempts per neighbor before failing over (>= 1).
     max_attempts: int = 1
-    #: Hop-equivalent cost of the first failed attempt.
+    #: Hop-equivalent backoff cost of the first retry.
     backoff_base: float = 1.0
     #: Multiplicative backoff between consecutive attempts.
     backoff_factor: float = 2.0
@@ -59,8 +64,17 @@ class RetryPolicy:
             )
 
     def attempt_penalty(self, attempt: int) -> float:
-        """Latency penalty (in hops) of the ``attempt``-th failure (0-based)."""
-        return self.backoff_base * self.backoff_factor**attempt
+        """Latency penalty (in hops) of the ``attempt``-th failure (0-based).
+
+        Attempt 0 is the ordinary timeout — one hop, no backoff — so the
+        indexing matches the accounting promise above: a policy only
+        diverges from the legacy single-attempt cost once it retries.
+        Attempt ``i >= 1`` waited ``backoff_base * backoff_factor**(i-1)``
+        hop-equivalents before timing out again.
+        """
+        if attempt <= 0:
+            return 1.0
+        return 1.0 + self.backoff_base * self.backoff_factor ** (attempt - 1)
 
     @classmethod
     def single(cls) -> "RetryPolicy":

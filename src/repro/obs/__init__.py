@@ -1,0 +1,66 @@
+"""Observability plane: structured lookup tracing and run manifests.
+
+``repro.obs`` turns the aggregate curves the runners emit into
+diagnosable behaviour: per-hop trace events with pointer-class
+attribution (:mod:`repro.obs.recorder`), provenance manifests on every
+result document (:mod:`repro.obs.manifest`), and a traced replay of any
+stable-mode cell (:mod:`repro.obs.driver`). Tracing is strictly
+observe-only and zero-cost when disabled — the routing layers take a
+``trace`` recorder that defaults to off.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_digest,
+    config_payload,
+    environment_info,
+    git_revision,
+    strip_volatile,
+)
+from repro.obs.recorder import (
+    POINTER_CLASSES,
+    VERDICTS,
+    CounterSet,
+    HopEvent,
+    LookupTrace,
+    LookupTracer,
+    NullRecorder,
+    TraceRecorder,
+)
+
+# The driver pulls in the experiment runners, which pull in the routing
+# layers, which import ``repro.obs.recorder`` — importing it eagerly here
+# would close that loop. PEP 562 lazy exports break the cycle while
+# keeping ``from repro.obs import trace_cell`` working.
+_DRIVER_EXPORTS = ("TRACE_SCHEMA", "trace_cell", "trace_cells")
+
+
+def __getattr__(name):
+    if name in _DRIVER_EXPORTS:
+        from repro.obs import driver
+
+        return getattr(driver, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "POINTER_CLASSES",
+    "VERDICTS",
+    "HopEvent",
+    "LookupTrace",
+    "TraceRecorder",
+    "NullRecorder",
+    "CounterSet",
+    "LookupTracer",
+    "build_manifest",
+    "config_digest",
+    "config_payload",
+    "environment_info",
+    "git_revision",
+    "strip_volatile",
+    "trace_cell",
+    "trace_cells",
+]

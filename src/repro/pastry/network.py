@@ -302,12 +302,14 @@ class PastryNetwork:
         record_access: bool = True,
         retry=None,
         faults=None,
+        trace=None,
     ) -> PastryLookupResult:
         """Route a query for ``key`` from ``source``; see :func:`route`.
 
         ``retry``/``faults`` forward to the router's fault-aware knobs
         (:class:`~repro.faults.retry.RetryPolicy`,
-        :class:`~repro.faults.plane.FaultPlane`)."""
+        :class:`~repro.faults.plane.FaultPlane`); ``trace`` attaches an
+        observe-only :class:`~repro.obs.recorder.TraceRecorder`."""
         return route(
             self,
             source,
@@ -316,6 +318,7 @@ class PastryNetwork:
             record_access=record_access,
             retry=retry,
             faults=faults,
+            trace=trace,
         )
 
     def seed_frequencies(self, node_id: int, frequencies: dict[int, float]) -> None:

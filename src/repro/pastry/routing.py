@@ -34,11 +34,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.faults.retry import RetryPolicy
+from repro.obs.recorder import HopEvent
 from repro.util.errors import ConfigurationError, NodeAbsentError
 from repro.util.ids import IdSpace
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.faults.plane import FaultPlane
+    from repro.obs.recorder import TraceRecorder
     from repro.pastry.network import PastryNetwork
 
 __all__ = ["PastryLookupResult", "circular_distance", "route"]
@@ -108,6 +110,18 @@ def _ranked_candidates(network: "PastryNetwork", node, key: int, mode: str) -> l
     return sorted(candidates, key=sort_key)
 
 
+def _pointer_class(node, target: int) -> str:
+    """Which pointer kind supplied this candidate; an id living in several
+    sets is credited to the strongest claim (core > leaf > auxiliary)."""
+    if target in node.core:
+        return "core"
+    if target in node.leaves:
+        return "leaf"
+    if target in node.auxiliary:
+        return "auxiliary"
+    return "unknown"
+
+
 def route(
     network: "PastryNetwork",
     source: int,
@@ -117,6 +131,7 @@ def route(
     record_access: bool = True,
     retry: RetryPolicy | None = None,
     faults: "FaultPlane | None" = None,
+    trace: "TraceRecorder | None" = None,
 ) -> PastryLookupResult:
     """Route a query for ``key`` from ``source`` across ``network``.
 
@@ -125,12 +140,20 @@ def route(
     individual forwards. A neighbor that exhausts its attempts is evicted
     and the next iteration fails over to the leaf set / next-ranked
     candidate.
+
+    ``trace`` attaches an observe-only recorder (see
+    :mod:`repro.obs.recorder`): one :class:`~repro.obs.recorder.HopEvent`
+    per attempted forwarding target, delivered to the recorder together
+    with the finished result. Disabled recorders are normalized to
+    ``None`` up front, so the default path pays only inert branch checks.
     """
     if mode not in ROUTING_MODES:
         raise ConfigurationError(f"unknown routing mode {mode!r}; expected one of {ROUTING_MODES}")
     node = network.node(source)
     if not node.alive:
         raise NodeAbsentError(f"source node {source} is not alive")
+    rec = trace if trace is not None and trace.enabled else None
+    events: list[HopEvent] | None = [] if rec is not None else None
     policy = retry if retry is not None else _SINGLE_ATTEMPT
     space = network.space
     limit = max_hops if max_hops is not None else 4 * space.bits
@@ -144,19 +167,44 @@ def route(
     penalty = 0.0
     path = [source]
 
-    def attempt_forward(target_id: int) -> bool:
+    def attempt_forward(target_id: int, pointer_class: str) -> bool:
         """Try to deliver to ``target_id`` under the retry policy; on
         exhaustion evict it from ``current`` so the next iteration fails
-        over to the next-best neighbor."""
+        over to the next-best neighbor. ``pointer_class`` labels the
+        structure that nominated the target (trace attribution only)."""
         nonlocal timeouts, penalty
         target = network.node(target_id)
+        delivered = False
+        if rec is not None:
+            timeouts_before = timeouts
+            penalty_before = penalty
+            verdicts: list[str] = []
         for attempt in range(policy.max_attempts):
             if hops + timeouts > limit:
                 break
             if target.alive and (faults is None or faults.deliver(current.node_id, target_id)):
-                return True
+                delivered = True
+                break
+            if rec is not None:
+                verdicts.append("dead" if not target.alive else faults.last_verdict)
             timeouts += 1
             penalty += policy.attempt_penalty(attempt) - 1.0
+        if rec is not None:
+            failed = timeouts - timeouts_before
+            events.append(
+                HopEvent(
+                    forwarder=current.node_id,
+                    target=target_id,
+                    pointer_class=pointer_class,
+                    delivered=delivered,
+                    attempts=failed + (1 if delivered else 0),
+                    timeouts=failed,
+                    penalty=penalty - penalty_before,
+                    verdicts=tuple(verdicts),
+                )
+            )
+        if delivered:
+            return True
         current.evict(target_id)
         return False
 
@@ -166,7 +214,7 @@ def route(
         closest = _leaf_delivery_target(network, current, key)
         if closest == current.node_id:
             succeeded = current.node_id == true_destination
-            return PastryLookupResult(
+            result = PastryLookupResult(
                 key=key,
                 source=source,
                 destination=current.node_id if succeeded else None,
@@ -176,8 +224,11 @@ def route(
                 path=path,
                 penalty=penalty,
             )
+            if rec is not None:
+                rec.record_lookup(result, events)
+            return result
         if closest is not None:
-            if attempt_forward(closest):
+            if attempt_forward(closest, "leaf"):
                 hops += 1
                 path.append(closest)
                 current = network.node(closest)
@@ -187,7 +238,9 @@ def route(
             # Only the best-ranked candidate is attempted; on failure the
             # eviction changes the candidate set, so re-rank from scratch.
             best = candidates[0]
-            if attempt_forward(best):
+            if attempt_forward(
+                best, _pointer_class(current, best) if rec is not None else "unknown"
+            ):
                 hops += 1
                 path.append(best)
                 current = network.node(best)
@@ -198,7 +251,7 @@ def route(
         fallback = _numerically_closer_neighbor(network, current, key)
         if fallback is None:
             succeeded = current.node_id == true_destination
-            return PastryLookupResult(
+            result = PastryLookupResult(
                 key=key,
                 source=source,
                 destination=current.node_id if succeeded else None,
@@ -208,11 +261,14 @@ def route(
                 path=path,
                 penalty=penalty,
             )
-        if attempt_forward(fallback):
+            if rec is not None:
+                rec.record_lookup(result, events)
+            return result
+        if attempt_forward(fallback, "fallback"):
             hops += 1
             path.append(fallback)
             current = network.node(fallback)
-    return PastryLookupResult(
+    result = PastryLookupResult(
         key=key,
         source=source,
         destination=None,
@@ -222,6 +278,9 @@ def route(
         path=path,
         penalty=penalty,
     )
+    if rec is not None:
+        rec.record_lookup(result, events)
+    return result
 
 
 def _leaf_delivery_target(network: "PastryNetwork", node, key: int) -> int | None:

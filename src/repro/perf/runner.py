@@ -7,17 +7,21 @@ Document layout::
       "mode": "full" | "smoke",
       "python": "3.x.y", "platform": "...", "cpu_count": N,
       "numpy": "x.y.z" | null,
+      "manifest": {... MANIFEST_v1 run provenance ...},
       "micro":    {name: {repeats, warmup, min_s, median_s, ...}},
       "macro":    {name: {...}},                # one-shot figure cells
       "speedups": {kernel: scalar_median / vectorized_median},
-      "parallel": {jobs, sweep_cells, serial_s, parallel_s, identical}
+      "parallel": {jobs, sweep_cells, serial_s, parallel_s, identical},
+      "obs_overhead": {overlays, worst_ratio, threshold, passed}
     }
 
 ``speedups`` is derived from paired micro entries (see
 :data:`repro.perf.micro.KERNEL_PAIRS`); the vectorization acceptance bar
 is >= 5x on both cost kernels at n=1024. ``parallel.identical`` must be
 ``true`` — it certifies that worker-process fan-out reproduces the serial
-sweep bit for bit.
+sweep bit for bit. ``obs_overhead.passed`` must be ``true`` — it
+certifies that routing with a disabled trace recorder costs < 2% over
+routing with no recorder (see :mod:`repro.perf.overhead`).
 """
 
 from __future__ import annotations
@@ -28,8 +32,10 @@ import pathlib
 import platform
 import sys
 
+from repro.obs.manifest import build_manifest
 from repro.perf.macro import macro_benchmarks, parallel_identity_check
 from repro.perf.micro import KERNEL_PAIRS, micro_benchmarks
+from repro.perf.overhead import overhead_benchmark
 from repro.util.parallel import resolve_jobs
 
 __all__ = ["BENCH_SCHEMA", "run_bench", "write_bench"]
@@ -61,12 +67,14 @@ def run_bench(smoke: bool = False, jobs: int | None = None) -> dict:
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
         "numpy": _numpy_version(),
+        "manifest": build_manifest(extra={"mode": "smoke" if smoke else "full"}),
         "micro": {name: timing.to_dict() for name, timing in micro.items()},
         "macro": {name: timing.to_dict() for name, timing in macro.items()},
         "speedups": speedups,
         # At least two workers so the check exercises a real process pool
         # even on single-CPU boxes.
         "parallel": parallel_identity_check(max(2, resolved_jobs), smoke=smoke),
+        "obs_overhead": overhead_benchmark(smoke=smoke),
     }
 
 
@@ -101,3 +109,18 @@ def print_summary(document: dict, stream=None) -> None:
         f"identical={parallel['identical']}",
         file=stream,
     )
+    overhead = document.get("obs_overhead")
+    if overhead:
+        print(
+            f"trace overhead (NullRecorder / untraced): worst median "
+            f"{overhead['worst_ratio']:.4f} (threshold {overhead['threshold']:.2f}) "
+            f"passed={overhead['passed']}",
+            file=stream,
+        )
+        for name, entry in overhead["overlays"].items():
+            print(
+                f"  {name:<10} median={entry['median_ratio']:.4f} "
+                f"min={entry['min_ratio']:.4f} max={entry['max_ratio']:.4f} "
+                f"trials={entry['trials']}",
+                file=stream,
+            )

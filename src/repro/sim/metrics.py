@@ -100,14 +100,15 @@ class HopStatistics:
     def percentile(self, q: float) -> float:
         """The ``q``-quantile (0..1) of per-lookup latency.
 
-        Requires ``keep_samples=True`` (the streaming moments cannot
-        recover order statistics). Uses the nearest-rank method.
+        Order statistics need retained samples (the streaming moments
+        cannot recover them), so without ``keep_samples=True`` — or with
+        an empty sample set, e.g. a cell where every lookup failed — the
+        result is ``nan``: reporting paths degrade a column instead of
+        crashing mid-report. Uses the nearest-rank method.
         """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must be in [0, 1], got {q!r}")
-        if not self.keep_samples:
-            raise ConfigurationError("percentile() needs keep_samples=True")
-        if not self.per_lookup:
+        if not self.keep_samples or not self.per_lookup:
             return float("nan")
         ordered = sorted(self.per_lookup)
         rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
@@ -115,7 +116,8 @@ class HopStatistics:
 
     def latency_percentiles(self) -> dict[str, float]:
         """The reporting trio ``{"p50", "p95", "p99"}`` of the latency
-        proxy (requires ``keep_samples=True``, like :meth:`percentile`)."""
+        proxy; all ``nan`` when samples were not kept (see
+        :meth:`percentile`)."""
         return {
             "p50": self.percentile(0.50),
             "p95": self.percentile(0.95),
@@ -138,8 +140,13 @@ class HopStatistics:
 def percent_reduction(baseline_mean: float, optimized_mean: float) -> float:
     """The paper's plotted metric: ``100 * (baseline - ours) / baseline``.
 
-    Positive values mean the frequency-aware scheme wins.
+    Positive values mean the frequency-aware scheme wins. A ``nan`` input
+    — the mean of a cell with zero successful lookups, e.g. under 100%
+    message loss — yields ``nan`` rather than an exception, so one dead
+    grid cell degrades its own row instead of aborting the whole report.
     """
+    if math.isnan(baseline_mean) or math.isnan(optimized_mean):
+        return float("nan")
     if not baseline_mean > 0:
         raise ConfigurationError(f"baseline mean must be positive, got {baseline_mean!r}")
     return 100.0 * (baseline_mean - optimized_mean) / baseline_mean

@@ -222,10 +222,16 @@ class _Bench:
         record_access: bool,
         retry: RetryPolicy | None = None,
         faults: FaultPlane | None = None,
+        trace=None,
     ):
         if self.config.overlay == "chord":
             return self.overlay.lookup(
-                source, item, record_access=record_access, retry=retry, faults=faults
+                source,
+                item,
+                record_access=record_access,
+                retry=retry,
+                faults=faults,
+                trace=trace,
             )
         return self.overlay.lookup(
             source,
@@ -234,6 +240,7 @@ class _Bench:
             record_access=record_access,
             retry=retry,
             faults=faults,
+            trace=trace,
         )
 
     def query_generator(self, stream_name: str) -> QueryGenerator:

@@ -112,6 +112,55 @@ class TestChurnLifecycle:
             ring.stabilize(victim)
 
 
+class TestSuccessorLiveness:
+    """Regression: a crash burst at the top of the ring must not leave
+    crashed ids in the walkers' successor answers (``_successor_of``)."""
+
+    def make_burst_ring(self):
+        # Node 100 only knows the three highest nodes (successor list
+        # [200, 220, 240], fingers {200, 240}); crashing all of them wipes
+        # its entire view.
+        ring = ChordRing(IdSpace(8), successor_list_size=3)
+        for node_id in [0, 100, 200, 220, 240]:
+            ring.add_node(node_id)
+        ring.stabilize_all()
+        for victim in (200, 220, 240):
+            ring.crash(victim)
+        return ring
+
+    def test_skips_crashed_entries_and_wraps_to_first_live(self):
+        ring = self.make_burst_ring()
+        node = ring.node(100)
+        assert all(not ring.node(s).alive for s in node.successors)  # stale view
+        successor = ring._successor_of(node, ring.space.add(100, 1))
+        # The old code returned 200 (crashed); failover must wrap past the
+        # burst to the first live node, 0.
+        assert successor == 0
+
+    def test_refresh_after_burst_installs_only_live_successors(self):
+        ring = self.make_burst_ring()
+        ring.refresh_via(100)
+        node = ring.node(100)
+        assert node.successors == [0]
+        assert all(ring.node(s).alive for s in node.successors)
+
+    def test_lookup_fails_over_after_refresh(self):
+        ring = self.make_burst_ring()
+        ring.refresh_via(100)
+        result = ring.lookup(100, 5, record_access=False)
+        assert result.succeeded
+        assert result.destination == 0
+
+    def test_all_other_nodes_dead_returns_none(self):
+        ring = ChordRing(IdSpace(8), successor_list_size=2)
+        for node_id in [0, 100, 200]:
+            ring.add_node(node_id)
+        ring.stabilize_all()
+        ring.crash(0)
+        ring.crash(200)
+        assert ring._successor_of(ring.node(100), 101) is None
+
+
 class TestAuxiliaryPolicies:
     def test_optimal_policy_installs_hot_peer(self):
         ring = ChordRing.build(32, space=IdSpace(16), seed=5)

@@ -35,11 +35,24 @@ class TestCoverageDrift:
     def test_full_loss(self):
         assert coverage_drift([1], {2: 5.0}, previous_coverage=1.0) == pytest.approx(1.0)
 
-    def test_gain_clamped_to_zero(self):
-        assert coverage_drift([1], {1: 5.0}, previous_coverage=0.3) == 0.0
+    def test_gain_counts_as_drift(self):
+        # Mass concentrating onto the selected set is still a distribution
+        # shift: the snapshot behind the last selection is stale, and a
+        # fresh run might cover even more. The old clamp-to-zero behaviour
+        # silently suppressed recomputation here.
+        assert coverage_drift([1], {1: 5.0}, previous_coverage=0.3) == pytest.approx(0.7)
 
     def test_empty_current(self):
         assert coverage_drift([1], {}, previous_coverage=1.0) == 0.0
+
+    def test_concentration_shift_triggers_recomputation(self):
+        # Regression for the trigger never firing when coverage *rose*:
+        # selection happened when peer 1 held 30% of the mass; later the
+        # workload concentrates almost entirely onto peer 1. The trigger
+        # must fire so the node re-optimizes for the new distribution.
+        trigger = RecomputationTrigger(threshold=0.5, metric="coverage")
+        trigger.committed(0.0, {1: 3.0, 2: 7.0}, selected=[1])
+        assert trigger.should_recompute(1.0, {1: 9.5, 2: 0.5})
 
 
 class TestDriftDetector:

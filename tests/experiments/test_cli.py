@@ -77,3 +77,48 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Chord" in out
         assert "Pastry" in out
+
+    def test_trace_parser_arguments(self):
+        args = build_parser().parse_args(
+            ["trace", "pastry", "--sample", "32", "--policy", "oblivious", "--loss", "0.05"]
+        )
+        assert args.command == "trace"
+        assert args.overlay == "pastry"
+        assert args.sample == 32
+        assert args.policy == "oblivious"
+        assert args.loss == 0.05
+
+    def test_trace_defaults_to_chord(self):
+        assert build_parser().parse_args(["trace"]).overlay == "chord"
+
+    def test_trace_runs_and_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "--n", "24",
+                "--bits", "16",
+                "--queries", "200",
+                "--sample", "8",
+                "--loss", "0.05",
+                "--json", str(target),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hop breakdown by pointer class" in out
+        assert "per-lookup paths" in out
+        assert "hop 1:" in out
+        assert target.exists()
+        assert '"schema": "TRACE_v1"' in target.read_text()
+
+    def test_figure_writes_json_with_manifest(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "figure.json"
+        code = main(["figure", "5", "--jobs", "2", "--json", str(target)])
+        assert code == 0
+        document = json.loads(target.read_text())
+        assert document["schema"] == "FIGURE_v1"
+        assert document["manifest"]["schema"] == "MANIFEST_v1"
+        assert document["series"]

@@ -8,6 +8,7 @@ from repro.experiments.robustness import (
     rows_to_json,
     rows_to_table,
 )
+from repro.obs.manifest import strip_volatile
 
 
 def tiny_preset(seed: int = 3) -> RobustnessPreset:
@@ -48,16 +49,20 @@ class TestGrid:
         assert lossy.optimal_failure_rate <= 0.05
 
     def test_json_is_identical_across_job_counts(self):
+        # The manifest's volatile block (timestamps, argv) legitimately
+        # differs between runs; everything else must be byte-identical.
         preset = tiny_preset(seed=5)
-        serial = rows_to_json(robustness(preset, jobs=1), preset)
-        parallel = rows_to_json(robustness(preset, jobs=2), preset)
-        assert serial == parallel
+        serial = strip_volatile(json.loads(rows_to_json(robustness(preset, jobs=1), preset)))
+        parallel = strip_volatile(json.loads(rows_to_json(robustness(preset, jobs=2), preset)))
+        assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)
 
     def test_json_round_trips(self):
         preset = tiny_preset()
         document = json.loads(rows_to_json(robustness(preset, jobs=1), preset))
         assert document["schema"] == "ROBUSTNESS_v1"
         assert document["preset"]["name"] == "tiny"
+        assert document["manifest"]["schema"] == "MANIFEST_v1"
+        assert document["manifest"]["seed"] == preset.seed
         assert len(document["rows"]) == 3
 
     def test_table_renders_every_row(self):

@@ -73,6 +73,23 @@ class TestCli:
         assert code == 0
         assert capsys.readouterr().out.startswith("parameter,value")
 
+    def test_sweep_command_json_carries_manifest(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "sweep.json"
+        code = main(
+            [
+                "sweep", "chord", "k", "2", "6",
+                "--n", "24", "--bits", "16", "--queries", "400", "--json", str(target),
+            ]
+        )
+        assert code == 0
+        document = json.loads(target.read_text())
+        assert document["schema"] == "SWEEP_v1"
+        assert document["manifest"]["schema"] == "MANIFEST_v1"
+        assert document["base"]["__type__"] == "ExperimentConfig"
+        assert len(document["rows"]) == 2
+
     def test_figure_chart_flag(self, capsys):
         # Exercise the --chart path on the cheapest figure variant by
         # monkeypatching the preset via the quick path and a tiny seed run

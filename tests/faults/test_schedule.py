@@ -61,10 +61,19 @@ class TestRetryPolicy:
         # subtracts 1.0 (the classic timeout) and keeps only the excess.
         assert policy.attempt_penalty(0) == 1.0
 
+    def test_attempt_zero_is_plain_timeout_regardless_of_base(self):
+        # Per the docstring, attempt 0 is the ordinary timeout: the backoff
+        # terms only kick in on retries, whatever the base/factor.
+        policy = RetryPolicy(max_attempts=3, backoff_base=5.0, backoff_factor=3.0)
+        assert policy.attempt_penalty(0) == 1.0
+        assert policy.attempt_penalty(1) == 1.0 + 5.0
+        assert policy.attempt_penalty(2) == 1.0 + 15.0
+
     def test_robust_backoff_doubles(self):
         policy = RetryPolicy.robust()
         assert policy.max_attempts == 3
-        assert [policy.attempt_penalty(i) for i in range(3)] == [1.0, 2.0, 4.0]
+        # Timeout, then retries with backoff waits of 1 and 2 hops.
+        assert [policy.attempt_penalty(i) for i in range(3)] == [1.0, 2.0, 3.0]
 
     @pytest.mark.parametrize(
         "overrides",

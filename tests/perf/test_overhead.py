@@ -1,0 +1,31 @@
+"""Unit tests for the disabled-tracing overhead bench (cheap pieces only;
+the full gated measurement runs via ``repro bench`` in CI)."""
+
+from repro.perf.overhead import OVERHEAD_THRESHOLD, _build_workload, _trial_ratio
+
+
+class TestWorkload:
+    def test_deterministic_lookup_stream(self):
+        overlay_a, pairs_a = _build_workload("chord", 32, 40)
+        overlay_b, pairs_b = _build_workload("chord", 32, 40)
+        assert pairs_a == pairs_b
+        assert overlay_a.alive_ids() == overlay_b.alive_ids()
+
+    def test_sources_are_alive_nodes(self):
+        overlay, pairs = _build_workload("pastry", 32, 40)
+        alive = set(overlay.alive_ids())
+        assert all(source in alive for source, _ in pairs)
+
+
+class TestTrialRatio:
+    def test_ratio_is_a_sane_positive_number(self):
+        overlay, pairs = _build_workload("chord", 32, 40)
+        ratio = _trial_ratio(overlay, pairs, chunk=5, rounds=2)
+        # One tiny trial is noisy, but a 3x swing would mean the variants
+        # are not running the same workload at all.
+        assert 1 / 3 < ratio < 3
+
+
+class TestGate:
+    def test_threshold_is_the_two_percent_claim(self):
+        assert OVERHEAD_THRESHOLD == 1.02

@@ -76,6 +76,18 @@ class TestPercentReduction:
         with pytest.raises(ConfigurationError):
             percent_reduction(0.0, 1.0)
 
+    def test_nan_inputs_degrade_to_nan(self):
+        # A 100%-loss cell has no successful lookups, so its mean is nan;
+        # the comparison must report nan for that row, not crash the grid.
+        assert math.isnan(percent_reduction(float("nan"), 2.0))
+        assert math.isnan(percent_reduction(2.0, float("nan")))
+
+    def test_all_failed_comparison_is_nan(self):
+        ours, base = HopStatistics(), HopStatistics()
+        ours.record(FakeLookup(hops=1, succeeded=False))
+        base.record(FakeLookup(hops=1, succeeded=False))
+        assert math.isnan(ComparisonResult("dead cell", ours, base).improvement)
+
 
 class TestComparisonResult:
     def make(self):
@@ -103,11 +115,13 @@ class TestPercentiles:
         assert stats.percentile(1.0) == 10.0
         assert stats.percentile(0.0) == 1.0
 
-    def test_requires_samples(self):
+    def test_degrades_to_nan_without_samples(self):
+        # Reporting paths call this on fast-path cells that never kept
+        # samples; the column must degrade, not crash mid-report.
         stats = HopStatistics()
         stats.record(FakeLookup(hops=1))
-        with pytest.raises(ConfigurationError):
-            stats.percentile(0.5)
+        assert math.isnan(stats.percentile(0.5))
+        assert all(math.isnan(value) for value in stats.latency_percentiles().values())
 
     def test_quantile_validated(self):
         stats = HopStatistics(keep_samples=True)
