@@ -116,6 +116,10 @@ class ChordNode:
         """All current neighbors: fingers, successors and auxiliaries."""
         return self.core | set(self.successors) | self.auxiliary
 
+    def successor_snapshot(self) -> tuple[int, ...]:
+        """Read-only copy of the successor list (verification hook)."""
+        return tuple(self.successors)
+
     def _rebuild_table(self) -> None:
         self.table.clear()
         for neighbor in self.neighbor_ids():

@@ -237,6 +237,33 @@ class ChordRing:
         return self._alive[index]  # wraps via [-1]
 
     # ------------------------------------------------------------------
+    # Verification hooks (read-only introspection)
+    # ------------------------------------------------------------------
+    def successor_snapshot(self) -> dict[int, tuple[int, ...]]:
+        """Per-live-node successor lists, as installed right now."""
+        return {
+            node_id: self.nodes[node_id].successor_snapshot()
+            for node_id in self._alive
+        }
+
+    def reference_successors(self, node_id: int) -> tuple[int, ...]:
+        """Ground-truth successor list from the global view: the next
+        ``successor_list_size`` live nodes clockwise of ``node_id`` — what
+        a stabilization round installs. Verification compares the per-node
+        state against this independent derivation."""
+        others = [nid for nid in self._alive if nid != node_id]
+        if not others:
+            return ()
+        others.sort(key=lambda nid: self.space.gap(self.space.add(node_id, 1), nid))
+        return tuple(others[: self.successor_list_size])
+
+    def hop_distances(self, path: Iterable[int], key: int) -> list[int]:
+        """The clockwise gap from each path node to ``key`` — the quantity
+        the paper's Chord distance metric (eq. 6) takes the bit-length of.
+        Strictly decreasing along any correctly routed path."""
+        return [self.space.gap(node_id, key) for node_id in path]
+
+    # ------------------------------------------------------------------
     # Churn
     # ------------------------------------------------------------------
     def crash(self, node_id: int) -> None:

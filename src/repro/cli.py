@@ -24,6 +24,12 @@ Commands
     pointer-class attribution, a hop-class/verdict breakdown table, and
     optionally the full TRACE_v1 document as JSON. ``--sample N`` keeps
     a seeded reservoir of N lookup traces instead of all of them.
+``check``
+    Run the invariant-checking scenario search (:mod:`repro.verify`):
+    seeded scenarios driven through both overlays with every applicable
+    invariant evaluated per step. Failing scenarios are shrunk to a
+    replayable VERIFY_REPRO_v1 JSON (``--repro PATH``); ``--replay PATH``
+    re-runs such a document deterministically.
 ``demo``
     A 30-second end-to-end tour (used by the quickstart).
 
@@ -177,6 +183,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--json", default=None, metavar="PATH", help="write the TRACE_v1 document here"
+    )
+
+    check = sub.add_parser(
+        "check", help="invariant-checking scenario search (repro.verify)"
+    )
+    check.add_argument(
+        "--scenarios", type=int, default=200, help="number of generated scenarios"
+    )
+    check.add_argument("--seed", type=int, default=0, help="master random seed")
+    check.add_argument(
+        "--overlay",
+        choices=["chord", "pastry"],
+        default=None,
+        help="pin one overlay (default: alternate between both)",
+    )
+    check.add_argument(
+        "--smoke", action="store_true", help="CI-scale scenario count (seconds)"
+    )
+    check.add_argument(
+        "--json", default=None, metavar="PATH", help="write the CHECK_v1 document here"
+    )
+    check.add_argument(
+        "--repro",
+        default="verify_failure.json",
+        metavar="PATH",
+        help="where to write the shrunk VERIFY_REPRO_v1 on failure",
+    )
+    check.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="re-run a shrunk VERIFY_REPRO_v1 failure document instead of searching",
     )
 
     sub.add_parser("demo", help="30-second end-to-end tour")
@@ -430,6 +468,76 @@ def _render_trace(trace: dict) -> str:
     return "\n".join(lines)
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.verify import check_scenarios, replay_failure
+
+    started = time.time()
+    if args.replay:
+        report = replay_failure(args.replay)
+        scenario = report.scenario
+        print(
+            f"replayed {scenario.overlay} scenario "
+            f"(n={scenario.n}, bits={scenario.bits}, k={scenario.k}, "
+            f"seed={scenario.seed}, {len(scenario.steps)} steps)"
+        )
+        if report.passed:
+            print("replay PASSED: the recorded violation no longer reproduces")
+            return 0
+        for violation in report.violations:
+            print(
+                f"  step {violation.step}: {violation.invariant}: {violation.message}",
+                file=sys.stderr,
+            )
+        print(
+            f"replay FAILED: {len(report.violations)} violation(s) reproduced",
+            file=sys.stderr,
+        )
+        return 1
+
+    count = 25 if args.smoke else args.scenarios
+    document = check_scenarios(count, args.seed, args.overlay)
+    print(
+        f"checked {document['scenarios']} scenarios "
+        f"({document['overlay']} overlays, seed {document['seed']}): "
+        f"{document['lookups']} lookups verified"
+    )
+    print("invariant evaluations:")
+    for name, evaluations in document["checks"].items():
+        print(f"  {name:<24} {evaluations:>8}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(document, sort_keys=True, indent=2) + "\n")
+        print(f"\ncheck document written to {args.json}")
+    print(f"\n[{time.time() - started:.1f}s]")
+    if document["passed"]:
+        print("all invariants held")
+        return 0
+    failures = document["failures"]
+    for failure in failures:
+        violation = failure["violation"]
+        print(
+            f"FAIL (scenario {failure['scenario_index']}): "
+            f"{violation['invariant']}: {violation['message']}",
+            file=sys.stderr,
+        )
+    shrunk = [failure for failure in failures if failure.get("schema")]
+    if shrunk and args.repro:
+        with open(args.repro, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(shrunk[0], sort_keys=True, indent=2) + "\n")
+        print(
+            f"shrunk repro written to {args.repro} "
+            f"(replay with: repro check --replay {args.repro})",
+            file=sys.stderr,
+        )
+    print(
+        f"{document['scenarios_failed']} of {document['scenarios']} scenarios failed",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.sim.runner import ExperimentConfig, run_stable
 
@@ -456,6 +564,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "faults": _cmd_faults,
         "trace": _cmd_trace,
+        "check": _cmd_check,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.chord.ring import ChordRing, optimal_policy
 from repro.core.drift import RecomputationTrigger
+from repro.faults import arm_stable_plane
 from repro.util.errors import ConfigurationError
 from repro.util.ids import IdSpace
 from repro.util.rng import SeedSequenceRegistry
@@ -62,6 +63,7 @@ def compare_maintenance_strategies(
     periodic_interval: float = 62.5,
     seed: int = 0,
     flash_crowd_windows: list[tuple[float, float]] | None = None,
+    faults=None,
 ) -> dict[str, MaintenanceReport]:
     """Run the three strategies against identical drifting workloads.
 
@@ -73,6 +75,11 @@ def compare_maintenance_strategies(
     ``flash_crowd_windows`` is a list of ``(start, duration)`` pairs; each
     promotes one of the catalog's coldest items to rank 1 for the window
     (the items are chosen deterministically from the internal catalog).
+
+    ``faults`` optionally arms a
+    :class:`~repro.faults.schedule.FaultSchedule` on every strategy's ring
+    before measurement (setup faults once, per-message loss with robust
+    retries throughout); ``None`` preserves the legacy numbers bit for bit.
     """
     if epoch <= 0 or duration <= 0 or duration < epoch:
         raise ConfigurationError("need 0 < epoch <= duration")
@@ -96,6 +103,7 @@ def compare_maintenance_strategies(
             swap_count=swap_count,
             flash_crowds=crowds,
         )
+        plane, retry = arm_stable_plane(faults, registry.fresh("fault-plane"), ring)
         policy_rng = registry.fresh("policy")
         query_rng = registry.fresh("queries")
         triggers = {
@@ -147,7 +155,7 @@ def compare_maintenance_strategies(
             for __ in range(queries_per_epoch):
                 source = alive[query_rng.randrange(len(alive))]
                 item = popularity.sample_item(query_rng)
-                result = ring.lookup(source, item, record_access=False)
+                result = ring.lookup(source, item, record_access=False, retry=retry, faults=plane)
                 total_hops += result.latency
                 total_queries += 1
 

@@ -26,6 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.chord.ring import ChordRing, optimal_policy
+from repro.faults import arm_stable_plane
 from repro.util.errors import ConfigurationError
 from repro.util.ids import IdSpace
 from repro.util.rng import SeedSequenceRegistry
@@ -117,12 +118,16 @@ def simulate_item_churn(
     update_probability: float = 0.05,
     cache_capacity: int = 64,
     seed: int = 0,
+    faults=None,
 ) -> dict[str, ItemChurnReport]:
     """Compare pointer caching, item caching and plain Chord while a
     fraction ``update_probability`` of queries is preceded by an update to
     a (popularity-weighted) random item.
 
-    Returns ``{strategy: ItemChurnReport}``.
+    ``faults`` optionally injects a
+    :class:`~repro.faults.schedule.FaultSchedule` into every strategy's
+    ring (same plane seed per strategy, robust retries); ``None`` is the
+    bit-identical fault-free path. Returns ``{strategy: ItemChurnReport}``.
     """
     if not 0.0 <= update_probability <= 1.0:
         raise ConfigurationError("update_probability must be in [0, 1]")
@@ -147,6 +152,7 @@ def simulate_item_churn(
             ring.recompute_all_auxiliary(
                 effective_k, optimal_policy, registry.fresh("policy"), frequency_limit=256
             )
+        plane, retry = arm_stable_plane(faults, registry.fresh("fault-plane"), ring)
         caches = {node_id: ItemCache(cache_capacity) for node_id in ring.alive_ids()}
         world = _ItemWorld()
         generator = QueryGenerator(popularity, assignment, registry.fresh("queries"))
@@ -162,11 +168,15 @@ def simulate_item_churn(
                 cache = caches[query.source]
                 if cache.lookup(query.item, world.version(query.item)):
                     continue  # a hit costs zero hops (but may be stale)
-                result = ring.lookup(query.source, query.item, record_access=False)
+                result = ring.lookup(
+                    query.source, query.item, record_access=False, retry=retry, faults=plane
+                )
                 total_hops += result.latency
                 cache.store(query.item, world.version(query.item))
             else:
-                result = ring.lookup(query.source, query.item, record_access=False)
+                result = ring.lookup(
+                    query.source, query.item, record_access=False, retry=retry, faults=plane
+                )
                 total_hops += result.latency
         stale = sum(cache.stale_hits for cache in caches.values())
         hits = sum(cache.hits for cache in caches.values())

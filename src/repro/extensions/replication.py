@@ -23,6 +23,7 @@ from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.chord.ring import ChordRing, optimal_policy
+from repro.faults import arm_stable_plane
 from repro.util.ids import IdSpace
 from repro.util.rng import SeedSequenceRegistry
 from repro.util.validation import require_non_negative_int
@@ -87,11 +88,13 @@ class ReplicationReport:
         )
 
 
-def _route_until_replica(ring: ChordRing, source: int, item: int, holders: set[int]) -> int:
+def _route_until_replica(
+    ring: ChordRing, source: int, item: int, holders: set[int], retry=None, faults=None
+) -> int:
     """Hop count of a lookup that may stop early at any replica holder."""
     if source in holders:
         return 0
-    result = ring.lookup(source, item, record_access=False)
+    result = ring.lookup(source, item, record_access=False, retry=retry, faults=faults)
     hops = 0
     for node_id in result.path[1:]:
         hops += 1
@@ -109,12 +112,18 @@ def simulate_replication(
     replicated_fraction: float = 0.05,
     replication_level: int = 3,
     seed: int = 0,
+    faults=None,
 ) -> dict[str, ReplicationReport]:
     """Compare pointer caching against Beehive-style replication.
 
     The ``replicated_fraction`` most popular items get ``2**level``
     replicas each. Returns ``{strategy: ReplicationReport}`` for
     ``pointer``, ``replication`` and ``none``.
+
+    ``faults`` is an optional :class:`~repro.faults.schedule.FaultSchedule`
+    applied identically to every strategy's ring (setup crash burst /
+    partition, then per-message loss with robust retries); ``None`` keeps
+    the fault-free legacy behaviour bit for bit.
     """
     registry = SeedSequenceRegistry(seed)
     space = IdSpace(bits)
@@ -143,6 +152,7 @@ def simulate_replication(
             for item in popularity.rankings[0][:hot_count]:
                 directory.replicate(item, replication_level)
 
+        plane, retry = arm_stable_plane(faults, registry.fresh("fault-plane"), ring)
         generator = QueryGenerator(popularity, assignment, registry.fresh("queries"))
         alive = ring.alive_ids()
         total_hops = 0
@@ -150,10 +160,13 @@ def simulate_replication(
             query = generator.query_from(generator.random_source(alive))
             if strategy == "replication":
                 total_hops += _route_until_replica(
-                    ring, query.source, query.item, directory.holders(query.item)
+                    ring, query.source, query.item, directory.holders(query.item),
+                    retry=retry, faults=plane,
                 )
             else:
-                total_hops += ring.lookup(query.source, query.item, record_access=False).latency
+                total_hops += ring.lookup(
+                    query.source, query.item, record_access=False, retry=retry, faults=plane
+                ).latency
 
         replicated_items = list(directory._holders) or list(catalog)[:1]
         mean_update_cost = sum(directory.update_cost(item) for item in replicated_items) / len(

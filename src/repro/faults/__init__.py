@@ -17,7 +17,12 @@ Everything is driven by named RNG substreams derived from the experiment
 seed, so a fault-injected run is bit-reproducible at any worker count.
 """
 
-from repro.faults.injector import apply_stable_faults, install_fault_events, maybe_corrupt
+from repro.faults.injector import (
+    apply_stable_faults,
+    arm_stable_plane,
+    install_fault_events,
+    maybe_corrupt,
+)
 from repro.faults.plane import FaultPlane
 from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import FaultSchedule
@@ -27,6 +32,7 @@ __all__ = [
     "FaultSchedule",
     "RetryPolicy",
     "apply_stable_faults",
+    "arm_stable_plane",
     "install_fault_events",
     "maybe_corrupt",
 ]

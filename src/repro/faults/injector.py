@@ -26,7 +26,7 @@ from repro.faults.plane import FaultPlane
 if TYPE_CHECKING:  # pragma: no cover - avoids a faults <-> sim import cycle
     from repro.sim.events import EventScheduler
 
-__all__ = ["apply_stable_faults", "install_fault_events", "maybe_corrupt"]
+__all__ = ["apply_stable_faults", "arm_stable_plane", "install_fault_events", "maybe_corrupt"]
 
 
 def apply_stable_faults(plane: FaultPlane, overlay) -> None:
@@ -39,6 +39,24 @@ def apply_stable_faults(plane: FaultPlane, overlay) -> None:
             overlay.crash(victim)
     if schedule.partition_fraction > 0.0:
         plane.start_partition(overlay.alive_ids())
+
+
+def arm_stable_plane(schedule, rng: random.Random, overlay):
+    """Build and apply a stable-mode fault plane; return ``(plane, retry)``.
+
+    Convenience wrapper for clockless comparators (the extension studies):
+    an absent or inactive schedule yields ``(None, None)``, which threads
+    straight into ``lookup(retry=..., faults=...)`` as the fault-free
+    legacy path. An active one gets a plane seeded with ``rng``, the
+    one-shot setup faults, and the robust retry policy.
+    """
+    from repro.faults.retry import RetryPolicy
+
+    if schedule is None or not schedule.active:
+        return None, None
+    plane = FaultPlane(schedule, rng)
+    apply_stable_faults(plane, overlay)
+    return plane, RetryPolicy.robust()
 
 
 def maybe_corrupt(plane: FaultPlane, overlay) -> None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from bisect import bisect_left, insort
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.core.oblivious import select_pastry_oblivious, select_uniform_random
 from repro.core.pastry_selection import select_pastry
@@ -214,6 +214,33 @@ class PastryNetwork:
             self._alive[index - 1],  # wraps via [-1]
         }
         return min(candidates, key=lambda c: (circular_distance(self.space, c, key), c))
+
+    # ------------------------------------------------------------------
+    # Verification hooks (read-only introspection)
+    # ------------------------------------------------------------------
+    def leaf_snapshot(self) -> dict[int, frozenset[int]]:
+        """Per-live-node leaf sets, as installed right now."""
+        return {
+            node_id: self.nodes[node_id].leaf_snapshot() for node_id in self._alive
+        }
+
+    def reference_leaf_set(self, node_id: int) -> frozenset[int]:
+        """Ground-truth leaf set from the global view — what a
+        stabilization round installs. Verification compares per-node state
+        against this independent derivation."""
+        return frozenset(self._leaf_set(node_id))
+
+    def hop_distances(self, path: Iterable[int], key: int) -> list[tuple[int, int]]:
+        """``(shared_prefix_bits, circular_distance)`` from each path node
+        to ``key`` — the two quantities Pastry routing must improve on
+        every hop (longer prefix, or numerically closer)."""
+        return [
+            (
+                self.space.common_prefix_length(node_id, key),
+                circular_distance(self.space, node_id, key),
+            )
+            for node_id in path
+        ]
 
     # ------------------------------------------------------------------
     # Churn

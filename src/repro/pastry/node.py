@@ -136,6 +136,10 @@ class PastryNode:
         """Every currently-known neighbor."""
         return self.core | self.auxiliary | self.leaves
 
+    def leaf_snapshot(self) -> frozenset[int]:
+        """Read-only copy of the leaf set (verification hook)."""
+        return frozenset(self.leaves)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

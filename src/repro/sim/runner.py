@@ -94,6 +94,14 @@ class ExperimentConfig:
             raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
         if self.k is not None and self.k < 0:
             raise ConfigurationError(f"k must be non-negative, got {self.k}")
+        if self.k is not None and self.k >= self.n:
+            # A node can hold at most n - 1 distinct auxiliary pointers;
+            # beyond that the budget silently degenerates (selection just
+            # takes every candidate), which always signals a typo.
+            raise ConfigurationError(
+                f"k={self.k} must be smaller than n={self.n}: a node cannot "
+                f"point at more auxiliary neighbors than there are other peers"
+            )
 
     @property
     def effective_warmup_queries(self) -> int:

@@ -1,0 +1,56 @@
+"""Invariant-checking verification subsystem.
+
+The paper's correctness story rests on exact structural properties — the
+nesting property (P) of greedy Pastry selection (Lemma 4.1), equality of
+the fast Chord algorithm with the O(n^2 k) DP (eq. 7-10), and monotone
+progress of every routed hop under the overlay distance metrics (eq. 6).
+This package turns those properties into a standing adversary:
+
+* :mod:`repro.verify.invariants` — the registry of machine-checked
+  invariants with differential oracles (linear-scan responsibility,
+  brute-force selection on tiny instances).
+* :mod:`repro.verify.scenarios` — seeded scenario generation and the
+  deterministic engine that drives both overlays through churn, faults
+  and lookups while evaluating every applicable invariant per step.
+* :mod:`repro.verify.shrink` — a greedy shrinker that minimizes a
+  failing scenario while preserving the violated invariant, emitting a
+  replayable ``VERIFY_REPRO_v1`` JSON document.
+* :mod:`repro.verify.runner` — the ``repro check`` driver producing a
+  deterministic ``CHECK_v1`` document (bit-identical across runs with
+  the same seed, after :func:`~repro.obs.manifest.strip_volatile`).
+"""
+
+from repro.verify.invariants import REGISTRY, Invariant, Violation
+from repro.verify.runner import CHECK_SCHEMA, check_scenarios
+from repro.verify.scenarios import (
+    Scenario,
+    ScenarioReport,
+    generate_scenario,
+    generate_scenarios,
+    run_scenario,
+)
+from repro.verify.shrink import (
+    REPRO_SCHEMA,
+    failure_document,
+    load_failure,
+    replay_failure,
+    shrink,
+)
+
+__all__ = [
+    "CHECK_SCHEMA",
+    "REGISTRY",
+    "REPRO_SCHEMA",
+    "Invariant",
+    "Scenario",
+    "ScenarioReport",
+    "Violation",
+    "check_scenarios",
+    "failure_document",
+    "generate_scenario",
+    "generate_scenarios",
+    "load_failure",
+    "replay_failure",
+    "run_scenario",
+    "shrink",
+]

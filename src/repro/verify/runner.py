@@ -1,0 +1,81 @@
+"""The ``repro check`` driver: randomized invariant search over scenarios.
+
+Runs ``count`` generated scenarios (alternating overlays unless pinned),
+aggregates per-invariant evaluation counts, shrinks the first violation
+of each failing scenario, and assembles everything into a ``CHECK_v1``
+document. The document is a pure function of ``(count, seed, overlay)``
+up to the manifest's quarantined ``volatile`` block, so two runs with the
+same arguments are byte-identical after
+:func:`~repro.obs.manifest.strip_volatile` — the bit-identity acceptance
+gate of the verification subsystem itself.
+"""
+
+from __future__ import annotations
+
+from repro.obs.manifest import build_manifest
+from repro.verify.invariants import REGISTRY
+from repro.verify.scenarios import generate_scenarios, run_scenario
+from repro.verify.shrink import failure_document, shrink
+
+__all__ = ["CHECK_SCHEMA", "check_scenarios"]
+
+CHECK_SCHEMA = "CHECK_v1"
+
+#: Failures shrunk per run: one repro per failing scenario is plenty, and
+#: shrinking is the expensive part (each shrink re-runs scenarios).
+_MAX_SHRUNK_FAILURES = 5
+
+
+def check_scenarios(
+    count: int = 200,
+    seed: int = 0,
+    overlay: str | None = None,
+    *,
+    shrink_failures: bool = True,
+    shrink_budget: int = 200,
+) -> dict:
+    """Run the scenario search and return the ``CHECK_v1`` document."""
+    applicable = sorted(
+        name
+        for name, invariant in REGISTRY.items()
+        if overlay is None or overlay in invariant.overlays
+    )
+    checks: dict[str, int] = {name: 0 for name in applicable}
+    failures: list[dict] = []
+    scenarios_failed = 0
+    total_lookups = 0
+    for index, scenario in enumerate(generate_scenarios(count, seed, overlay)):
+        report = run_scenario(scenario)
+        total_lookups += report.lookups
+        for name, evaluations in report.checks.items():
+            checks[name] = checks.get(name, 0) + evaluations
+        if report.passed:
+            continue
+        scenarios_failed += 1
+        first = report.violations[0]
+        if shrink_failures and len(failures) < _MAX_SHRUNK_FAILURES:
+            result = shrink(scenario, first.invariant, budget=shrink_budget)
+            document = failure_document(scenario, result)
+        else:
+            document = {
+                "invariant": first.invariant,
+                "violation": first.to_dict(),
+                "scenario": scenario.to_dict(),
+            }
+        document["scenario_index"] = index
+        failures.append(document)
+    return {
+        "schema": CHECK_SCHEMA,
+        "overlay": overlay or "both",
+        "scenarios": count,
+        "seed": seed,
+        "passed": scenarios_failed == 0,
+        "scenarios_failed": scenarios_failed,
+        "lookups": total_lookups,
+        "checks": dict(sorted(checks.items())),
+        "failures": failures,
+        "manifest": build_manifest(
+            {"scenarios": count, "seed": seed, "overlay": overlay or "both"},
+            seed=seed,
+        ),
+    }

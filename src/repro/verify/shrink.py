@@ -1,0 +1,157 @@
+"""Greedy scenario shrinking and replayable failure documents.
+
+When a scenario violates an invariant, the raw scenario is usually far
+bigger than the bug: dozens of nodes, several churn events, a long lookup
+tail. The shrinker applies the classic greedy delta-debugging loop —
+propose a smaller variant, keep it iff the *same* invariant still fires —
+until no proposed reduction reproduces the violation or the evaluation
+budget runs out. Reductions, in preference order: drop whole steps, cut
+step arguments (lookup counts, burst sizes), shrink the population,
+shrink the auxiliary budget k, and disable message loss.
+
+Preserving the violated *invariant name* (not the exact message) is the
+standard fidelity/aggressiveness trade-off: messages carry node ids that
+legitimately change as the scenario shrinks.
+
+The result is emitted as a ``VERIFY_REPRO_v1`` JSON document carrying the
+shrunk scenario, the violation, the original scenario for context, and a
+``MANIFEST_v1`` provenance block. :func:`replay_failure` (surfaced as
+``repro check --replay``) re-runs the embedded scenario deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.obs.manifest import build_manifest
+from repro.util.errors import ConfigurationError
+from repro.verify.invariants import Violation
+from repro.verify.scenarios import Scenario, ScenarioReport, run_scenario
+
+__all__ = [
+    "REPRO_SCHEMA",
+    "ShrinkResult",
+    "failure_document",
+    "load_failure",
+    "replay_failure",
+    "shrink",
+]
+
+REPRO_SCHEMA = "VERIFY_REPRO_v1"
+
+#: Default cap on scenario re-executions during one shrink.
+_DEFAULT_BUDGET = 200
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """A minimized failing scenario plus the violation it preserves."""
+
+    scenario: Scenario
+    violation: Violation
+    evaluations: int
+
+
+def _first_violation(scenario: Scenario, invariant: str) -> Violation | None:
+    """The first violation of ``invariant`` when running ``scenario``."""
+    for violation in run_scenario(scenario).violations:
+        if violation.invariant == invariant:
+            return violation
+    return None
+
+
+def _candidates(scenario: Scenario):
+    """Smaller variants of ``scenario``, most aggressive first."""
+    steps = scenario.steps
+    if len(steps) > 1:
+        for index in range(len(steps) - 1, -1, -1):
+            yield replace(scenario, steps=steps[:index] + steps[index + 1 :])
+    for index, (op, arg) in enumerate(steps):
+        if arg > 1:
+            reductions = [1]
+            if arg // 2 > 1:
+                reductions.append(arg // 2)
+            for smaller in reductions:
+                shrunk = steps[:index] + ((op, smaller),) + steps[index + 1 :]
+                yield replace(scenario, steps=shrunk)
+    if scenario.n > 4:
+        for smaller in dict.fromkeys((max(4, scenario.n // 2), scenario.n - 1)):
+            yield replace(scenario, n=smaller)
+    if scenario.k > 0:
+        for smaller in dict.fromkeys((scenario.k // 2, scenario.k - 1)):
+            yield replace(scenario, k=smaller)
+    if scenario.loss_rate > 0.0:
+        yield replace(scenario, loss_rate=0.0)
+
+
+def shrink(
+    scenario: Scenario, invariant: str, *, budget: int = _DEFAULT_BUDGET
+) -> ShrinkResult:
+    """Greedily minimize ``scenario`` while ``invariant`` keeps firing.
+
+    Raises :class:`~repro.util.errors.ConfigurationError` when the
+    scenario does not actually violate ``invariant`` (a shrink that
+    starts from a passing scenario would silently return garbage).
+    """
+    violation = _first_violation(scenario, invariant)
+    if violation is None:
+        raise ConfigurationError(
+            f"scenario does not violate invariant {invariant!r}; nothing to shrink"
+        )
+    evaluations = 1
+    current = scenario
+    improved = True
+    while improved and evaluations < budget:
+        improved = False
+        for candidate in _candidates(current):
+            if evaluations >= budget:
+                break
+            evaluations += 1
+            found = _first_violation(candidate, invariant)
+            if found is not None:
+                current, violation = candidate, found
+                improved = True
+                break  # greedy restart from the smaller scenario
+    return ShrinkResult(scenario=current, violation=violation, evaluations=evaluations)
+
+
+# ----------------------------------------------------------------------
+# Failure documents
+# ----------------------------------------------------------------------
+def failure_document(original: Scenario, result: ShrinkResult) -> dict:
+    """The replayable ``VERIFY_REPRO_v1`` JSON document for one failure."""
+    return {
+        "schema": REPRO_SCHEMA,
+        "invariant": result.violation.invariant,
+        "violation": result.violation.to_dict(),
+        "scenario": result.scenario.to_dict(),
+        "original": original.to_dict(),
+        "shrink_evaluations": result.evaluations,
+        "manifest": build_manifest(result.scenario, seed=result.scenario.seed),
+    }
+
+
+def load_failure(path) -> dict:
+    """Parse and schema-check a ``VERIFY_REPRO_v1`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema") != REPRO_SCHEMA:
+        raise ConfigurationError(
+            f"{path} is not a {REPRO_SCHEMA} document "
+            f"(schema={document.get('schema')!r})"
+        )
+    return document
+
+
+def replay_failure(document) -> ScenarioReport:
+    """Re-run the scenario embedded in a failure document (or its path).
+
+    Deterministic: replaying an unfixed failure reproduces the violation;
+    after a fix the same replay passes — which is exactly how a shrunk
+    repro should be used in a regression test.
+    """
+    if isinstance(document, (str, Path)):
+        document = load_failure(document)
+    return run_scenario(Scenario.from_dict(document["scenario"]))

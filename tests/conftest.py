@@ -1,0 +1,35 @@
+"""Shared fixtures for the whole test tree.
+
+``small_universe`` is the one way tests build overlay instances: a
+factory fixture taking ``(overlay, n, bits, seed)`` — the same copy-
+pasted defaults half the suite used to re-declare locally. Using the
+factory keeps universe parameters greppable in one place and gives every
+test file the same meaning for "a small ring".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chord.ring import ChordRing
+from repro.pastry.network import PastryNetwork
+from repro.util.ids import IdSpace
+
+
+@pytest.fixture
+def small_universe():
+    """Factory for small stabilized overlays: ``small_universe("chord")``.
+
+    Extra keyword arguments forward to the overlay's ``build`` (e.g.
+    ``successor_list_size`` for Chord, ``leaf_radius`` for Pastry).
+    """
+
+    def build(overlay: str = "chord", n: int = 32, bits: int = 16, seed: int = 3, **kwargs):
+        space = IdSpace(bits)
+        if overlay == "chord":
+            return ChordRing.build(n, space=space, seed=seed, **kwargs)
+        if overlay == "pastry":
+            return PastryNetwork.build(n, space=space, seed=seed, **kwargs)
+        raise ValueError(f"unknown overlay {overlay!r}")
+
+    return build

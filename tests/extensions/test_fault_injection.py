@@ -1,0 +1,104 @@
+"""Fault injection across the extension comparators.
+
+Every extension study accepts an optional ``faults`` schedule. The
+contracts defended here:
+
+* omitting it, passing ``None`` and passing an *inactive* schedule are
+  all bit-identical (the legacy fault-free path is untouched);
+* an active schedule still produces a deterministic, seed-reproducible
+  report for every strategy;
+* injected faults actually bite — hop counts move and the pointer scheme
+  keeps functioning (the study stays meaningful under loss and crashes).
+"""
+
+import pytest
+
+from repro.extensions.adaptive import compare_maintenance_strategies
+from repro.extensions.item_cache import simulate_item_churn
+from repro.extensions.replication import simulate_replication
+from repro.faults import FaultSchedule
+
+LOSSY = FaultSchedule(loss_rate=0.05, crash_burst_size=3, stale_rate=0.01)
+
+
+def small_adaptive(**overrides):
+    defaults = dict(
+        n=24,
+        bits=16,
+        duration=100.0,
+        epoch=12.5,
+        queries_per_epoch=30,
+        swap_interval=25.0,
+        swap_count=4,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return compare_maintenance_strategies(**defaults)
+
+
+def small_replication(**overrides):
+    defaults = dict(
+        n=24, bits=16, queries=600, replicated_fraction=0.1, replication_level=2, seed=3
+    )
+    defaults.update(overrides)
+    return simulate_replication(**defaults)
+
+
+def small_item_churn(**overrides):
+    defaults = dict(n=24, bits=16, queries=800, update_probability=0.1, seed=3)
+    defaults.update(overrides)
+    return simulate_item_churn(**defaults)
+
+
+RUNNERS = {
+    "adaptive": small_adaptive,
+    "replication": small_replication,
+    "item_cache": small_item_churn,
+}
+
+
+@pytest.mark.parametrize("runner", RUNNERS.values(), ids=RUNNERS.keys())
+class TestLegacyBitCompatibility:
+    def test_none_matches_omitted(self, runner):
+        assert runner(faults=None) == runner()
+
+    def test_inactive_schedule_matches_omitted(self, runner):
+        assert runner(faults=FaultSchedule()) == runner()
+
+
+@pytest.mark.parametrize("runner", RUNNERS.values(), ids=RUNNERS.keys())
+class TestFaultyRuns:
+    def test_deterministic_under_faults(self, runner):
+        assert runner(faults=LOSSY) == runner(faults=LOSSY)
+
+    def test_faults_change_the_numbers(self, runner):
+        clean = runner()
+        faulty = runner(faults=LOSSY)
+        hops = lambda reports: [r.mean_hops for r in reports.values()]
+        assert hops(faulty) != hops(clean)
+
+
+class TestFaultSemantics:
+    def test_adaptive_crashed_nodes_stop_recomputing(self):
+        clean = small_adaptive()
+        faulty = small_adaptive(faults=FaultSchedule(crash_burst_size=4))
+        # The burst removes 4 nodes before the initial selection, so the
+        # static strategy recomputes once per *surviving* node.
+        assert clean["static"].recomputations == 24
+        assert faulty["static"].recomputations == 20
+
+    def test_replication_still_reports_every_strategy(self):
+        reports = small_replication(faults=LOSSY)
+        assert set(reports) == {"pointer", "replication", "none"}
+        assert all(r.mean_hops > 0 for r in reports.values())
+        assert reports["replication"].replicas > 0
+
+    def test_item_cache_hits_unaffected_by_message_loss(self):
+        # Loss slows down *routing*; the node-local cache decision stream
+        # (same queries, same versions) is independent of the plane.
+        clean = small_item_churn()
+        faulty = small_item_churn(faults=FaultSchedule(loss_rate=0.08))
+        assert faulty["item-cache"].cache_hit_rate == clean["item-cache"].cache_hit_rate
+        assert faulty["item-cache"].stale_answer_rate == clean["item-cache"].stale_answer_rate
+        # ...while the routed misses got more expensive.
+        assert faulty["none"].mean_hops > clean["none"].mean_hops

@@ -2,9 +2,7 @@
 
 import random
 
-from repro.chord.ring import ChordRing
 from repro.faults import FaultPlane, FaultSchedule
-from repro.util.ids import IdSpace
 
 
 def make_plane(schedule: FaultSchedule, seed: int = 7) -> FaultPlane:
@@ -91,8 +89,8 @@ class TestChooseBurst:
 
 
 class TestCorruptPointer:
-    def test_prefers_a_dead_target(self):
-        ring = ChordRing.build(16, space=IdSpace(16), seed=4)
+    def test_prefers_a_dead_target(self, small_universe):
+        ring = small_universe("chord", n=16, seed=4)
         dead = ring.alive_ids()[3]
         ring.crash(dead)
         plane = make_plane(FaultSchedule(stale_rate=1.0))
@@ -101,8 +99,8 @@ class TestCorruptPointer:
         assert target in ring.node(victim).auxiliary
         assert plane.corrupted == 1
 
-    def test_falls_back_to_a_live_wrong_target(self):
-        ring = ChordRing.build(8, space=IdSpace(16), seed=4)
+    def test_falls_back_to_a_live_wrong_target(self, small_universe):
+        ring = small_universe("chord", n=8, seed=4)
         plane = make_plane(FaultSchedule(stale_rate=1.0))
         victim, target = plane.corrupt_pointer(ring)
         assert target != victim

@@ -11,19 +11,8 @@ import random
 
 import pytest
 
-from repro.chord.ring import ChordRing
 from repro.chord.routing import LookupResult
 from repro.faults import FaultPlane, FaultSchedule, RetryPolicy
-from repro.pastry.network import PastryNetwork
-from repro.util.ids import IdSpace
-
-
-def chord_ring(n=32, bits=16, seed=3) -> ChordRing:
-    return ChordRing.build(n, space=IdSpace(bits), seed=seed)
-
-
-def pastry_net(n=32, bits=16, seed=3) -> PastryNetwork:
-    return PastryNetwork.build(n, space=IdSpace(bits), seed=seed)
 
 
 def all_lookups(overlay, is_chord, **kwargs):
@@ -53,21 +42,21 @@ class TestLatencyAccounting:
 
 class TestBitCompatibility:
     @pytest.mark.parametrize("is_chord", [True, False])
-    def test_explicit_single_policy_matches_default(self, is_chord):
-        build = chord_ring if is_chord else pastry_net
-        before = all_lookups(build(), is_chord)
-        after = all_lookups(build(), is_chord, retry=RetryPolicy.single())
+    def test_explicit_single_policy_matches_default(self, is_chord, small_universe):
+        kind = "chord" if is_chord else "pastry"
+        before = all_lookups(small_universe(kind), is_chord)
+        after = all_lookups(small_universe(kind), is_chord, retry=RetryPolicy.single())
         assert [(r.hops, r.timeouts, r.path) for r in before] == [
             (r.hops, r.timeouts, r.path) for r in after
         ]
         assert all(r.penalty == 0.0 for r in after)
 
     @pytest.mark.parametrize("is_chord", [True, False])
-    def test_lossless_plane_matches_no_plane(self, is_chord):
-        build = chord_ring if is_chord else pastry_net
+    def test_lossless_plane_matches_no_plane(self, is_chord, small_universe):
+        kind = "chord" if is_chord else "pastry"
         plane = FaultPlane(FaultSchedule(), random.Random(0))
-        before = all_lookups(build(), is_chord)
-        after = all_lookups(build(), is_chord, faults=plane)
+        before = all_lookups(small_universe(kind), is_chord)
+        after = all_lookups(small_universe(kind), is_chord, faults=plane)
         assert [(r.hops, r.timeouts, r.path) for r in before] == [
             (r.hops, r.timeouts, r.path) for r in after
         ]
@@ -75,9 +64,8 @@ class TestBitCompatibility:
 
 class TestRetryUnderLoss:
     @pytest.mark.parametrize("is_chord", [True, False])
-    def test_robust_retry_keeps_lookups_succeeding(self, is_chord):
-        build = chord_ring if is_chord else pastry_net
-        overlay = build()
+    def test_robust_retry_keeps_lookups_succeeding(self, is_chord, small_universe):
+        overlay = small_universe("chord" if is_chord else "pastry")
         plane = FaultPlane(FaultSchedule(loss_rate=0.1), random.Random(5))
         results = all_lookups(overlay, is_chord, retry=RetryPolicy.robust(), faults=plane)
         assert plane.dropped > 0
@@ -89,20 +77,20 @@ class TestRetryUnderLoss:
             assert (r.penalty == 0.0) or (r.timeouts > 0)
             assert r.latency >= r.hops + r.timeouts
 
-    def test_retry_drops_fewer_live_neighbors_than_single(self):
+    def test_retry_drops_fewer_live_neighbors_than_single(self, small_universe):
         """The point of retrying: under pure message loss (all nodes live)
         the single-attempt policy evicts healthy neighbors on every drop;
         the robust policy retries through, keeping timeout counts at the
         same order but never severing live links permanently."""
         schedule = FaultSchedule(loss_rate=0.15)
-        single_overlay = chord_ring(seed=6)
+        single_overlay = small_universe("chord", seed=6)
         single_results = all_lookups(
             single_overlay,
             True,
             retry=RetryPolicy.single(),
             faults=FaultPlane(schedule, random.Random(9)),
         )
-        robust_overlay = chord_ring(seed=6)
+        robust_overlay = small_universe("chord", seed=6)
         robust_results = all_lookups(
             robust_overlay,
             True,
@@ -122,8 +110,8 @@ class TestRetryUnderLoss:
 
 
 class TestFailover:
-    def test_chord_routes_around_a_crashed_hop(self):
-        ring = chord_ring(n=48, seed=11)
+    def test_chord_routes_around_a_crashed_hop(self, small_universe):
+        ring = small_universe("chord", n=48, seed=11)
         ids = ring.alive_ids()
         # Find a lookup that transits an intermediate node.
         probe = None
@@ -145,8 +133,8 @@ class TestFailover:
         assert intermediate not in rerouted.path
         assert rerouted.timeouts >= 1  # paid for discovering the corpse
 
-    def test_exhausted_neighbor_is_evicted(self):
-        ring = chord_ring(n=24, seed=2)
+    def test_exhausted_neighbor_is_evicted(self, small_universe):
+        ring = small_universe("chord", n=24, seed=2)
         source = ring.alive_ids()[0]
         # Any table entry works as the victim: keying the lookup on the
         # victim id itself makes it the forced first hop.
@@ -158,8 +146,8 @@ class TestFailover:
 
 
 class TestPartitionedRouting:
-    def test_partition_blocks_cross_cut_forwards(self):
-        ring = chord_ring(n=32, seed=8)
+    def test_partition_blocks_cross_cut_forwards(self, small_universe):
+        ring = small_universe("chord", n=32, seed=8)
         plane = FaultPlane(FaultSchedule(partition_fraction=0.4), random.Random(1))
         plane.start_partition(ring.alive_ids())
         all_lookups(ring, True, faults=plane)

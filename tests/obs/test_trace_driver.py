@@ -15,15 +15,12 @@ The contracts defended here are the tentpole's acceptance criteria:
 
 import json
 
-from repro.chord.ring import ChordRing
 from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import FaultSchedule
 from repro.obs.driver import trace_cell, trace_cells
 from repro.obs.manifest import strip_volatile
 from repro.obs.recorder import LookupTracer, NullRecorder
-from repro.pastry.network import PastryNetwork
 from repro.sim.runner import ExperimentConfig, run_stable
-from repro.util.ids import IdSpace
 
 
 def cell_config(overlay="chord", **overrides) -> ExperimentConfig:
@@ -60,9 +57,9 @@ class TestObserveOnly:
         ) + verdicts.get("dropped", 0) + verdicts.get("blocked", 0)
         assert verdicts  # loss/crash produced at least one verdict
 
-    def test_null_recorder_routes_identically_to_none(self):
+    def test_null_recorder_routes_identically_to_none(self, small_universe):
         def lookups(trace):
-            overlay = ChordRing.build(24, space=IdSpace(16), seed=7)
+            overlay = small_universe("chord", n=24, seed=7)
             ids = overlay.alive_ids()
             return [
                 overlay.lookup(source, key, record_access=False, trace=trace)
@@ -130,7 +127,7 @@ class TestRetryExactness:
     totals bit for bit, verified through the trace events themselves."""
 
     def faulty_overlay(self, build):
-        overlay = build(32, space=IdSpace(16), seed=13)
+        overlay = build(seed=13)
         for victim in overlay.alive_ids()[-4:]:
             overlay.crash(victim)
         return overlay
@@ -144,7 +141,8 @@ class TestRetryExactness:
             if key != source
         ]
 
-    def check_overlay(self, build):
+    def check_overlay(self, small_universe, kind):
+        build = lambda **kwargs: small_universe(kind, **kwargs)
         legacy = self.run_all(self.faulty_overlay(build))
         tracer = LookupTracer()
         defaulted = self.run_all(
@@ -163,8 +161,8 @@ class TestRetryExactness:
             assert all(event.attempts <= 1 for event in trace.events)
         assert tracer.counters.total_timeouts == sum(r.timeouts for r in defaulted)
 
-    def test_chord(self):
-        self.check_overlay(ChordRing.build)
+    def test_chord(self, small_universe):
+        self.check_overlay(small_universe, "chord")
 
-    def test_pastry(self):
-        self.check_overlay(PastryNetwork.build)
+    def test_pastry(self, small_universe):
+        self.check_overlay(small_universe, "pastry")

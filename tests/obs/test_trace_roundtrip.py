@@ -1,0 +1,77 @@
+"""``repro trace --json`` round-trip: the written document survives a
+re-parse and its hop accounting reconciles with an independent
+:class:`~repro.sim.metrics.HopStatistics` run of the same seed.
+
+The driver-level tests in ``test_trace_driver.py`` exercise the in-memory
+document; these go through the CLI and the JSON file on disk, because
+that file is what dashboards and the CI artifact consume.
+"""
+
+import json
+
+from repro.cli import main
+from repro.obs.driver import trace_cell
+from repro.sim.runner import ExperimentConfig
+
+ARGS = ["chord", "--n", "24", "--bits", "16", "--queries", "300", "--seed", "5"]
+CONFIG = ExperimentConfig(overlay="chord", n=24, bits=16, queries=300, seed=5)
+
+
+def written_document(tmp_path, extra=()):
+    path = tmp_path / "trace.json"
+    assert main(["trace", *ARGS, *extra, "--json", str(path)]) == 0
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+class TestRoundTrip:
+    def test_reparses_with_schema_and_sorted_keys(self, tmp_path):
+        document = written_document(tmp_path)
+        assert document["schema"] == "TRACE_v1"
+        assert document["manifest"]["schema"] == "MANIFEST_v1"
+        # The file is canonical JSON: re-serializing the parsed document
+        # with the writer's settings reproduces the bytes exactly.
+        raw = (tmp_path / "trace.json").read_text(encoding="utf-8")
+        assert raw == json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+    def test_totals_reconcile_with_hop_statistics(self, tmp_path):
+        document = written_document(tmp_path)
+        stats = trace_cell(CONFIG)["stats"]
+        assert document["stats"] == stats
+        counters = document["counters"]
+        assert counters["lookups"] == stats["lookups"]
+        assert counters["succeeded"] == stats["successes"]
+        assert counters["failed"] == stats["failures"]
+        # Fault-free cell: every lookup succeeds with zero timeouts, so
+        # the class-attributed forwards must add up to exactly the
+        # HopStatistics latency total (mean over successes x successes).
+        assert stats["failures"] == 0 and counters["timeouts_by_verdict"] == {}
+        delivered = sum(counters["hops_by_class"].values())
+        assert delivered == round(stats["mean_hops"] * stats["successes"])
+
+    def test_faulty_cell_still_reconciles(self, tmp_path):
+        document = written_document(tmp_path, extra=["--loss", "0.05"])
+        stats, counters = document["stats"], document["counters"]
+        assert counters["lookups"] == stats["lookups"]
+        assert counters["succeeded"] == stats["successes"]
+        assert counters["failed"] == stats["failures"]
+        # The plane actually dropped messages and every timeout carries an
+        # attributed verdict.
+        assert document["fault_counters"]["dropped"] > 0
+        assert stats["timeout_rate"] > 0.0
+        assert sum(counters["timeouts_by_verdict"].values()) > 0
+
+    def test_kept_traces_reconcile_event_by_event(self, tmp_path):
+        document = written_document(tmp_path, extra=["--sample", "6"])
+        assert document["kept"] == 6
+        for trace in document["traces"]:
+            delivered = [event for event in trace["events"] if event["delivered"]]
+            assert len(delivered) == trace["hops"]
+            assert sum(event["timeouts"] for event in trace["events"]) == trace["timeouts"]
+
+    def test_same_seed_writes_identical_documents(self, tmp_path):
+        first = written_document(tmp_path)
+        (tmp_path / "trace.json").unlink()
+        second = written_document(tmp_path)
+        first["manifest"].pop("volatile")
+        second["manifest"].pop("volatile")
+        assert first == second

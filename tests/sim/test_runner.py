@@ -59,6 +59,16 @@ class TestConfig:
         with pytest.raises(ConfigurationError):
             ExperimentConfig(overlay="pastry", alpha=-1.2)
 
+    def test_rejects_k_at_or_above_n(self):
+        # k >= n used to slip through and silently degenerate selection
+        # (every candidate fits the budget); it is always a typo.
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlay="chord", n=16, bits=8, k=16)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlay="pastry", n=16, bits=8, k=40)
+        # The largest meaningful budget, n - 1, stays legal.
+        assert ExperimentConfig(overlay="chord", n=16, bits=8, k=15).effective_k == 15
+
     def test_rejects_negative_k(self):
         with pytest.raises(ConfigurationError):
             ExperimentConfig(overlay="chord", k=-1)

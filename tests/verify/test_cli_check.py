@@ -1,0 +1,61 @@
+"""``repro check`` CLI: green runs, JSON documents, repro write + replay."""
+
+import dataclasses
+import json
+
+from repro.cli import main
+from repro.core import chord_selection
+
+
+def miscosted(solver):
+    def broken(problem):
+        result = solver(problem)
+        return dataclasses.replace(result, cost=result.cost + 0.5)
+
+    return broken
+
+
+class TestCheckCommand:
+    def test_green_run_writes_check_document(self, tmp_path, capsys):
+        out = tmp_path / "check.json"
+        code = main(["check", "--scenarios", "4", "--seed", "0", "--json", str(out)])
+        assert code == 0
+        assert "all invariants held" in capsys.readouterr().out
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["schema"] == "CHECK_v1"
+        assert document["passed"] is True
+        assert document["scenarios"] == 4
+        assert all(count >= 0 for count in document["checks"].values())
+
+    def test_failing_run_writes_replayable_repro(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(
+            chord_selection,
+            "select_chord_fast",
+            miscosted(chord_selection.select_chord_fast),
+        )
+        repro_path = tmp_path / "failure.json"
+        code = main(
+            [
+                "check",
+                "--scenarios",
+                "2",
+                "--seed",
+                "0",
+                "--overlay",
+                "chord",
+                "--repro",
+                str(repro_path),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "selection.equivalence" in captured.err
+        document = json.loads(repro_path.read_text(encoding="utf-8"))
+        assert document["schema"] == "VERIFY_REPRO_v1"
+
+        # Replay under the mutation: the violation reproduces (exit 1).
+        assert main(["check", "--replay", str(repro_path)]) == 1
+        # Replay after the fix: green (exit 0).
+        monkeypatch.undo()
+        assert main(["check", "--replay", str(repro_path)]) == 0
+        assert "replay PASSED" in capsys.readouterr().out

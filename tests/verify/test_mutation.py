@@ -1,0 +1,150 @@
+"""Mutation tests: deliberately broken code must be caught, shrunk and
+replayable.
+
+This is the acceptance gate for the whole subsystem: plant a bug in a
+solver or a router, watch the invariant search flag it, shrink the
+failing scenario, write the repro JSON, and confirm the JSON replays to
+the same violation while the bug is in — and goes green once it is out.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import chord_selection, pastry_selection
+from repro.util.errors import ConfigurationError
+from repro.verify import (
+    check_scenarios,
+    failure_document,
+    load_failure,
+    replay_failure,
+    run_scenario,
+    shrink,
+)
+from repro.verify.scenarios import generate_scenario, generate_scenarios
+
+
+def miscosted(solver, delta=0.5):
+    """A solver whose reported cost is off by ``delta`` (selection kept)."""
+
+    def broken(problem):
+        result = solver(problem)
+        return dataclasses.replace(result, cost=result.cost + delta)
+
+    return broken
+
+
+def first_chord_scenario_with_selection(master_seed=0, count=20):
+    for scenario in generate_scenarios(count, master_seed, "chord"):
+        if any(op == "recompute" for op, __ in scenario.steps):
+            return scenario
+    raise AssertionError("no chord scenario with a recompute step")
+
+
+class TestMutationIsCaught:
+    def test_broken_fast_solver_flagged_as_equivalence(self, monkeypatch):
+        scenario = first_chord_scenario_with_selection()
+        assert run_scenario(scenario).passed
+        monkeypatch.setattr(
+            chord_selection,
+            "select_chord_fast",
+            miscosted(chord_selection.select_chord_fast),
+        )
+        report = run_scenario(scenario)
+        assert not report.passed
+        assert report.violations[0].invariant == "selection.equivalence"
+
+    def test_broken_pastry_greedy_flagged(self, monkeypatch):
+        scenario = next(iter(generate_scenarios(2, 0, "pastry")))
+        monkeypatch.setattr(
+            pastry_selection,
+            "select_pastry_greedy",
+            miscosted(pastry_selection.select_pastry_greedy),
+        )
+        report = run_scenario(scenario)
+        assert not report.passed
+        assert any(
+            violation.invariant in ("selection.equivalence", "selection.nesting")
+            for violation in report.violations
+        )
+
+
+class TestShrinkAndReplay:
+    def test_shrink_rejects_a_passing_scenario(self):
+        scenario = first_chord_scenario_with_selection()
+        with pytest.raises(ConfigurationError):
+            shrink(scenario, "selection.equivalence")
+
+    def test_end_to_end_catch_shrink_replay(self, monkeypatch, tmp_path):
+        scenario = first_chord_scenario_with_selection()
+        monkeypatch.setattr(
+            chord_selection,
+            "select_chord_fast",
+            miscosted(chord_selection.select_chord_fast),
+        )
+        result = shrink(scenario, "selection.equivalence")
+        # The shrunk repro is genuinely smaller and still violating.
+        assert result.scenario.n <= scenario.n
+        assert len(result.scenario.steps) <= len(scenario.steps)
+        assert result.violation.invariant == "selection.equivalence"
+
+        document = failure_document(scenario, result)
+        path = tmp_path / "failure.json"
+        import json
+
+        path.write_text(json.dumps(document, sort_keys=True, indent=2))
+        loaded = load_failure(path)
+        assert loaded["invariant"] == "selection.equivalence"
+        assert loaded["original"] == scenario.to_dict()
+
+        # While the bug is in: the repro file reproduces the violation.
+        replayed = replay_failure(loaded)
+        assert not replayed.passed
+        assert replayed.violations[0].invariant == "selection.equivalence"
+
+        # Bug out: the same file replays green.
+        monkeypatch.undo()
+        assert replay_failure(loaded).passed
+
+    def test_check_scenarios_shrinks_the_failure(self, monkeypatch):
+        monkeypatch.setattr(
+            chord_selection,
+            "select_chord_fast",
+            miscosted(chord_selection.select_chord_fast),
+        )
+        document = check_scenarios(count=4, seed=0, overlay="chord", shrink_budget=40)
+        assert not document["passed"]
+        assert document["scenarios_failed"] > 0
+        failure = document["failures"][0]
+        assert failure["schema"] == "VERIFY_REPRO_v1"
+        assert failure["invariant"] == "selection.equivalence"
+        shrunk = failure["scenario"]
+        original = failure["original"]
+        assert (shrunk["n"], len(shrunk["steps"])) <= (
+            original["n"],
+            len(original["steps"]),
+        )
+
+
+class TestRoutingMutation:
+    def test_tampered_recorder_breaks_reconciliation(self, monkeypatch):
+        """A recorder that silently drops lookups must trip
+        ``trace.reconciliation`` (counters no longer cover the stream)."""
+        from repro.obs import recorder as recorder_module
+
+        original = recorder_module.LookupTracer.record_lookup
+        calls = iter(range(10**9))
+
+        def leaky(self, result, events):
+            if next(calls) % 5 != 4:  # drop every fifth lookup on the floor
+                original(self, result, events)
+
+        scenario = generate_scenario(0, 0, "chord")
+        assert run_scenario(scenario).passed
+        monkeypatch.setattr(recorder_module.LookupTracer, "record_lookup", leaky)
+        report = run_scenario(scenario)
+        assert not report.passed
+        assert any(
+            violation.invariant == "trace.reconciliation"
+            for violation in report.violations
+        )

@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.chord.ring import ChordRing
 from repro.util.errors import ConfigurationError
-from repro.util.ids import IdSpace
 from repro.workload.queries import Query
 from repro.workload.trace import QueryTrace
 
@@ -80,8 +78,8 @@ class TestPersistence:
 
 
 class TestReplay:
-    def test_replay_reproducible(self):
-        ring = ChordRing.build(16, space=IdSpace(14), seed=1)
+    def test_replay_reproducible(self, small_universe):
+        ring = small_universe("chord", n=16, bits=14, seed=1)
         ids = ring.alive_ids()
         trace = QueryTrace.from_queries([Query(ids[0], 100), Query(ids[1], 5000)])
         first = [r.hops for r in trace.replay_onto(ring)]
@@ -89,8 +87,8 @@ class TestReplay:
         assert first == second
         assert all(r.succeeded for r in trace.replay_onto(ring))
 
-    def test_replay_skips_dead_and_unknown_sources(self):
-        ring = ChordRing.build(8, space=IdSpace(14), seed=2)
+    def test_replay_skips_dead_and_unknown_sources(self, small_universe):
+        ring = small_universe("chord", n=8, bits=14, seed=2)
         ids = ring.alive_ids()
         stranger = next(i for i in range(2**14) if i not in ring.nodes)
         trace = QueryTrace.from_queries(
