@@ -1,92 +1,16 @@
-"""Generate the EXPERIMENTS.md measurement tables.
+"""Thin shim: ``python scripts/run_report.py`` == ``python -m repro report``.
 
-Runs every figure at "report" scale: the paper's node counts and 32-bit
-ids, with query volumes and churn durations sized for a small box.
-Writes markdown tables and the detailed series to results/report.*.
-
-Figure cells fan out over worker processes (``--jobs``, or the
-``REPRO_JOBS`` environment variable, default: all CPUs); the emitted
-series are bit-identical at any worker count.
+The report runner moved into the package (:func:`repro.experiments.report.
+run_report`, surfaced as the ``repro report`` subcommand); this script
+stays for muscle memory and CI back-compat and just delegates.
 """
 
-import argparse
-import json
 import pathlib
 import sys
-import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.experiments.figures import FigurePreset, run_figure
-from repro.experiments.report import render_detail, render_markdown, render_table
-from repro.util.parallel import resolve_jobs
-
-REPORT = FigurePreset(
-    name="report",
-    bits=32,
-    queries=10_000,
-    pastry_sizes=(256, 512, 1024, 2048),
-    pastry_k_base=1024,
-    chord_sizes=(128, 256, 512, 1024),
-    chord_k_base=512,
-    churn_duration=600.0,
-    churn_warmup=150.0,
-    seed=0,
-)
-
-
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes for figure cells (default: REPRO_JOBS or CPU count)",
-    )
-    parser.add_argument(
-        "--figures",
-        nargs="+",
-        default=("3", "4", "5", "6"),
-        choices=("3", "4", "5", "6"),
-        help="subset of figures to regenerate",
-    )
-    args = parser.parse_args(argv)
-    jobs = resolve_jobs(args.jobs)
-    print(f"running figures {', '.join(args.figures)} with {jobs} worker(s)", flush=True)
-
-    out_dir = pathlib.Path(__file__).resolve().parent.parent / "results"
-    out_dir.mkdir(exist_ok=True)
-    markdown_parts = []
-    raw = {}
-    for figure_id in args.figures:
-        started = time.time()
-        result = run_figure(figure_id, REPORT, jobs=jobs)
-        elapsed = time.time() - started
-        print(render_table(result))
-        print(f"[{elapsed:.0f}s]\n", flush=True)
-        markdown_parts.append(render_markdown(result))
-        markdown_parts.append("")
-        raw[figure_id] = {
-            "title": result.title,
-            "elapsed_s": round(elapsed, 1),
-            "jobs": jobs,
-            "series": {
-                series.label: {
-                    "x": [point.x for point in series.points],
-                    "improvement_pct": [round(point.improvement, 2) for point in series.points],
-                    "optimized_hops": [round(point.comparison.optimized.mean_hops, 4) for point in series.points],
-                    "baseline_hops": [round(point.comparison.baseline.mean_hops, 4) for point in series.points],
-                    "optimized_fail": [round(point.comparison.optimized.failure_rate, 5) for point in series.points],
-                    "baseline_fail": [round(point.comparison.baseline.failure_rate, 5) for point in series.points],
-                }
-                for series in result.series
-            },
-            "detail": render_detail(result),
-        }
-        (out_dir / "report.json").write_text(json.dumps(raw, indent=2))
-        (out_dir / "report.md").write_text("\n".join(markdown_parts))
-    print("report written to results/")
-
+from repro.cli import main
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(["report", *sys.argv[1:]]))

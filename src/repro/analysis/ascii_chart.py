@@ -1,19 +1,34 @@
-"""Terminal line charts for figure results.
+"""Terminal line charts for figure results and telemetry series.
 
 The original figures are line plots; for a terminal-only environment this
 renders each :class:`~repro.experiments.figures.FigureResult` as an ASCII
 grid: one marker per series, y = percentage reduction, x = the figure's
 sweep variable. Used by ``python -m repro figure N --chart``.
+
+:func:`render_sparkline` and :func:`render_series_table` are the building
+blocks of the ``repro metrics`` dashboard: compact one-line unicode
+sparklines for round-clocked telemetry series, and an aligned multi-series
+table (name, min / last / max, sparkline) so the per-round evolution of a
+whole registry fits one screen.
 """
 
 from __future__ import annotations
 
+import math
+from typing import Sequence
+
 from repro.experiments.figures import FigureResult
 from repro.util.errors import ConfigurationError
 
-__all__ = ["render_chart"]
+__all__ = ["render_chart", "render_sparkline", "render_series_table"]
 
 _MARKERS = "ox*+#@"
+
+#: Eight-level block ramp used by sparklines (lowest to highest).
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: Placeholder for missing points (NaN / ``None`` samples).
+SPARK_GAP = "·"
 
 
 def render_chart(result: FigureResult, width: int = 60, height: int = 16) -> str:
@@ -61,3 +76,77 @@ def render_chart(result: FigureResult, width: int = 60, height: int = 16) -> str
 
 def _format(value: float) -> str:
     return str(int(value)) if float(value).is_integer() else f"{value:g}"
+
+
+def _is_missing(value) -> bool:
+    return value is None or (isinstance(value, float) and math.isnan(value))
+
+
+def render_sparkline(values: Sequence[float | None]) -> str:
+    """One-line sparkline over ``values``.
+
+    Missing points (``None`` or NaN — telemetry gauges emit both for
+    "no data this round") render as :data:`SPARK_GAP`; an empty or
+    all-missing series renders as gaps only / the empty string. A
+    constant series renders at the lowest ramp level.
+    """
+    finite = [float(v) for v in values if not _is_missing(v)]
+    if not finite:
+        return SPARK_GAP * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for value in values:
+        if _is_missing(value):
+            chars.append(SPARK_GAP)
+            continue
+        if span == 0.0:
+            chars.append(SPARK_CHARS[0])
+            continue
+        level = int((float(value) - lo) / span * (len(SPARK_CHARS) - 1))
+        chars.append(SPARK_CHARS[level])
+    return "".join(chars)
+
+
+def render_series_table(
+    series: Sequence[tuple[str, Sequence[float | None]]],
+    value_width: int = 10,
+) -> str:
+    """Aligned multi-series table: label, min / last / max, sparkline.
+
+    ``series`` is an ordered sequence of ``(label, values)`` pairs — one
+    row each, sharing column alignment so the dashboard scans vertically.
+    """
+    if not series:
+        return "(no series)"
+    label_width = max(len(label) for label, __ in series)
+    lines = []
+    for label, values in series:
+        finite = [float(v) for v in values if not _is_missing(v)]
+        if finite:
+            lo, hi = min(finite), max(finite)
+            last = next(
+                (float(v) for v in reversed(list(values)) if not _is_missing(v)), None
+            )
+            stats = (
+                f"{_spark_num(lo):>{value_width}} "
+                f"{_spark_num(last):>{value_width}} "
+                f"{_spark_num(hi):>{value_width}}"
+            )
+        else:
+            dash = "-"
+            stats = f"{dash:>{value_width}} {dash:>{value_width}} {dash:>{value_width}}"
+        lines.append(f"{label:<{label_width}}  {stats}  {render_sparkline(values)}")
+    header = (
+        f"{'series':<{label_width}}  "
+        f"{'min':>{value_width}} {'last':>{value_width}} {'max':>{value_width}}"
+    )
+    return "\n".join([header] + lines)
+
+
+def _spark_num(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if float(value).is_integer() and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.3g}"

@@ -82,6 +82,17 @@ class ChordRing:
         self.successor_list_size = successor_list_size
         self.nodes: dict[int, ChordNode] = {}
         self._alive: list[int] = []  # sorted ids of live nodes
+        self._telemetry = None  # set via attach_telemetry
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Attach (or detach with ``None``) a telemetry runtime.
+
+        The overlay stores the caller-normalized handle and feeds its
+        maintenance spans — selection recomputes, pointer updates, stale
+        evictions during stabilization. Observe-only: attaching telemetry
+        never changes routing state or consumes randomness.
+        """
+        self._telemetry = telemetry if telemetry is not None and telemetry.enabled else None
 
     # ------------------------------------------------------------------
     # Construction
@@ -293,6 +304,16 @@ class ChordRing:
         node = self.nodes[node_id]
         if not node.alive:
             raise NodeAbsentError(f"cannot stabilize dead node {node_id}")
+        tel = self._telemetry
+        if tel is not None:
+            with tel.span("maintenance.stabilize"):
+                stale_aux = {aux for aux in node.auxiliary if not self.nodes[aux].alive}
+                node.auxiliary -= stale_aux
+                node.rebuild_core(self._alive)
+            # One ping per auxiliary pointer plus the core re-init sweep.
+            tel.add_work("maintenance.stabilize_messages", len(node.auxiliary) + len(stale_aux))
+            tel.add_work("maintenance.stale_evictions", len(stale_aux))
+            return
         stale_aux = {aux for aux in node.auxiliary if not self.nodes[aux].alive}
         node.auxiliary -= stale_aux
         node.rebuild_core(self._alive)
@@ -372,6 +393,16 @@ class ChordRing:
             core_neighbors=frozenset(node.core | set(node.successors)),
             k=k,
         )
+        tel = self._telemetry
+        if tel is not None:
+            previous = set(node.auxiliary)
+            with tel.span("selection.recompute"):
+                result = policy(problem, rng, self)
+                node.set_auxiliary(set(result.auxiliary))
+            tel.add_work(
+                "selection.pointer_updates", len(previous ^ set(result.auxiliary))
+            )
+            return result
         result = policy(problem, rng, self)
         node.set_auxiliary(set(result.auxiliary))
         return result

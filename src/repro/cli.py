@@ -30,24 +30,37 @@ Commands
     invariant evaluated per step. Failing scenarios are shrunk to a
     replayable VERIFY_REPRO_v1 JSON (``--repro PATH``); ``--replay PATH``
     re-runs such a document deterministically.
+``metrics``
+    Run one instrumented comparison cell (:mod:`repro.telemetry`) on the
+    deterministic round clock and render an ASCII dashboard of the
+    per-round series (sparklines + span profile). ``--json PATH`` writes
+    the METRICS_v1 document, ``--openmetrics PATH`` the Prometheus-style
+    text exposition (round index as sample timestamp).
+``report``
+    Regenerate the EXPERIMENTS.md measurement tables at report scale and
+    write ``results/report.json`` (REPORT_v1, with manifest) and
+    ``results/report.md``.
 ``demo``
     A 30-second end-to-end tour (used by the quickstart).
 
-``figure``, ``sweep`` and ``faults`` accept ``--jobs`` to fan cells over
-worker processes (default: ``REPRO_JOBS`` or the CPU count); outputs are
-bit-identical at any worker count. ``figure``, ``sweep``, ``faults`` and
-``trace`` can write JSON documents that embed a MANIFEST_v1 provenance
-block (config digest, seed, git revision, environment).
+``figure``, ``sweep``, ``faults``, ``metrics`` and ``report`` accept
+``--jobs`` to fan cells over worker processes (default: ``REPRO_JOBS`` or
+the CPU count); outputs are bit-identical at any worker count.
+``figure``, ``sweep``, ``faults``, ``trace``, ``check``, ``metrics`` and
+``report`` write JSON documents that embed a MANIFEST_v1 provenance block
+(config digest, seed, git revision, environment); elapsed wall time is
+reported via one shared :class:`repro.util.timer.Stopwatch` and stored
+only under the manifest's ``volatile`` part.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.experiments.figures import FIGURES, FigurePreset, run_figure
 from repro.experiments.report import render_detail, render_markdown, render_table
+from repro.util.timer import Stopwatch
 
 __all__ = ["main", "build_parser"]
 
@@ -217,13 +230,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run a shrunk VERIFY_REPRO_v1 failure document instead of searching",
     )
 
+    metrics = sub.add_parser(
+        "metrics", help="round-clocked telemetry dashboard for one cell"
+    )
+    metrics.add_argument(
+        "overlay", nargs="?", choices=["chord", "pastry"], default="chord",
+        help="overlay to instrument (default: chord)",
+    )
+    metrics.add_argument("--n", type=int, default=128)
+    metrics.add_argument("--k", type=int, default=None, help="auxiliary pointers (default log2 n)")
+    metrics.add_argument("--alpha", type=float, default=1.2)
+    metrics.add_argument("--bits", type=int, default=20)
+    metrics.add_argument("--queries", type=int, default=4000)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "--rounds", type=int, default=12, help="round-clock samples (default 12)"
+    )
+    metrics.add_argument(
+        "--churn", action="store_true", help="churn-mode cell (virtual-time round clock)"
+    )
+    metrics.add_argument(
+        "--duration", type=float, default=600.0, help="churn sim duration (s)"
+    )
+    metrics.add_argument(
+        "--loss", type=float, default=0.0, help="per-message drop probability (fault plane)"
+    )
+    metrics.add_argument(
+        "--burst", type=int, default=0, help="correlated crash-burst size (fault plane)"
+    )
+    metrics.add_argument(
+        "--smoke", action="store_true", help="CI-scale cell (seconds)"
+    )
+    metrics.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the two policy cells (default: REPRO_JOBS or CPU count)",
+    )
+    metrics.add_argument(
+        "--json", default=None, metavar="PATH", help="write the METRICS_v1 document here"
+    )
+    metrics.add_argument(
+        "--openmetrics",
+        default=None,
+        metavar="PATH",
+        help="write the OpenMetrics text exposition here",
+    )
+
+    report = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md tables (results/report.*)"
+    )
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for figure cells (default: REPRO_JOBS or CPU count)",
+    )
+    report.add_argument(
+        "--figures",
+        nargs="+",
+        default=("3", "4", "5", "6"),
+        choices=("3", "4", "5", "6"),
+        help="subset of figures to regenerate",
+    )
+    report.add_argument(
+        "--out-dir", default="results", help="output directory (default: results)"
+    )
+
     sub.add_parser("demo", help="30-second end-to-end tour")
     return parser
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     preset = FigurePreset.paper(args.seed) if args.paper else FigurePreset.quick(args.seed)
-    started = time.time()
+    watch = Stopwatch()
     result = run_figure(args.figure_id, preset, jobs=args.jobs)
     print(render_table(result))
     if args.detail:
@@ -241,9 +321,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         from repro.experiments.figures import result_to_json
 
         with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(result_to_json(result, preset))
+            handle.write(result_to_json(result, preset, wall_time_s=round(watch.elapsed, 3)))
         print(f"\nfigure document written to {args.json}")
-    print(f"\n[{preset.name} preset, {time.time() - started:.1f}s]")
+    print(f"\n[{preset.name} preset, {watch}]")
     return 0
 
 
@@ -325,14 +405,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not document["parallel"]["identical"]:
         print("\nFAIL: parallel sweep output diverged from the serial run", file=sys.stderr)
         return 1
-    overhead = document["obs_overhead"]
-    if not overhead["passed"]:
-        print(
-            f"\nFAIL: disabled-tracing overhead {overhead['worst_ratio']:.4f} exceeds "
-            f"the {overhead['threshold']:.2f} gate",
-            file=sys.stderr,
-        )
-        return 1
+    for key, label in (
+        ("obs_overhead", "disabled-tracing"),
+        ("telemetry_overhead", "disabled-telemetry"),
+    ):
+        overhead = document[key]
+        if not overhead["passed"]:
+            print(
+                f"\nFAIL: {label} overhead {overhead['worst_ratio']:.4f} exceeds "
+                f"the {overhead['threshold']:.2f} gate",
+                file=sys.stderr,
+            )
+            return 1
     if baseline is not None:
         regressions = find_regressions(baseline, document, threshold=args.threshold)
         if regressions:
@@ -355,14 +439,14 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     preset = (
         RobustnessPreset.smoke(args.seed) if args.smoke else RobustnessPreset.quick(args.seed)
     )
-    started = time.time()
+    watch = Stopwatch()
     rows = robustness(preset, jobs=args.jobs)
     print(rows_to_table(rows))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(rows_to_json(rows, preset))
+            handle.write(rows_to_json(rows, preset, wall_time_s=round(watch.elapsed, 3)))
         print(f"\ngrid written to {args.json}")
-    print(f"\n[{preset.name} preset, {time.time() - started:.1f}s]")
+    print(f"\n[{preset.name} preset, {watch}]")
     # The robustness claim this command guards: frequency-aware selection
     # must keep a positive hop reduction under >= 5% message loss.
     losers = [
@@ -401,7 +485,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         seed=args.seed,
         faults=schedule,
     )
-    started = time.time()
+    watch = Stopwatch()
     document = trace_cell(config, policy=args.policy, sample=args.sample)
     stats = document["stats"]
     print(
@@ -428,10 +512,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         for trace in shown:
             print(_render_trace(trace))
     if args.json:
+        document["manifest"]["volatile"]["wall_time_s"] = round(watch.elapsed, 3)
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(document, sort_keys=True, indent=2) + "\n")
         print(f"\ntrace document written to {args.json}")
-    print(f"\n[{time.time() - started:.1f}s]")
+    print(f"\n[{watch}]")
     return 0
 
 
@@ -473,7 +558,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     from repro.verify import check_scenarios, replay_failure
 
-    started = time.time()
+    watch = Stopwatch()
     if args.replay:
         report = replay_failure(args.replay)
         scenario = report.scenario
@@ -507,10 +592,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     for name, evaluations in document["checks"].items():
         print(f"  {name:<24} {evaluations:>8}")
     if args.json:
+        document["manifest"]["volatile"]["wall_time_s"] = round(watch.elapsed, 3)
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(document, sort_keys=True, indent=2) + "\n")
         print(f"\ncheck document written to {args.json}")
-    print(f"\n[{time.time() - started:.1f}s]")
+    print(f"\n[{watch}]")
     if document["passed"]:
         print("all invariants held")
         return 0
@@ -536,6 +622,165 @@ def _cmd_check(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.faults.schedule import FaultSchedule
+    from repro.sim.runner import ChurnConfig, ExperimentConfig
+    from repro.telemetry.driver import metrics_document
+    from repro.telemetry.export import to_openmetrics, write_metrics
+
+    schedule = None
+    if args.loss > 0.0 or args.burst > 0:
+        schedule = FaultSchedule(loss_rate=args.loss, crash_burst_size=args.burst)
+    # --smoke shrinks the cell to CI scale; it is still a fixed (config,
+    # seed), so smoke documents are byte-identical across runs and jobs.
+    n = 64 if args.smoke else args.n
+    rounds = min(args.rounds, 6) if args.smoke else args.rounds
+    watch = Stopwatch()
+    if args.churn:
+        duration = 240.0 if args.smoke else args.duration
+        config = ChurnConfig(
+            overlay=args.overlay,
+            n=n,
+            k=args.k,
+            alpha=args.alpha,
+            bits=args.bits,
+            seed=args.seed,
+            duration=duration,
+            warmup=min(duration / 4, 300.0),
+            faults=schedule,
+        )
+    else:
+        config = ExperimentConfig(
+            overlay=args.overlay,
+            n=n,
+            k=args.k,
+            alpha=args.alpha,
+            bits=args.bits,
+            queries=1500 if args.smoke else args.queries,
+            seed=args.seed,
+            faults=schedule,
+        )
+    document = metrics_document(config, rounds=rounds, jobs=args.jobs)
+    print(_render_metrics_dashboard(document))
+    document["manifest"]["volatile"]["wall_time_s"] = round(watch.elapsed, 3)
+    if args.json:
+        write_metrics(document, args.json)
+        print(f"\nmetrics document written to {args.json}")
+    if args.openmetrics:
+        with open(args.openmetrics, "w", encoding="utf-8") as handle:
+            handle.write(to_openmetrics(document))
+        print(f"openmetrics exposition written to {args.openmetrics}")
+    print(f"\n[{watch}]")
+    return 0
+
+
+def _render_metrics_dashboard(document: dict) -> str:
+    """One-screen ASCII dashboard of a METRICS_v1 document: per-round
+    sparkline table per policy, latency histogram, span profile."""
+    clock = document["round_clock"]
+    lines = [
+        f"METRICS_v1: {document['overlay']} {document['mode']} cell, "
+        f"round clock = {clock['rounds']} "
+        + (
+            f"virtual-time intervals of {clock['interval_s']:g}s"
+            if document["mode"] == "churn"
+            else f"query chunks of ~{clock['queries'] // clock['rounds']}"
+        )
+    ]
+    for cell in document["cells"].values():
+        lines.append("")
+        lines.extend(_render_metrics_cell(cell))
+    return "\n".join(lines)
+
+
+def _render_metrics_cell(cell: dict) -> list[str]:
+    from repro.analysis.ascii_chart import render_series_table, render_sparkline
+
+    entries: dict[str, dict] = {}
+    extra_totals: list[tuple[str, object]] = []
+    for entry in cell["metrics"]:
+        labels = {
+            key: value
+            for key, value in entry["labels"].items()
+            if key not in ("overlay", "policy")
+        }
+        if labels:
+            suffix = ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
+            entries[f"{entry['name']}{{{suffix}}}"] = entry
+        else:
+            entries[entry["name"]] = entry
+    stats = cell["stats"]
+    mean = stats["mean_hops"]
+    lines = [
+        f"policy {cell['policy']}: {stats['lookups']} lookups, "
+        f"mean hops {mean if mean is None else format(mean, '.3f')}, "
+        f"failure rate {stats['failure_rate']:.4f}, "
+        f"timeout rate {stats['timeout_rate']:.4f}"
+    ]
+    rows = []
+    for label, name in (
+        ("cost/lookup", "repro_round_cost"),
+        ("timeout rate", "repro_round_timeout_rate"),
+        ("failure rate", "repro_round_failure_rate"),
+        ("lookups/round", "repro_round_lookups"),
+        ("alive nodes", "repro_alive_nodes"),
+    ):
+        entry = entries.get(name)
+        if entry is not None and entry["series"]:
+            rows.append((label, [value for __, value in entry["series"]]))
+    if rows:
+        lines.extend("  " + line for line in render_series_table(rows).splitlines())
+    hist = entries.get("repro_lookup_cost")
+    if hist is not None and hist["series"]:
+        __, cumulative, total, count = hist["series"][-1]
+        deltas = [cumulative[0]] + [
+            cumulative[index] - cumulative[index - 1]
+            for index in range(1, len(cumulative))
+        ]
+        lines.append(
+            f"  cost histogram {render_sparkline(deltas)} "
+            f"(count={count}, sum={total}, edges {hist['edges'][0]:g}..{hist['edges'][-1]:g},+Inf)"
+        )
+    for prefix, title in (
+        ("repro_faults_injected_total{", "faults injected"),
+        ("repro_churn_transitions_total{", "churn transitions"),
+    ):
+        totals = [
+            (key[key.index("=") + 1 : -1], entry["value"])
+            for key, entry in sorted(entries.items())
+            if key.startswith(prefix)
+        ]
+        if totals:
+            lines.append(
+                f"  {title}: "
+                + ", ".join(f"{kind}={value}" for kind, value in totals)
+            )
+    spans = cell["spans"]
+    if spans["counts"]:
+        lines.append(
+            "  spans: "
+            + ", ".join(f"{name} x{count}" for name, count in spans["counts"].items())
+        )
+    if spans["work"]:
+        lines.append(
+            "  work:  "
+            + ", ".join(f"{name}={value:g}" for name, value in spans["work"].items())
+        )
+    return lines
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import run_report
+    from repro.util.parallel import resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
+    print(f"running figures {', '.join(args.figures)} with {jobs} worker(s)", flush=True)
+    watch = Stopwatch()
+    run_report(figures=args.figures, jobs=jobs, out_dir=args.out_dir, echo=print)
+    print(f"report written to {args.out_dir}/ [{watch}]")
+    return 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -565,6 +810,8 @@ def main(argv: list[str] | None = None) -> int:
         "faults": _cmd_faults,
         "trace": _cmd_trace,
         "check": _cmd_check,
+        "metrics": _cmd_metrics,
+        "report": _cmd_report,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

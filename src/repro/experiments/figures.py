@@ -428,10 +428,13 @@ def _json_float(value: float) -> float | None:
     return None if isinstance(value, float) and math.isnan(value) else value
 
 
-def result_to_json(result: FigureResult, preset: FigurePreset) -> str:
+def result_to_json(
+    result: FigureResult, preset: FigurePreset, wall_time_s: float | None = None
+) -> str:
     """Canonical FIGURE_v1 JSON for a regenerated figure.
 
-    Carries a MANIFEST_v1 provenance block; strip its ``volatile`` keys
+    Carries a MANIFEST_v1 provenance block (``wall_time_s`` lands in its
+    ``volatile`` part); strip the ``volatile`` keys
     (:func:`repro.obs.manifest.strip_volatile`) before byte-comparing two
     documents from the same seed.
     """
@@ -443,7 +446,7 @@ def result_to_json(result: FigureResult, preset: FigurePreset) -> str:
         "title": result.title,
         "x_label": result.x_label,
         "preset": asdict(preset),
-        "manifest": build_manifest(preset),
+        "manifest": build_manifest(preset, wall_time_s=wall_time_s),
         "series": [
             {
                 "label": series.label,

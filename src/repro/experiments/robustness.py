@@ -171,14 +171,19 @@ def robustness(preset: RobustnessPreset, jobs: int | None = None) -> list[Robust
     return [_row(cell, result) for cell, result in zip(cells, results)]
 
 
-def rows_to_json(rows: Sequence[RobustnessRow], preset: RobustnessPreset) -> str:
+def rows_to_json(
+    rows: Sequence[RobustnessRow],
+    preset: RobustnessPreset,
+    wall_time_s: float | None = None,
+) -> str:
     """Canonical JSON document (sorted keys, fixed indent): byte-identical
     for the same seed at any worker count once the manifest's ``volatile``
-    keys are stripped (:func:`repro.obs.manifest.strip_volatile`)."""
+    keys are stripped (:func:`repro.obs.manifest.strip_volatile`).
+    ``wall_time_s`` lands under the manifest's ``volatile`` part."""
     document = {
         "schema": "ROBUSTNESS_v1",
         "preset": asdict(preset),
-        "manifest": build_manifest(preset),
+        "manifest": build_manifest(preset, wall_time_s=wall_time_s),
         "rows": [asdict(row) for row in rows],
     }
     return json.dumps(document, sort_keys=True, indent=2) + "\n"

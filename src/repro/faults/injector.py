@@ -29,16 +29,24 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a faults <-> sim import cycle
 __all__ = ["apply_stable_faults", "arm_stable_plane", "install_fault_events", "maybe_corrupt"]
 
 
-def apply_stable_faults(plane: FaultPlane, overlay) -> None:
+def apply_stable_faults(plane: FaultPlane, overlay, telemetry=None) -> None:
     """One-shot setup faults for a stable-mode run: crash burst + static
     partition. Burst victims crash abruptly (stale pointers to them remain
-    at every other node) and never come back during the measurement."""
+    at every other node) and never come back during the measurement.
+
+    ``telemetry`` is an optional (caller-normalized, duck-typed) telemetry
+    runtime; injected faults bump ``repro_faults_injected_total`` by kind.
+    """
     schedule = plane.schedule
     if schedule.crash_burst_size > 0:
         for victim in plane.choose_burst(overlay.alive_ids()):
             overlay.crash(victim)
+            if telemetry is not None:
+                telemetry.record_fault("burst_crash")
     if schedule.partition_fraction > 0.0:
         plane.start_partition(overlay.alive_ids())
+        if telemetry is not None:
+            telemetry.record_fault("partition_start")
 
 
 def arm_stable_plane(schedule, rng: random.Random, overlay):
@@ -59,11 +67,13 @@ def arm_stable_plane(schedule, rng: random.Random, overlay):
     return plane, RetryPolicy.robust()
 
 
-def maybe_corrupt(plane: FaultPlane, overlay) -> None:
+def maybe_corrupt(plane: FaultPlane, overlay, telemetry=None) -> None:
     """Stable mode's per-query corruption draw: with ``stale_rate``
     probability, plant one stale pointer before the query routes."""
     if plane.schedule.stale_rate > 0.0 and plane.rng.random() < plane.schedule.stale_rate:
         plane.corrupt_pointer(overlay)
+        if telemetry is not None:
+            telemetry.record_fault("stale_corruption")
 
 
 def install_fault_events(
@@ -72,13 +82,17 @@ def install_fault_events(
     overlay,
     events_rng: random.Random,
     duration: float,
+    telemetry=None,
 ) -> None:
     """Arm every scheduled fault of ``plane.schedule`` on ``scheduler``.
 
     ``events_rng`` drives event *timing* (burst jitter-free periods need no
     draws, but Poisson corruption does); keeping it separate from the
     plane's own message-loss stream means adding a corruption process does
-    not shift which messages get dropped.
+    not shift which messages get dropped. ``telemetry`` (optional,
+    caller-normalized) counts every injected fault by kind; the counters
+    never consume randomness, so attaching telemetry cannot shift the
+    fault realization.
     """
     schedule = plane.schedule
 
@@ -87,6 +101,8 @@ def install_fault_events(
             victims = plane.choose_burst(overlay.alive_ids())
             for victim in victims:
                 _crash_tolerant(overlay, victim)
+                if telemetry is not None:
+                    telemetry.record_fault("burst_crash")
                 scheduler.schedule(
                     schedule.crash_burst_downtime, _make_rejoin(overlay, victim)
                 )
@@ -97,6 +113,13 @@ def install_fault_events(
     if schedule.partition_fraction > 0.0:
         def form_partition() -> None:
             plane.start_partition(overlay.alive_ids())
+            if telemetry is not None:
+                telemetry.record_fault("partition_start")
+
+        def end_partition() -> None:
+            plane.end_partition()
+            if telemetry is not None:
+                telemetry.record_fault("partition_end")
 
         scheduler.schedule_at(schedule.partition_start, form_partition)
         end = (
@@ -104,11 +127,13 @@ def install_fault_events(
             if schedule.partition_duration > 0.0
             else duration
         )
-        scheduler.schedule_at(end, plane.end_partition)
+        scheduler.schedule_at(end, end_partition)
 
     if schedule.stale_rate > 0.0:
         def fire_corruption() -> None:
             plane.corrupt_pointer(overlay)
+            if telemetry is not None:
+                telemetry.record_fault("stale_corruption")
             scheduler.schedule(events_rng.expovariate(schedule.stale_rate), fire_corruption)
 
         scheduler.schedule(events_rng.expovariate(schedule.stale_rate), fire_corruption)

@@ -95,6 +95,14 @@ class PastryNetwork:
         self.nodes: dict[int, PastryNode] = {}
         self._alive: list[int] = []
         self._maintenance_rng = random.Random(proximity_seed ^ 0x5A5A5A)
+        self._telemetry = None  # set via attach_telemetry
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Attach (or detach with ``None``) a telemetry runtime; feeds the
+        maintenance spans. Observe-only — never touches routing state or
+        randomness (see :meth:`repro.chord.ring.ChordRing.attach_telemetry`).
+        """
+        self._telemetry = telemetry if telemetry is not None and telemetry.enabled else None
 
     # ------------------------------------------------------------------
     # Construction
@@ -273,6 +281,16 @@ class PastryNetwork:
         node = self.nodes[node_id]
         if not node.alive:
             raise NodeAbsentError(f"cannot stabilize dead node {node_id}")
+        tel = self._telemetry
+        if tel is not None:
+            with tel.span("maintenance.stabilize"):
+                stale_aux = {aux for aux in node.auxiliary if not self.nodes[aux].alive}
+                node.set_auxiliary(node.auxiliary - stale_aux)
+                self._rebuild_tables(node)
+            # One ping per auxiliary pointer plus the table re-init sweep.
+            tel.add_work("maintenance.stabilize_messages", len(node.auxiliary) + len(stale_aux))
+            tel.add_work("maintenance.stale_evictions", len(stale_aux))
+            return
         stale_aux = {aux for aux in node.auxiliary if not self.nodes[aux].alive}
         node.set_auxiliary(node.auxiliary - stale_aux)
         self._rebuild_tables(node)
@@ -303,6 +321,16 @@ class PastryNetwork:
             core_neighbors=frozenset(node.core | node.leaves),
             k=k,
         )
+        tel = self._telemetry
+        if tel is not None:
+            previous = set(node.auxiliary)
+            with tel.span("selection.recompute"):
+                result = policy(problem, rng, self)
+                node.set_auxiliary(set(result.auxiliary))
+            tel.add_work(
+                "selection.pointer_updates", len(previous ^ set(result.auxiliary))
+            )
+            return result
         result = policy(problem, rng, self)
         node.set_auxiliary(set(result.auxiliary))
         return result

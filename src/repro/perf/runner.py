@@ -12,7 +12,8 @@ Document layout::
       "macro":    {name: {...}},                # one-shot figure cells
       "speedups": {kernel: scalar_median / vectorized_median},
       "parallel": {jobs, sweep_cells, serial_s, parallel_s, identical},
-      "obs_overhead": {overlays, worst_ratio, threshold, passed}
+      "obs_overhead": {overlays, worst_ratio, threshold, passed},
+      "telemetry_overhead": {overlays, worst_ratio, threshold, passed}
     }
 
 ``speedups`` is derived from paired micro entries (see
@@ -22,6 +23,8 @@ is >= 5x on both cost kernels at n=1024. ``parallel.identical`` must be
 sweep bit for bit. ``obs_overhead.passed`` must be ``true`` — it
 certifies that routing with a disabled trace recorder costs < 2% over
 routing with no recorder (see :mod:`repro.perf.overhead`).
+``telemetry_overhead.passed`` must be ``true`` — the same bar for the
+disabled telemetry runtime (see :mod:`repro.perf.telemetry`).
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from repro.obs.manifest import build_manifest
 from repro.perf.macro import macro_benchmarks, parallel_identity_check
 from repro.perf.micro import KERNEL_PAIRS, micro_benchmarks
 from repro.perf.overhead import overhead_benchmark
+from repro.perf.telemetry import telemetry_overhead_benchmark
 from repro.util.parallel import resolve_jobs
 
 __all__ = ["BENCH_SCHEMA", "run_bench", "write_bench"]
@@ -75,6 +79,7 @@ def run_bench(smoke: bool = False, jobs: int | None = None) -> dict:
         # even on single-CPU boxes.
         "parallel": parallel_identity_check(max(2, resolved_jobs), smoke=smoke),
         "obs_overhead": overhead_benchmark(smoke=smoke),
+        "telemetry_overhead": telemetry_overhead_benchmark(smoke=smoke),
     }
 
 
@@ -109,18 +114,22 @@ def print_summary(document: dict, stream=None) -> None:
         f"identical={parallel['identical']}",
         file=stream,
     )
-    overhead = document.get("obs_overhead")
-    if overhead:
-        print(
-            f"trace overhead (NullRecorder / untraced): worst median "
-            f"{overhead['worst_ratio']:.4f} (threshold {overhead['threshold']:.2f}) "
-            f"passed={overhead['passed']}",
-            file=stream,
-        )
-        for name, entry in overhead["overlays"].items():
+    for key, label in (
+        ("obs_overhead", "trace overhead (NullRecorder / untraced)"),
+        ("telemetry_overhead", "telemetry overhead (disabled runtime / bare)"),
+    ):
+        overhead = document.get(key)
+        if overhead:
             print(
-                f"  {name:<10} median={entry['median_ratio']:.4f} "
-                f"min={entry['min_ratio']:.4f} max={entry['max_ratio']:.4f} "
-                f"trials={entry['trials']}",
+                f"{label}: worst median "
+                f"{overhead['worst_ratio']:.4f} (threshold {overhead['threshold']:.2f}) "
+                f"passed={overhead['passed']}",
                 file=stream,
             )
+            for name, entry in overhead["overlays"].items():
+                print(
+                    f"  {name:<10} median={entry['median_ratio']:.4f} "
+                    f"min={entry['min_ratio']:.4f} max={entry['max_ratio']:.4f} "
+                    f"trials={entry['trials']}",
+                    file=stream,
+                )

@@ -48,6 +48,9 @@ class ChurnProcess:
         Crashes are skipped (the node draws a fresh uptime instead) when
         they would push the live population below this floor, keeping the
         overlay non-degenerate.
+    telemetry:
+        Optional telemetry runtime (duck-typed, normalized by the caller);
+        when present, every transition bumps a churn counter by kind.
     """
 
     def __init__(
@@ -59,6 +62,7 @@ class ChurnProcess:
         mean_uptime: float = 900.0,
         mean_downtime: float = 900.0,
         min_alive: int = 2,
+        telemetry=None,
     ) -> None:
         require_positive(mean_uptime, "mean_uptime")
         require_positive(mean_downtime, "mean_downtime")
@@ -69,6 +73,7 @@ class ChurnProcess:
         self.mean_uptime = mean_uptime
         self.mean_downtime = mean_downtime
         self.min_alive = min_alive
+        self.telemetry = telemetry
         self.crashes = 0
         self.rejoins = 0
 
@@ -91,13 +96,19 @@ class ChurnProcess:
     def _crash(self, node_id: int) -> None:
         if self.target.alive_count() <= self.min_alive:
             # Too few nodes up: postpone by drawing another uptime.
+            if self.telemetry is not None:
+                self.telemetry.record_churn("crash_deferred")
             self._schedule_crash(node_id)
             return
         self.target.crash(node_id)
         self.crashes += 1
+        if self.telemetry is not None:
+            self.telemetry.record_churn("crash")
         self._schedule_rejoin(node_id)
 
     def _rejoin(self, node_id: int) -> None:
         self.target.rejoin(node_id)
         self.rejoins += 1
+        if self.telemetry is not None:
+            self.telemetry.record_churn("rejoin")
         self._schedule_crash(node_id)

@@ -262,7 +262,40 @@ class _Bench:
 # ----------------------------------------------------------------------
 
 
-def run_stable(config: ExperimentConfig) -> ComparisonResult:
+def _normalize_telemetry(telemetry):
+    """``None`` unless ``telemetry`` is an enabled telemetry runtime —
+    the same normalization idiom the routers apply to trace recorders
+    (see :func:`repro.telemetry.runtime.normalize`; duck-typed here so
+    the simulation layer never imports the telemetry package)."""
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        return telemetry
+    return None
+
+
+def _policy_telemetry(telemetry, policy_name: str):
+    """The (normalized) telemetry runtime for one policy's universe."""
+    if telemetry is None:
+        return None
+    return _normalize_telemetry(telemetry.get(policy_name))
+
+
+def _round_boundaries(queries: int, rounds: int) -> list[int]:
+    """Cumulative query indices at which the round clock ticks.
+
+    The ``queries`` lookups are split into ``rounds`` near-equal chunks
+    (earlier rounds absorb the remainder), so the boundaries — and hence
+    every sampled series — are a pure function of (queries, rounds).
+    """
+    base, extra = divmod(queries, rounds)
+    boundaries = []
+    total = 0
+    for index in range(rounds):
+        total += base + (1 if index < extra else 0)
+        boundaries.append(total)
+    return boundaries
+
+
+def run_stable(config: ExperimentConfig, telemetry=None) -> ComparisonResult:
     """Stable-mode comparison: frequency-aware vs frequency-oblivious.
 
     The same overlay instance is reused for both policies (auxiliary sets
@@ -274,9 +307,19 @@ def run_stable(config: ExperimentConfig) -> ComparisonResult:
     from the first policy's traffic would leak into the second — so each
     policy instead runs in its own fresh universe built from the same
     seeds (identical overlay, workload and fault realization).
+
+    ``telemetry`` optionally maps policy names to
+    :class:`~repro.telemetry.runtime.RoundTelemetry` runtimes; when one
+    is attached, its round clock chunks the query stream and the
+    registry is sampled at every chunk boundary. Telemetry is strictly
+    observe-only: attached or not, the returned statistics are
+    bit-identical.
     """
     if config.faults_active:
-        stats = {name: _run_stable_once(config, name) for name in ("optimal", "oblivious")}
+        stats = {
+            name: _run_stable_once(config, name, telemetry=_policy_telemetry(telemetry, name))
+            for name in ("optimal", "oblivious")
+        }
         label = (
             f"{config.overlay} stable n={config.n} k={config.effective_k} "
             f"alpha={config.alpha} faults"
@@ -297,6 +340,8 @@ def run_stable(config: ExperimentConfig) -> ComparisonResult:
     retry = config.effective_retry
     stats = {}
     for name, policy in (("optimal", optimal), ("oblivious", oblivious)):
+        tel = _policy_telemetry(telemetry, name)
+        bench.overlay.attach_telemetry(tel)
         bench.overlay.recompute_all_auxiliary(
             config.effective_k,
             policy,
@@ -306,11 +351,20 @@ def run_stable(config: ExperimentConfig) -> ComparisonResult:
         generator = bench.query_generator("queries")
         collected = HopStatistics()
         alive = bench.overlay.alive_ids()
-        for query in generator.stream(config.queries, lambda: alive):
+        recorder = tel.recorder if tel is not None else None
+        boundaries = _round_boundaries(config.queries, tel.rounds) if tel is not None else ()
+        next_boundary = 0
+        for index, query in enumerate(generator.stream(config.queries, lambda: alive), start=1):
             collected.record(
-                bench.lookup(query.source, query.item, record_access=False, retry=retry)
+                bench.lookup(
+                    query.source, query.item, record_access=False, retry=retry, trace=recorder
+                )
             )
+            while next_boundary < len(boundaries) and boundaries[next_boundary] == index:
+                tel.sample_round(alive=bench.overlay.alive_count())
+                next_boundary += 1
         stats[name] = collected
+        bench.overlay.attach_telemetry(None)
     label = (
         f"{config.overlay} stable n={config.n} k={config.effective_k} "
         f"alpha={config.alpha}"
@@ -318,8 +372,13 @@ def run_stable(config: ExperimentConfig) -> ComparisonResult:
     return ComparisonResult(label, stats["optimal"], stats["oblivious"])
 
 
-def _run_stable_once(config: ExperimentConfig, policy_name: str) -> HopStatistics:
-    """One policy's universe of a fault-injected stable run.
+def _run_stable_once(
+    config: ExperimentConfig,
+    policy_name: str,
+    telemetry=None,
+) -> HopStatistics:
+    """One policy's own-universe stable run (fault-injected comparisons
+    and the telemetry/trace drivers).
 
     Setup faults (one crash burst, a static partition) land *after*
     frequency seeding and auxiliary installation, so every surviving node
@@ -338,25 +397,44 @@ def _run_stable_once(config: ExperimentConfig, policy_name: str) -> HopStatistic
         bench.seed_all()
     optimal, oblivious = bench.policies()
     policy = optimal if policy_name == "optimal" else oblivious
+    tel = _normalize_telemetry(telemetry)
+    bench.overlay.attach_telemetry(tel)
     bench.overlay.recompute_all_auxiliary(
         config.effective_k,
         policy,
         registry.fresh(f"policy-rng-{policy_name}"),
         frequency_limit=config.frequency_limit,
     )
-    # The plane's stream depends only on the seed, not the policy: both
-    # universes realize the same burst, partition and loss pattern.
-    plane = FaultPlane(config.faults, registry.fresh("fault-plane"))
-    apply_stable_faults(plane, bench.overlay)
+    plane: FaultPlane | None = None
+    if config.faults_active:
+        # The plane's stream depends only on the seed, not the policy:
+        # both universes realize the same burst, partition and loss
+        # pattern.
+        plane = FaultPlane(config.faults, registry.fresh("fault-plane"))
+        apply_stable_faults(plane, bench.overlay, telemetry=tel)
     retry = config.effective_retry
     generator = bench.query_generator("queries")
     stats = HopStatistics(keep_samples=True)
     alive = bench.overlay.alive_ids()
-    for query in generator.stream(config.queries, lambda: alive):
-        maybe_corrupt(plane, bench.overlay)
+    recorder = tel.recorder if tel is not None else None
+    boundaries = _round_boundaries(config.queries, tel.rounds) if tel is not None else ()
+    next_boundary = 0
+    for index, query in enumerate(generator.stream(config.queries, lambda: alive), start=1):
+        if plane is not None:
+            maybe_corrupt(plane, bench.overlay, telemetry=tel)
         stats.record(
-            bench.lookup(query.source, query.item, record_access=False, retry=retry, faults=plane)
+            bench.lookup(
+                query.source,
+                query.item,
+                record_access=False,
+                retry=retry,
+                faults=plane,
+                trace=recorder,
+            )
         )
+        while next_boundary < len(boundaries) and boundaries[next_boundary] == index:
+            tel.sample_round(alive=bench.overlay.alive_count())
+            next_boundary += 1
     return stats
 
 
@@ -365,15 +443,19 @@ def _run_stable_once(config: ExperimentConfig, policy_name: str) -> HopStatistic
 # ----------------------------------------------------------------------
 
 
-def run_churn(config: ChurnConfig) -> ComparisonResult:
+def run_churn(config: ChurnConfig, telemetry=None) -> ComparisonResult:
     """Churn-mode comparison under the Section VI-C event schedule.
 
     Each policy runs in its own fresh universe built from the same seeds,
     so both see identical overlays, churn traces and query workloads.
+
+    ``telemetry`` optionally maps policy names to telemetry runtimes;
+    churn-mode round clocks are equal virtual-time intervals — the
+    registry is sampled ``rounds`` times at ``i * duration / rounds``.
     """
     stats = {}
     for name in ("optimal", "oblivious"):
-        stats[name] = _run_churn_once(config, name)
+        stats[name] = _run_churn_once(config, name, telemetry=_policy_telemetry(telemetry, name))
     label = (
         f"{config.overlay} churn n={config.n} k={config.effective_k} "
         f"alpha={config.alpha}"
@@ -381,7 +463,7 @@ def run_churn(config: ChurnConfig) -> ComparisonResult:
     return ComparisonResult(label, stats["optimal"], stats["oblivious"])
 
 
-def _run_churn_once(config: ChurnConfig, policy_name: str) -> HopStatistics:
+def _run_churn_once(config: ChurnConfig, policy_name: str, telemetry=None) -> HopStatistics:
     registry = SeedSequenceRegistry(config.seed)
     bench = _Bench(config, registry)
     bench.seed_all()
@@ -390,6 +472,8 @@ def _run_churn_once(config: ChurnConfig, policy_name: str) -> HopStatistics:
     policy_rng = registry.fresh(f"policy-rng-{policy_name}")
     overlay = bench.overlay
     k = config.effective_k
+    tel = _normalize_telemetry(telemetry)
+    overlay.attach_telemetry(tel)
 
     scheduler = EventScheduler()
     stats = HopStatistics(keep_samples=config.faults_active)
@@ -406,6 +490,7 @@ def _run_churn_once(config: ChurnConfig, policy_name: str) -> HopStatistics:
         churn_rng,
         mean_uptime=config.mean_uptime,
         mean_downtime=config.mean_downtime,
+        telemetry=tel,
     )
     churn.start()
 
@@ -414,7 +499,12 @@ def _run_churn_once(config: ChurnConfig, policy_name: str) -> HopStatistics:
     if config.faults_active:
         plane = FaultPlane(config.faults, registry.fresh("fault-plane"))
         install_fault_events(
-            scheduler, plane, overlay, registry.fresh("fault-events"), config.duration
+            scheduler,
+            plane,
+            overlay,
+            registry.fresh("fault-events"),
+            config.duration,
+            telemetry=tel,
         )
     retry = config.effective_retry
 
@@ -439,21 +529,54 @@ def _run_churn_once(config: ChurnConfig, policy_name: str) -> HopStatistics:
     # Poisson query arrivals; frequencies keep learning online.
     generator = bench.query_generator("queries")
     query_rng = registry.fresh("query-arrivals")
+    recorder = tel.recorder if tel is not None else None
 
     def fire_query() -> None:
         alive = overlay.alive_ids()
         if alive:
             query = generator.query_from(generator.random_source(alive))
             result = bench.lookup(
-                query.source, query.item, record_access=True, retry=retry, faults=plane
+                query.source,
+                query.item,
+                record_access=True,
+                retry=retry,
+                faults=plane,
+                trace=recorder,
             )
             if scheduler.now >= config.warmup:
                 stats.record(result)
         scheduler.schedule(query_rng.expovariate(config.queries_per_second), fire_query)
 
     scheduler.schedule(query_rng.expovariate(config.queries_per_second), fire_query)
+    if tel is not None:
+        # Round clock: sample at the end of each of ``rounds`` equal
+        # virtual-time intervals (run_until is inclusive of the horizon,
+        # so the final boundary fires). Telemetry observes warmup traffic
+        # too — the dashboard is meant to show the system settling.
+        for index in range(1, tel.rounds + 1):
+            scheduler.schedule_at(
+                index * config.duration / tel.rounds,
+                _RoundSampleTask(tel, overlay, scheduler),
+            )
     scheduler.run_until(config.duration)
     return stats
+
+
+class _RoundSampleTask:
+    """Round-clock tick in churn mode: snapshot the registry with the
+    live-node count and the simulation clock."""
+
+    __slots__ = ("telemetry", "overlay", "scheduler")
+
+    def __init__(self, telemetry, overlay, scheduler) -> None:
+        self.telemetry = telemetry
+        self.overlay = overlay
+        self.scheduler = scheduler
+
+    def __call__(self) -> None:
+        self.telemetry.sample_round(
+            alive=self.overlay.alive_count(), now=self.scheduler.now
+        )
 
 
 class _ChurnAdapter:

@@ -1,0 +1,250 @@
+"""The live telemetry runtime threaded through the simulation layers.
+
+:class:`RoundTelemetry` bundles everything one instrumented universe
+needs: a :class:`~repro.telemetry.registry.MetricsRegistry`, a
+:class:`~repro.telemetry.spans.SpanProfiler`, and a
+:class:`TelemetryRecorder` that plugs into the routing layers' existing
+``TraceRecorder`` event path — so the hot loops gain **no new hook
+sites**, and the zero-cost-when-disabled contract the obs plane already
+certifies carries over unchanged (a disabled recorder is normalized to
+``None`` at route entry; a disabled telemetry is normalized to ``None``
+by every instrumented layer via :func:`normalize`).
+
+Instrumented call sites and what they record:
+
+* both routers (via ``record_lookup``): lookup totals, failures, the
+  latency histogram, per-pointer-class hop counters, retry attempts,
+  per-verdict timeout counters, backoff penalty;
+* overlay maintenance (``recompute_auxiliary`` / ``stabilize``):
+  selection-recompute spans, pointer-update work, stabilization
+  messages;
+* the churn process: crash/rejoin transition counters;
+* the fault plane wiring: injected-fault counters by kind.
+
+:meth:`RoundTelemetry.sample_round` is the round-clock tick the runners
+call once per simulation round: it derives the per-round gauges (mean
+cost, timeout rate, lookup volume — deltas of the running counters) and
+snapshots every series.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.recorder import POINTER_CLASSES, VERDICTS, HopEvent
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.spans import SpanProfiler
+from repro.util.errors import ConfigurationError
+
+__all__ = ["TelemetryRecorder", "RoundTelemetry", "normalize"]
+
+#: Default round count when a driver does not choose one.
+DEFAULT_ROUNDS = 12
+
+
+def normalize(telemetry: "RoundTelemetry | None") -> "RoundTelemetry | None":
+    """``None`` unless ``telemetry`` is enabled — the single idiom every
+    instrumented layer uses, mirroring the trace recorder normalization,
+    so the disabled path pays one ``is not None`` branch and nothing
+    else."""
+    if telemetry is not None and telemetry.enabled:
+        return telemetry
+    return None
+
+
+class TelemetryRecorder:
+    """A ``TraceRecorder`` that folds every lookup into the registry.
+
+    Reuses the routing layers' observe-only event path: one call per
+    finished lookup with the result object and its hop events. All
+    children are pre-created so the per-lookup cost is dictionary-free
+    attribute access plus counter increments.
+    """
+
+    __slots__ = (
+        "enabled",
+        "_lookups",
+        "_successes",
+        "_failures",
+        "_latency_sum",
+        "_latency",
+        "_hops_by_class",
+        "_timeouts_by_verdict",
+        "_retried",
+        "_penalty",
+    )
+
+    def __init__(self, registry: MetricsRegistry, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lookups = registry.counter(
+            "repro_lookups_total", "Lookups routed (all outcomes)."
+        ).labels()
+        self._successes = registry.counter(
+            "repro_lookup_successes_total", "Lookups that reached the responsible node."
+        ).labels()
+        self._failures = registry.counter(
+            "repro_lookup_failures_total", "Lookups stranded before the responsible node."
+        ).labels()
+        self._latency_sum = registry.counter(
+            "repro_lookup_cost_total",
+            "Sum of the per-lookup latency proxy (hops + timeouts + penalty) "
+            "over successful lookups.",
+        ).labels()
+        self._latency = registry.histogram(
+            "repro_lookup_cost",
+            "Latency proxy of successful lookups (canonical log-spaced buckets).",
+        ).labels()
+        hops = registry.counter(
+            "repro_hops_total", "Delivered forwards by resolving pointer class."
+        )
+        self._hops_by_class = {name: hops.labels(pointer_class=name) for name in POINTER_CLASSES}
+        timeouts = registry.counter(
+            "repro_timeouts_total", "Failed delivery attempts by fault verdict."
+        )
+        self._timeouts_by_verdict = {name: timeouts.labels(verdict=name) for name in VERDICTS}
+        self._retried = registry.counter(
+            "repro_retry_attempts_total",
+            "Extra delivery attempts beyond the first, across all targets.",
+        ).labels()
+        self._penalty = registry.counter(
+            "repro_backoff_penalty_total",
+            "Extra backoff latency charged beyond the one-hop-per-timeout baseline.",
+        ).labels()
+
+    def record_lookup(self, result, events: Sequence[HopEvent]) -> None:
+        self._lookups.inc()
+        if getattr(result, "succeeded", False):
+            self._successes.inc()
+            self._latency_sum.inc(result.latency)
+            self._latency.observe(result.latency)
+        else:
+            self._failures.inc()
+        for event in events:
+            if event.delivered:
+                self._hops_by_class[event.pointer_class].inc()
+            if event.attempts > 1:
+                self._retried.inc(event.attempts - 1)
+            for verdict in event.verdicts:
+                self._timeouts_by_verdict[verdict].inc()
+            if event.penalty:
+                self._penalty.inc(event.penalty)
+
+
+class RoundTelemetry:
+    """One universe's telemetry: registry + spans + recorder + round clock.
+
+    ``rounds`` fixes how many round-clock samples the driving runner
+    takes (query chunks in stable mode, equal virtual-time intervals in
+    churn mode). ``enabled=False`` builds the inert variant every layer
+    normalizes away — the shape the ``telemetry_overhead`` bench gate
+    measures.
+    """
+
+    __slots__ = ("enabled", "rounds", "registry", "spans", "recorder", "_last", "_gauges")
+
+    def __init__(
+        self,
+        rounds: int = DEFAULT_ROUNDS,
+        const_labels: dict[str, str] | None = None,
+        enabled: bool = True,
+    ) -> None:
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds!r}")
+        self.enabled = enabled
+        self.rounds = rounds
+        self.registry = MetricsRegistry(const_labels)
+        self.spans = SpanProfiler()
+        self.recorder = TelemetryRecorder(self.registry, enabled=enabled)
+        self._last: dict[str, float] = {}
+        gauges = self.registry
+        self._gauges = {
+            "alive": gauges.gauge("repro_alive_nodes", "Live overlay nodes.").labels(),
+            "round_cost": gauges.gauge(
+                "repro_round_cost",
+                "Mean latency proxy of the lookups that succeeded this round.",
+            ).labels(),
+            "round_timeout_rate": gauges.gauge(
+                "repro_round_timeout_rate", "Timeouts per lookup this round."
+            ).labels(),
+            "round_lookups": gauges.gauge(
+                "repro_round_lookups", "Lookups routed this round."
+            ).labels(),
+            "round_failure_rate": gauges.gauge(
+                "repro_round_failure_rate", "Failed-lookup fraction this round."
+            ).labels(),
+            "virtual_time": gauges.gauge(
+                "repro_virtual_time_seconds",
+                "Simulation clock at the round boundary (churn mode only).",
+            ).labels(),
+        }
+
+    @classmethod
+    def disabled(cls) -> "RoundTelemetry":
+        """The inert variant: every layer normalizes it to ``None``."""
+        return cls(rounds=1, enabled=False)
+
+    # -- instrumentation hooks (all no-ops when normalized away) -------
+    def span(self, name: str):
+        """Time-and-count one maintenance phase; also feeds the round
+        series so per-phase work is visible per round."""
+        self._span_counter(name).inc()
+        return self.spans.span(name)
+
+    def add_work(self, name: str, amount: float = 1.0) -> None:
+        if amount:
+            self.spans.add_work(name, amount)
+            self._work_counter(name).inc(amount)
+
+    def record_churn(self, kind: str) -> None:
+        self.registry.counter(
+            "repro_churn_transitions_total", "Churn-process node transitions by kind."
+        ).labels(kind=kind).inc()
+
+    def record_fault(self, kind: str, amount: float = 1.0) -> None:
+        self.registry.counter(
+            "repro_faults_injected_total", "Injected faults by kind."
+        ).labels(kind=kind).inc(amount)
+
+    def _span_counter(self, name: str):
+        return self.registry.counter(
+            "repro_span_entries_total", "Profiled maintenance-phase entries by span."
+        ).labels(span=name)
+
+    def _work_counter(self, name: str):
+        return self.registry.counter(
+            "repro_span_work_total", "Work units accumulated by span."
+        ).labels(span=name)
+
+    # -- the round-clock tick ------------------------------------------
+    def sample_round(self, alive: int | None = None, now: float | None = None) -> int:
+        """Derive the per-round gauges from counter deltas, then snapshot
+        every series at the next round index. Called by the runners once
+        per simulation round; returns the sampled round index."""
+        if alive is not None:
+            self._gauges["alive"].set(alive)
+        if now is not None:
+            self._gauges["virtual_time"].set(now)
+        recorder = self.recorder
+        lookups = recorder._lookups.value
+        successes = recorder._successes.value
+        failures = recorder._failures.value
+        cost = recorder._latency_sum.value
+        timeouts = sum(child.value for child in recorder._timeouts_by_verdict.values())
+        d_lookups = lookups - self._last.get("lookups", 0.0)
+        d_successes = successes - self._last.get("successes", 0.0)
+        d_failures = failures - self._last.get("failures", 0.0)
+        d_cost = cost - self._last.get("cost", 0.0)
+        d_timeouts = timeouts - self._last.get("timeouts", 0.0)
+        self._last = {
+            "lookups": lookups,
+            "successes": successes,
+            "failures": failures,
+            "cost": cost,
+            "timeouts": timeouts,
+        }
+        nan = float("nan")
+        self._gauges["round_lookups"].set(d_lookups)
+        self._gauges["round_cost"].set(d_cost / d_successes if d_successes else nan)
+        self._gauges["round_timeout_rate"].set(d_timeouts / d_lookups if d_lookups else nan)
+        self._gauges["round_failure_rate"].set(d_failures / d_lookups if d_lookups else nan)
+        return self.registry.sample_round()

@@ -1,0 +1,71 @@
+"""Span profiler: per-phase work counters with volatile wall times.
+
+The telemetry plane needs to answer "how much *maintenance work* did the
+system do, and when?" — selection recomputes, pointer updates,
+stabilization messages, retry attempts. Those counts are deterministic
+functions of (config, seed), so they live in the reproducible part of
+every METRICS_v1 document. The *wall time* spent inside each phase is
+not deterministic (it depends on the machine), so it is quarantined in a
+``"volatile"`` sub-dict that
+:func:`repro.obs.manifest.strip_volatile` removes before any byte
+comparison — exactly the manifest convention.
+
+A span is opened as a context manager::
+
+    with spans.span("selection.recompute"):
+        result = policy(problem, rng, overlay)
+    spans.add_work("selection.pointer_updates", changed)
+
+``span()`` counts one entry and accumulates ``perf_counter`` elapsed
+time; ``add_work()`` accumulates a plain work counter (how many pointers
+moved, how many messages were sent) without timing anything.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["SpanProfiler"]
+
+
+class SpanProfiler:
+    """Accumulates per-phase counts, work units, and volatile wall time."""
+
+    __slots__ = ("counts", "work", "wall_s")
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+        self.work: dict[str, float] = {}
+        self.wall_s: dict[str, float] = {}
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Count one entry into phase ``name`` and time it (volatile)."""
+        self.counts[name] = self.counts.get(name, 0) + 1
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.wall_s[name] = self.wall_s.get(name, 0.0) + (
+                time.perf_counter() - started
+            )
+
+    def add_work(self, name: str, amount: float = 1.0) -> None:
+        """Accumulate ``amount`` work units under phase ``name``."""
+        self.work[name] = self.work.get(name, 0.0) + amount
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot: deterministic counts/work at the top,
+        wall times under ``"volatile"`` (stripped before comparisons)."""
+        return {
+            "counts": dict(sorted(self.counts.items())),
+            "work": {
+                name: int(value) if float(value).is_integer() else value
+                for name, value in sorted(self.work.items())
+            },
+            "volatile": {
+                "wall_s": {name: round(value, 6) for name, value in sorted(self.wall_s.items())}
+            },
+        }

@@ -1,0 +1,37 @@
+"""Monotonic wall-time measurement for CLI commands and benches.
+
+One shared helper instead of hand-rolled ``time.time()`` deltas at every
+command: :class:`Stopwatch` reads ``time.perf_counter`` (monotonic, not
+affected by clock adjustments), so elapsed values can never go negative.
+Elapsed wall time is *volatile* by nature — commands report it to the
+terminal and store it under their manifest's ``volatile`` block, never in
+the deterministic part of a document.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Started-at-construction monotonic timer.
+
+    >>> watch = Stopwatch()
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("_started",)
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since construction (monotonic)."""
+        return time.perf_counter() - self._started
+
+    def __str__(self) -> str:
+        return f"{self.elapsed:.1f}s"

@@ -68,3 +68,64 @@ class TestRenderChart:
     def test_single_point_does_not_crash(self):
         result = make_result({"s": [(1, 5.0)]})
         assert "figureX" in render_chart(result)
+
+
+class TestSparkline:
+    def test_empty_series_renders_empty(self):
+        from repro.analysis.ascii_chart import render_sparkline
+
+        assert render_sparkline([]) == ""
+
+    def test_all_missing_renders_gaps(self):
+        from repro.analysis.ascii_chart import SPARK_GAP, render_sparkline
+
+        assert render_sparkline([None, float("nan"), None]) == SPARK_GAP * 3
+
+    def test_constant_series_renders_lowest_level(self):
+        from repro.analysis.ascii_chart import SPARK_CHARS, render_sparkline
+
+        assert render_sparkline([4.0, 4.0, 4.0]) == SPARK_CHARS[0] * 3
+
+    def test_monotone_series_uses_full_ramp(self):
+        from repro.analysis.ascii_chart import SPARK_CHARS, render_sparkline
+
+        line = render_sparkline(list(range(8)))
+        assert line == SPARK_CHARS
+
+    def test_nan_bearing_series_keeps_alignment(self):
+        from repro.analysis.ascii_chart import SPARK_CHARS, SPARK_GAP, render_sparkline
+
+        line = render_sparkline([1.0, float("nan"), 2.0, None, 3.0])
+        assert len(line) == 5
+        assert line[1] == SPARK_GAP
+        assert line[3] == SPARK_GAP
+        assert line[0] == SPARK_CHARS[0]
+        assert line[4] == SPARK_CHARS[-1]
+
+
+class TestSeriesTable:
+    def test_empty_table(self):
+        from repro.analysis.ascii_chart import render_series_table
+
+        assert render_series_table([]) == "(no series)"
+
+    def test_rows_aligned_and_stats_correct(self):
+        from repro.analysis.ascii_chart import render_series_table
+
+        table = render_series_table(
+            [
+                ("cost/lookup", [4.0, 3.0, 5.0]),
+                ("alive", [32.0, 32.0, 32.0]),
+            ]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("series")
+        assert "min" in lines[0] and "last" in lines[0] and "max" in lines[0]
+        assert lines[1].startswith("cost/lookup")
+        assert "3" in lines[1] and "5" in lines[1]
+
+    def test_all_missing_row_renders_dashes(self):
+        from repro.analysis.ascii_chart import render_series_table
+
+        table = render_series_table([("rate", [None, float("nan")])])
+        assert "-" in table.splitlines()[1]

@@ -122,3 +122,77 @@ class TestExecution:
         assert document["schema"] == "FIGURE_v1"
         assert document["manifest"]["schema"] == "MANIFEST_v1"
         assert document["series"]
+
+    def test_metrics_parser_arguments(self):
+        args = build_parser().parse_args(
+            ["metrics", "pastry", "--rounds", "6", "--smoke", "--loss", "0.05"]
+        )
+        assert args.command == "metrics"
+        assert args.overlay == "pastry"
+        assert args.rounds == 6
+        assert args.smoke
+        assert args.loss == 0.05
+
+    def test_metrics_defaults_to_chord(self):
+        assert build_parser().parse_args(["metrics"]).overlay == "chord"
+
+    def test_metrics_smoke_writes_both_exports(self, capsys, tmp_path):
+        import json
+
+        json_target = tmp_path / "metrics.json"
+        text_target = tmp_path / "metrics.om"
+        code = main(
+            [
+                "metrics",
+                "--smoke",
+                "--rounds", "3",
+                "--jobs", "2",
+                "--json", str(json_target),
+                "--openmetrics", str(text_target),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "METRICS_v1:" in out
+        assert "round clock" in out
+        assert "cost/lookup" in out
+        document = json.loads(json_target.read_text())
+        assert document["schema"] == "METRICS_v1"
+        assert document["manifest"]["schema"] == "MANIFEST_v1"
+        assert set(document["cells"]) == {"optimal", "oblivious"}
+        exposition = text_target.read_text()
+        assert exposition.endswith("# EOF\n")
+        from repro.telemetry.export import parse_openmetrics
+
+        assert parse_openmetrics(exposition)
+
+    def test_metrics_smoke_is_deterministic_across_jobs(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.manifest import strip_volatile
+
+        documents = []
+        for jobs, name in (("1", "a.json"), ("2", "b.json")):
+            target = tmp_path / name
+            assert main(
+                ["metrics", "--smoke", "--rounds", "2", "--jobs", jobs,
+                 "--json", str(target)]
+            ) == 0
+            documents.append(strip_volatile(json.loads(target.read_text())))
+        capsys.readouterr()
+        assert json.dumps(documents[0], sort_keys=True) == json.dumps(
+            documents[1], sort_keys=True
+        )
+
+    def test_report_parser_arguments(self):
+        args = build_parser().parse_args(
+            ["report", "--figures", "3", "5", "--jobs", "2", "--out-dir", "out"]
+        )
+        assert args.command == "report"
+        assert args.figures == ["3", "5"]
+        assert args.jobs == 2
+        assert args.out_dir == "out"
+
+    def test_report_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--figures", "9"])

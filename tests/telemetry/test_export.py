@@ -1,0 +1,130 @@
+"""Tests for METRICS_v1 assembly and the OpenMetrics exposition/parser."""
+
+import math
+
+import pytest
+
+from repro.sim.runner import ExperimentConfig
+from repro.telemetry.export import (
+    METRICS_SCHEMA,
+    build_metrics_document,
+    parse_openmetrics,
+    to_openmetrics,
+)
+from repro.telemetry.registry import MetricsRegistry
+from repro.util.errors import ConfigurationError
+
+
+def make_document():
+    registry = MetricsRegistry(const_labels={"policy": "optimal"})
+    lookups = registry.counter("repro_lookups_total", "Lookups.").labels()
+    rate = registry.gauge("repro_round_timeout_rate", "Rate.").labels()
+    hist = registry.histogram("repro_lookup_cost", "Cost.", edges=(1.0, 2.0)).labels()
+    lookups.inc(10)
+    hist.observe(1.0)
+    registry.sample_round()  # rate gauge still NaN in round 0
+    lookups.inc(5)
+    rate.set(0.25)
+    hist.observe(3.0)
+    registry.sample_round()
+    config = ExperimentConfig(overlay="chord", n=32, bits=16, queries=100, seed=1)
+    cells = {"optimal": {"policy": "optimal", "metrics": registry.to_payload()}}
+    return build_metrics_document(
+        config, cells, {"mode": "stable", "rounds": 2, "boundaries": [50, 100]}
+    )
+
+
+class TestDocument:
+    def test_top_level_shape(self):
+        document = make_document()
+        assert document["schema"] == METRICS_SCHEMA
+        assert document["overlay"] == "chord"
+        assert document["mode"] == "stable"
+        assert document["manifest"]["schema"] == "MANIFEST_v1"
+        assert document["manifest"]["rounds"] == 2
+        assert document["round_clock"]["boundaries"] == [50, 100]
+
+
+class TestExposition:
+    def test_round_index_is_the_sample_timestamp(self):
+        text = to_openmetrics(make_document())
+        samples = parse_openmetrics(text)
+        series = [
+            sample for sample in samples if sample.name == "repro_lookups_total"
+        ]
+        assert [(sample.value, sample.timestamp) for sample in series] == [
+            (10.0, 0.0),
+            (15.0, 1.0),
+        ]
+
+    def test_nan_gauge_renders_as_nan_sample(self):
+        text = to_openmetrics(make_document())
+        samples = parse_openmetrics(text)
+        rates = [s for s in samples if s.name == "repro_round_timeout_rate"]
+        assert math.isnan(rates[0].value)
+        assert rates[1].value == 0.25
+
+    def test_histogram_final_snapshot_with_inf_bucket(self):
+        text = to_openmetrics(make_document())
+        samples = parse_openmetrics(text)
+        buckets = [s for s in samples if s.name == "repro_lookup_cost_bucket"]
+        les = [dict(s.labels)["le"] for s in buckets]
+        assert les == ["1", "2", "+Inf"]
+        assert [s.value for s in buckets] == [1.0, 1.0, 2.0]
+        assert all(s.timestamp == 1.0 for s in buckets)
+        count = next(s for s in samples if s.name == "repro_lookup_cost_count")
+        total = next(s for s in samples if s.name == "repro_lookup_cost_sum")
+        assert count.value == 2.0
+        assert total.value == 4.0
+
+    def test_metadata_and_framing(self):
+        text = to_openmetrics(make_document())
+        assert "# TYPE repro_lookups_total counter" in text
+        assert "# HELP repro_lookup_cost Cost." in text
+        assert text.endswith("# EOF\n")
+
+    def test_labels_sorted_and_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", 'has "quotes"\nand newline').labels(
+            b="2", a="1"
+        ).inc()
+        registry.sample_round()
+        config = ExperimentConfig(overlay="chord", n=32, bits=16, queries=100, seed=1)
+        cells = {"optimal": {"policy": "optimal", "metrics": registry.to_payload()}}
+        text = to_openmetrics(build_metrics_document(config, cells, {"rounds": 1}))
+        assert 'repro_x_total{a="1",b="2"} 1 0' in text
+        assert "\\n" in text  # help newline escaped
+        parse_openmetrics(text)
+
+
+class TestParserStrictness:
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ConfigurationError, match="EOF"):
+            parse_openmetrics("# TYPE x counter\nx 1 0\n")
+
+    def test_sample_without_type_metadata_rejected(self):
+        with pytest.raises(ConfigurationError, match="TYPE"):
+            parse_openmetrics("x 1 0\n# EOF")
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            parse_openmetrics("# TYPE x counter\nx\n# EOF")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="bad sample value"):
+            parse_openmetrics("# TYPE x counter\nx abc 0\n# EOF")
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = (
+            "# TYPE x histogram\n"
+            'x_bucket{le="1"} 5 0\n'
+            'x_bucket{le="+Inf"} 3 0\n'
+            "# EOF"
+        )
+        with pytest.raises(ConfigurationError, match="cumulative"):
+            parse_openmetrics(text)
+
+    def test_bucket_suffix_resolves_to_family_type(self):
+        text = "# TYPE x histogram\n" 'x_bucket{le="+Inf"} 3 0\n' "x_count 3 0\n# EOF"
+        samples = parse_openmetrics(text)
+        assert len(samples) == 2

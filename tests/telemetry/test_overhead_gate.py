@@ -1,0 +1,55 @@
+"""Tests for the disabled-telemetry overhead gate (cheap pieces plus the
+leaky-registry mutation test; the full gated measurement runs via
+``repro bench`` in CI).
+
+The mutation test is the important one: it proves the gate would catch a
+regression where the "disabled" path silently runs a live registry. We
+monkeypatch the seam (:func:`repro.perf.telemetry.disabled_telemetry`)
+to return an *enabled* runtime and assert the measured ratio blows past
+the threshold — so a leak cannot slip through the bench unnoticed.
+"""
+
+import repro.perf.telemetry as perf_telemetry
+from repro.perf.overhead import OVERHEAD_THRESHOLD, _build_workload
+from repro.perf.telemetry import (
+    TELEMETRY_THRESHOLD,
+    _measure_overlay,
+    _trial_ratio,
+    disabled_telemetry,
+)
+from repro.telemetry.runtime import RoundTelemetry
+
+
+class TestGatePieces:
+    def test_threshold_matches_trace_gate(self):
+        assert TELEMETRY_THRESHOLD == OVERHEAD_THRESHOLD
+
+    def test_disabled_telemetry_is_inert(self):
+        telemetry = disabled_telemetry()
+        assert telemetry.enabled is False
+        assert telemetry.recorder.enabled is False
+
+    def test_trial_ratio_is_a_sane_positive_number(self):
+        overlay, pairs = _build_workload("chord", 32, 40)
+        ratio = _trial_ratio(overlay, pairs, chunk=5, rounds=2)
+        assert 1 / 3 < ratio < 3
+
+    def test_measure_overlay_reports_sorted_ratios_and_median(self):
+        report = _measure_overlay("chord", n=48, lookups=100, trials=3, chunk=5, rounds=2)
+        assert report["trials"] == 3
+        assert len(report["ratios"]) == 3
+        assert report["ratios"] == sorted(report["ratios"])
+        assert report["min_ratio"] <= report["median_ratio"] <= report["max_ratio"]
+
+
+class TestMutation:
+    def test_leaky_disabled_path_is_caught_by_the_gate(self, monkeypatch):
+        """If the disabled path secretly runs an enabled registry, the
+        measured overhead must exceed the gate threshold."""
+        monkeypatch.setattr(
+            perf_telemetry,
+            "disabled_telemetry",
+            lambda: RoundTelemetry(rounds=1, enabled=True),
+        )
+        report = _measure_overlay("chord", n=64, lookups=150, trials=5, chunk=5, rounds=4)
+        assert report["median_ratio"] >= TELEMETRY_THRESHOLD

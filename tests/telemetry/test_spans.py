@@ -1,0 +1,48 @@
+"""Tests for the span profiler (deterministic counts, volatile wall time)."""
+
+from repro.obs.manifest import strip_volatile
+from repro.telemetry.spans import SpanProfiler
+
+
+class TestSpanProfiler:
+    def test_span_counts_entries_and_accumulates_time(self):
+        spans = SpanProfiler()
+        for __ in range(3):
+            with spans.span("selection.recompute"):
+                pass
+        assert spans.counts == {"selection.recompute": 3}
+        assert spans.wall_s["selection.recompute"] >= 0.0
+
+    def test_span_records_time_even_when_body_raises(self):
+        spans = SpanProfiler()
+        try:
+            with spans.span("phase"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert spans.counts["phase"] == 1
+        assert "phase" in spans.wall_s
+
+    def test_add_work_accumulates(self):
+        spans = SpanProfiler()
+        spans.add_work("pointer_updates", 3)
+        spans.add_work("pointer_updates", 2.5)
+        assert spans.work == {"pointer_updates": 5.5}
+
+    def test_to_dict_quarantines_wall_time_as_volatile(self):
+        spans = SpanProfiler()
+        with spans.span("phase"):
+            pass
+        spans.add_work("w", 2)
+        snapshot = spans.to_dict()
+        assert snapshot["counts"] == {"phase": 1}
+        assert snapshot["work"] == {"w": 2}
+        assert "wall_s" in snapshot["volatile"]
+        stripped = strip_volatile(snapshot)
+        assert stripped == {"counts": {"phase": 1}, "work": {"w": 2}}
+
+    def test_integral_work_serializes_as_int(self):
+        spans = SpanProfiler()
+        spans.add_work("w", 2.0)
+        assert spans.to_dict()["work"]["w"] == 2
+        assert isinstance(spans.to_dict()["work"]["w"], int)

@@ -1,0 +1,19 @@
+"""Tests for the shared wall-clock stopwatch."""
+
+import time
+
+from repro.util.timer import Stopwatch
+
+
+class TestStopwatch:
+    def test_elapsed_monotone_nonnegative(self):
+        watch = Stopwatch()
+        first = watch.elapsed
+        time.sleep(0.01)
+        second = watch.elapsed
+        assert 0.0 <= first <= second
+
+    def test_str_formats_seconds(self):
+        text = str(Stopwatch())
+        assert text.endswith("s")
+        assert float(text[:-1]) >= 0.0
