@@ -88,12 +88,16 @@ class RingTable:
         ``None`` when no entry lies in the clockwise interval
         ``(owner, key]`` (the owner is then the key's predecessor as far as
         this table knows)."""
-        if not self._entries:
+        entries = self._entries
+        if not entries:
             return None
-        index = bisect_right(self._entries, key) - 1
-        candidate = self._entries[index]  # ring-predecessor of key (wraps via [-1])
-        gap = self.space.gap(self.owner, candidate)
-        if 0 < gap <= self.space.gap(self.owner, key):
+        candidate = entries[bisect_right(entries, key) - 1]  # wraps via [-1]
+        # Inlined IdSpace.gap: this runs once per forwarded hop and the
+        # two method calls were the routing loop's hottest frames.
+        mask = self.space.mask
+        owner = self.owner
+        gap = (candidate - owner) & mask
+        if 0 < gap <= (key - owner) & mask:
             return candidate
         return None
 
@@ -206,22 +210,30 @@ def route(
                 rec.record_lookup(result, events)
             return result
         next_node = ring.node(next_id)
-        delivered = False
-        if rec is not None:
-            pointer_class = _pointer_class(current, next_id)
-            timeouts_before = timeouts
-            penalty_before = penalty
-            verdicts: list[str] = []
-        for attempt in range(policy.max_attempts):
-            if hops + timeouts > limit:
-                break
-            if next_node.alive and (faults is None or faults.deliver(current.node_id, next_id)):
-                delivered = True
-                break
+        if rec is None and faults is None and next_node.alive:
+            # Fault-free fast path: with a live target, no fault plane and
+            # no recorder, the first attempt always delivers, so the retry
+            # loop below reduces to this one branch.
+            delivered = True
+        else:
+            delivered = False
             if rec is not None:
-                verdicts.append("dead" if not next_node.alive else faults.last_verdict)
-            timeouts += 1
-            penalty += policy.attempt_penalty(attempt) - 1.0
+                pointer_class = _pointer_class(current, next_id)
+                timeouts_before = timeouts
+                penalty_before = penalty
+                verdicts: list[str] = []
+            for attempt in range(policy.max_attempts):
+                if hops + timeouts > limit:
+                    break
+                if next_node.alive and (
+                    faults is None or faults.deliver(current.node_id, next_id)
+                ):
+                    delivered = True
+                    break
+                if rec is not None:
+                    verdicts.append("dead" if not next_node.alive else faults.last_verdict)
+                timeouts += 1
+                penalty += policy.attempt_penalty(attempt) - 1.0
         if rec is not None:
             failed = timeouts - timeouts_before
             events.append(

@@ -94,6 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the figure as a FIGURE_v1 JSON document (with manifest)",
     )
+    figure.add_argument(
+        "--engine",
+        choices=["auto", "objects", "columnar"],
+        default="auto",
+        help="routing engine for stable cells (columnar = vectorized struct-of-arrays)",
+    )
 
     compare = sub.add_parser("compare", help="run a single comparison cell")
     compare.add_argument("overlay", choices=["chord", "pastry"])
@@ -105,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--churn", action="store_true", help="run the churn-mode simulation")
     compare.add_argument("--duration", type=float, default=600.0, help="churn sim duration (s)")
+    compare.add_argument(
+        "--engine",
+        choices=["auto", "objects", "columnar"],
+        default="auto",
+        help="routing engine (stable mode only; churn always uses objects)",
+    )
 
     sw = sub.add_parser("sweep", help="sweep one config parameter")
     sw.add_argument("overlay", choices=["chord", "pastry"])
@@ -126,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the sweep as a SWEEP_v1 JSON document (with manifest)",
+    )
+    sw.add_argument(
+        "--engine",
+        choices=["auto", "objects", "columnar"],
+        default="auto",
+        help="routing engine for the swept cells",
     )
 
     bench = sub.add_parser("bench", help="run perf benchmarks, emit BENCH_v1 JSON")
@@ -304,7 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_figure(args: argparse.Namespace) -> int:
     preset = FigurePreset.paper(args.seed) if args.paper else FigurePreset.quick(args.seed)
     watch = Stopwatch()
-    result = run_figure(args.figure_id, preset, jobs=args.jobs)
+    result = run_figure(args.figure_id, preset, jobs=args.jobs, engine=args.engine)
     print(render_table(result))
     if args.detail:
         print()
@@ -351,6 +369,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             bits=args.bits,
             queries=args.queries,
             seed=args.seed,
+            engine=args.engine,
         )
         result = run_stable(config)
     print(result.summary())
@@ -371,6 +390,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         bits=args.bits,
         queries=args.queries,
         seed=args.seed,
+        engine=args.engine,
     )
 
     def convert(text: str):
@@ -414,6 +434,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(
                 f"\nFAIL: {label} overhead {overhead['worst_ratio']:.4f} exceeds "
                 f"the {overhead['threshold']:.2f} gate",
+                file=sys.stderr,
+            )
+            return 1
+    equivalence = document.get("engine_equivalence") or {}
+    if "skipped" not in equivalence and not equivalence.get("identical", True):
+        print(
+            "\nFAIL: columnar engine results diverged from the object engine",
+            file=sys.stderr,
+        )
+        return 1
+    for key, label, metric in (
+        ("engine_speedup", "engine routing speedup", "worst_routing_speedup"),
+        ("engine_memory", "engine bytes/node", "bytes_per_node"),
+    ):
+        section = document.get(key) or {}
+        if "skipped" not in section and not section.get("passed", True):
+            print(
+                f"\nFAIL: {label} {section[metric]} misses the "
+                f"{section['threshold']} gate",
                 file=sys.stderr,
             )
             return 1

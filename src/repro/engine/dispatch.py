@@ -1,0 +1,115 @@
+"""Engine selection: objects vs columnar, with NumPy gating.
+
+The ``engine`` field on :class:`~repro.sim.runner.ExperimentConfig`
+accepts three values:
+
+* ``"objects"`` — always route over the object-graph overlays.
+* ``"columnar"`` — demand the vectorized engine; raises
+  :class:`~repro.util.errors.ConfigurationError` with the blocking
+  reason when the cell is unsupported (NumPy missing, faults active,
+  oversized id space, ...).
+* ``"auto"`` (default) — columnar when the cell is supported *and*
+  large enough that the batch setup cost amortizes
+  (:data:`COLUMNAR_AUTO_THRESHOLD` nodes); objects otherwise. The
+  oracle-dispatch pattern from PR 1's scalar-vs-vectorized kernels:
+  small inputs take the transparent path, big inputs the fast one, and
+  both produce bit-identical results.
+
+Supportability is intentionally conservative. The columnar engine
+freezes the overlay before routing, so anything that mutates routing
+state mid-stream — fault planes (evictions, message drops), churn,
+retry policies with observable backoff — stays on the object path.
+Telemetry/trace instrumentation also forces objects: the per-hop
+callback surface is exactly what the frontier batches away.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "COLUMNAR_AUTO_THRESHOLD",
+    "COLUMNAR_MAX_BITS",
+    "ENGINES",
+    "columnar_support",
+    "numpy_or_none",
+    "resolve_engine",
+]
+
+ENGINES = ("auto", "objects", "columnar")
+
+#: ``auto`` switches to columnar at this many nodes. Below it the object
+#: path wins or ties: snapshot construction is O(total table entries)
+#: and the frontier pays fixed per-step numpy overhead.
+COLUMNAR_AUTO_THRESHOLD = 512
+
+#: The vectorized routers hold ids in int64 and take bit lengths through
+#: the float64 mantissa (``np.frexp``), which is exact only below 2**53.
+#: 52 bits covers the paper's 32-bit spaces with a margin; larger spaces
+#: stay on the object path (``IdSpace`` itself allows up to 256 bits).
+COLUMNAR_MAX_BITS = 52
+
+_numpy_checked = False
+_numpy_module = None
+
+
+def numpy_or_none():
+    """The :mod:`numpy` module, or ``None`` when not installed."""
+    global _numpy_checked, _numpy_module
+    if not _numpy_checked:
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - exercised on numpy-less boxes
+            _numpy_module = None
+        else:
+            _numpy_module = numpy
+        _numpy_checked = True
+    return _numpy_module
+
+
+def columnar_support(config) -> tuple[bool, str]:
+    """``(supported, reason)`` — can this stable cell run columnar?
+
+    ``reason`` is empty when supported, else the first blocking rule
+    (the message an explicit ``engine="columnar"`` request fails with).
+    """
+    if numpy_or_none() is None:
+        return False, "numpy is not installed"
+    if getattr(config, "duration", None) is not None and hasattr(config, "queries_per_second"):
+        return False, "churn mode mutates routing state mid-stream"
+    if config.faults_active:
+        return False, "fault injection mutates routing state mid-stream"
+    if config.retry is not None:
+        return False, "an explicit retry policy is only observable on the object path"
+    if config.bits > COLUMNAR_MAX_BITS:
+        return False, (
+            f"bits={config.bits} exceeds the columnar engine's exact-arithmetic "
+            f"limit of {COLUMNAR_MAX_BITS}"
+        )
+    return True, ""
+
+
+def resolve_engine(config, telemetry_active: bool = False) -> str:
+    """Resolve ``config.engine`` to ``"objects"`` or ``"columnar"``.
+
+    ``telemetry_active`` marks a run with an enabled telemetry runtime
+    attached; the columnar engine has no per-hop instrumentation surface,
+    so telemetry forces (or, for explicit ``columnar``, refuses) objects.
+    """
+    engine = getattr(config, "engine", "auto")
+    if engine == "objects":
+        return "objects"
+    supported, reason = columnar_support(config)
+    if engine == "columnar":
+        if telemetry_active:
+            raise ConfigurationError(
+                "engine='columnar' cannot run with telemetry attached: the "
+                "vectorized frontier has no per-hop instrumentation surface"
+            )
+        if not supported:
+            raise ConfigurationError(f"engine='columnar' unsupported for this cell: {reason}")
+        return "columnar"
+    # auto
+    if telemetry_active or not supported or config.n < COLUMNAR_AUTO_THRESHOLD:
+        return "objects"
+    return "columnar"

@@ -167,6 +167,24 @@ def _log2(n: int) -> int:
 # ----------------------------------------------------------------------
 
 
+def _with_engine(cells: list[FigureCell], engine: str) -> list[FigureCell]:
+    """Apply an engine override to a plan's *stable* cells.
+
+    The engine lives on the cell configs, never on the preset, so the
+    FIGURE_v1 ``preset`` block — and hence the stripped document — is
+    byte-identical across engines. Churn cells always run on objects
+    (the columnar engine is stable-mode only) and are left untouched.
+    """
+    if engine == "auto":
+        return cells
+    return [
+        replace(cell, config=replace(cell.config, engine=engine))
+        if cell.kind == "stable"
+        else cell
+        for cell in cells
+    ]
+
+
 def _replica_config(config: ExperimentConfig, replica: int) -> ExperimentConfig:
     """Replica 0 keeps the cell's seed; later replicates get independent
     seeds from the cell's own substream, so the replicate set is stable
@@ -229,7 +247,11 @@ def _assemble_series(
 # ----------------------------------------------------------------------
 
 
-def figure3(preset: FigurePreset | None = None, jobs: int | None = None) -> FigureResult:
+def figure3(
+    preset: FigurePreset | None = None,
+    jobs: int | None = None,
+    engine: str = "auto",
+) -> FigureResult:
     """Figure 3: Pastry improvement vs number of nodes.
 
     Paper observations to reproduce: strongly positive improvements for
@@ -256,6 +278,7 @@ def figure3(preset: FigurePreset | None = None, jobs: int | None = None) -> Figu
         for alpha in (1.2, 0.91)
         for n in preset.pastry_sizes
     ]
+    cells = _with_engine(cells, engine)
     series = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
     return FigureResult(
         "figure3",
@@ -265,7 +288,11 @@ def figure3(preset: FigurePreset | None = None, jobs: int | None = None) -> Figu
     )
 
 
-def figure4(preset: FigurePreset | None = None, jobs: int | None = None) -> FigureResult:
+def figure4(
+    preset: FigurePreset | None = None,
+    jobs: int | None = None,
+    engine: str = "auto",
+) -> FigureResult:
     """Figure 4: Pastry improvement vs number of auxiliary neighbors.
 
     Uses the locality-aware routing mode; the paper reports improvement
@@ -295,6 +322,7 @@ def figure4(preset: FigurePreset | None = None, jobs: int | None = None) -> Figu
         for alpha in (1.2, 0.91)
         for multiple in (1, 2, 3)
     ]
+    cells = _with_engine(cells, engine)
     series = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
     return FigureResult(
         "figure4",
@@ -344,7 +372,11 @@ def _chord_churn_config(preset: FigurePreset, n: int, k: int) -> ChurnConfig:
     )
 
 
-def figure5(preset: FigurePreset | None = None, jobs: int | None = None) -> FigureResult:
+def figure5(
+    preset: FigurePreset | None = None,
+    jobs: int | None = None,
+    engine: str = "auto",
+) -> FigureResult:
     """Figure 5: Chord improvement vs number of nodes, stable and churn.
 
     Paper observations: up to ~57% reduction in the stable system at the
@@ -358,6 +390,7 @@ def figure5(preset: FigurePreset | None = None, jobs: int | None = None) -> Figu
         FigureCell("high churn", n, "churn", _chord_churn_config(preset, n, _log2(n)))
         for n in preset.chord_sizes
     ]
+    cells = _with_engine(cells, engine)
     series = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
     return FigureResult(
         "figure5",
@@ -367,7 +400,11 @@ def figure5(preset: FigurePreset | None = None, jobs: int | None = None) -> Figu
     )
 
 
-def figure6(preset: FigurePreset | None = None, jobs: int | None = None) -> FigureResult:
+def figure6(
+    preset: FigurePreset | None = None,
+    jobs: int | None = None,
+    engine: str = "auto",
+) -> FigureResult:
     """Figure 6: Chord improvement vs k, stable and churn.
 
     Paper observations: improvement *decreases* as k grows (random extra
@@ -393,6 +430,7 @@ def figure6(preset: FigurePreset | None = None, jobs: int | None = None) -> Figu
         )
         for multiple in (1, 2, 3)
     ]
+    cells = _with_engine(cells, engine)
     series = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
     return FigureResult(
         "figure6",
@@ -412,7 +450,10 @@ FIGURES: dict[str, Callable[..., FigureResult]] = {
 
 
 def run_figure(
-    figure_id: str, preset: FigurePreset | None = None, jobs: int | None = None
+    figure_id: str,
+    preset: FigurePreset | None = None,
+    jobs: int | None = None,
+    engine: str = "auto",
 ) -> FigureResult:
     """Run one figure by id ('3', '4', '5' or '6')."""
     from repro.util.errors import ConfigurationError
@@ -420,7 +461,7 @@ def run_figure(
     runner = FIGURES.get(str(figure_id))
     if runner is None:
         raise ConfigurationError(f"unknown figure {figure_id!r}; expected one of {sorted(FIGURES)}")
-    return runner(preset, jobs)
+    return runner(preset, jobs, engine)
 
 
 def _json_float(value: float) -> float | None:

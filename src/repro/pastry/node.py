@@ -46,6 +46,7 @@ class PastryNode:
         "auxiliary",
         "leaves",
         "tracker",
+        "_leaf_cache",
     )
 
     def __init__(
@@ -66,6 +67,10 @@ class PastryNode:
         self.auxiliary: set[int] = set()
         self.leaves: set[int] = set()
         self.tracker = ExactFrequencyTable()
+        #: Routing-layer cache of leaf-set geometry (see
+        #: :func:`repro.pastry.routing._leaf_geometry`); any mutation of
+        #: ``leaves`` must reset it to ``None``.
+        self._leaf_cache: tuple | None = None
 
     # ------------------------------------------------------------------
     # Cell bookkeeping
@@ -114,6 +119,7 @@ class PastryNode:
         for old in self.leaves - entries - self.core - self.auxiliary:
             self._remove_from_cell(old)
         self.leaves = {entry for entry in entries if entry != self.node_id}
+        self._leaf_cache = None
         for entry in self.leaves:
             self._add_to_cell(entry)
 
@@ -129,7 +135,9 @@ class PastryNode:
         """Drop a neighbor discovered dead via a lookup timeout."""
         self.core.discard(dead_id)
         self.auxiliary.discard(dead_id)
-        self.leaves.discard(dead_id)
+        if dead_id in self.leaves:
+            self.leaves.discard(dead_id)
+            self._leaf_cache = None
         self._remove_from_cell(dead_id)
 
     def neighbor_ids(self) -> set[int]:
@@ -150,6 +158,7 @@ class PastryNode:
         self.core.clear()
         self.auxiliary.clear()
         self.leaves.clear()
+        self._leaf_cache = None
         self.tracker = ExactFrequencyTable()
 
     # ------------------------------------------------------------------

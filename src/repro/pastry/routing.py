@@ -97,9 +97,7 @@ def _ranked_candidates(network: "PastryNetwork", node, key: int, mode: str) -> l
     # leaf-set radius, a purely local density estimate — can deliver
     # directly, so those rank first by numeric closeness. Everything else
     # follows FreePastry's closest-live-candidate-by-latency rule.
-    radius = 0
-    if node.leaves:
-        radius = max(circular_distance(space, node.node_id, leaf) for leaf in node.leaves)
+    radius = _leaf_geometry(network, node)[4] if node.leaves else 0
 
     def sort_key(candidate: int):
         numeric = circular_distance(space, candidate, key)
@@ -174,6 +172,11 @@ def route(
         structure that nominated the target (trace attribution only)."""
         nonlocal timeouts, penalty
         target = network.node(target_id)
+        if rec is None and faults is None and target.alive:
+            # Fault-free fast path: with a live target, no fault plane and
+            # no recorder, the first attempt always delivers, so the retry
+            # loop below reduces to this one branch.
+            return True
         delivered = False
         if rec is not None:
             timeouts_before = timeouts
@@ -283,6 +286,38 @@ def route(
     return result
 
 
+def _leaf_geometry(network: "PastryNetwork", node) -> tuple:
+    """Leaf-set geometry, cached on the node until its leaves change.
+
+    Returns ``(covers_all, arc_start, span, known, radius_max)`` where the
+    first three describe the covered arc (see :func:`_leaf_delivery_target`),
+    ``known`` is ``leaves ∪ {self}`` as a list, and ``radius_max`` is the
+    largest numeric distance to any leaf (the local density estimate the
+    proximity mode ranks with). All of it depends only on the leaf set, yet
+    the uncached version re-sorted the leaves on **every hop** of every
+    lookup — the pastry routing loop's dominant cost. Every mutation of
+    ``node.leaves`` resets ``node._leaf_cache`` to ``None``.
+    """
+    cached = node._leaf_cache
+    if cached is not None:
+        return cached
+    space = network.space
+    radius = network.leaf_radius
+    own = node.node_id
+    leaves = sorted(node.leaves)
+    by_clockwise = sorted(leaves, key=lambda leaf: space.gap(own, leaf))
+    by_counter = sorted(leaves, key=lambda leaf: space.gap(leaf, own))
+    clockwise_extent = space.gap(own, by_clockwise[:radius][-1])
+    counter_extent = space.gap(by_counter[:radius][-1], own)
+    span = clockwise_extent + counter_extent
+    covers_all = span >= space.size
+    arc_start = space.add(own, -counter_extent)
+    radius_max = max(circular_distance(space, own, leaf) for leaf in leaves)
+    cached = (covers_all, arc_start, span, leaves + [own], radius_max)
+    node._leaf_cache = cached
+    return cached
+
+
 def _leaf_delivery_target(network: "PastryNetwork", node, key: int) -> int | None:
     """When the key lies inside the node's leaf-set coverage, the delivery
     target: the numerically closest of ``leaves ∪ {self}``. ``None`` when
@@ -297,18 +332,9 @@ def _leaf_delivery_target(network: "PastryNetwork", node, key: int) -> int | Non
     space = network.space
     if not node.leaves:
         return node.node_id  # isolated node: deliver locally
-    radius = network.leaf_radius
-    leaves = sorted(node.leaves)
-    by_clockwise = sorted(leaves, key=lambda leaf: space.gap(node.node_id, leaf))
-    by_counter = sorted(leaves, key=lambda leaf: space.gap(leaf, node.node_id))
-    clockwise_extent = space.gap(node.node_id, by_clockwise[: radius][-1])
-    counter_extent = space.gap(by_counter[: radius][-1], node.node_id)
-    span = clockwise_extent + counter_extent
-    if span < space.size:
-        arc_start = space.add(node.node_id, -counter_extent)
-        if space.gap(arc_start, key) > span:
-            return None
-    known = leaves + [node.node_id]
+    covers_all, arc_start, span, known, _ = _leaf_geometry(network, node)
+    if not covers_all and space.gap(arc_start, key) > span:
+        return None
     return min(known, key=lambda c: (circular_distance(space, c, key), c))
 
 

@@ -13,7 +13,10 @@ Document layout::
       "speedups": {kernel: scalar_median / vectorized_median},
       "parallel": {jobs, sweep_cells, serial_s, parallel_s, identical},
       "obs_overhead": {overlays, worst_ratio, threshold, passed},
-      "telemetry_overhead": {overlays, worst_ratio, threshold, passed}
+      "telemetry_overhead": {overlays, worst_ratio, threshold, passed},
+      "engine_equivalence": {cells, identical},
+      "engine_speedup": {overlays, worst_routing_speedup, threshold, passed},
+      "engine_memory": {n, bytes_per_node, threshold, passed}
     }
 
 ``speedups`` is derived from paired micro entries (see
@@ -25,6 +28,11 @@ certifies that routing with a disabled trace recorder costs < 2% over
 routing with no recorder (see :mod:`repro.perf.overhead`).
 ``telemetry_overhead.passed`` must be ``true`` — the same bar for the
 disabled telemetry runtime (see :mod:`repro.perf.telemetry`).
+The ``engine_*`` sections certify the columnar simulation engine: cross-
+engine results identical, batched routing >= 10x the object routers at
+full scale, and <= 1 KiB of columnar image per node (see
+:mod:`repro.perf.engine`). Each may instead carry ``{"skipped": ...}``
+when numpy is absent.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ import platform
 import sys
 
 from repro.obs.manifest import build_manifest
+from repro.perf.engine import engine_equivalence, engine_memory, engine_speedup
 from repro.perf.macro import macro_benchmarks, parallel_identity_check
 from repro.perf.micro import KERNEL_PAIRS, micro_benchmarks
 from repro.perf.overhead import overhead_benchmark
@@ -80,6 +89,9 @@ def run_bench(smoke: bool = False, jobs: int | None = None) -> dict:
         "parallel": parallel_identity_check(max(2, resolved_jobs), smoke=smoke),
         "obs_overhead": overhead_benchmark(smoke=smoke),
         "telemetry_overhead": telemetry_overhead_benchmark(smoke=smoke),
+        "engine_equivalence": engine_equivalence(smoke=smoke),
+        "engine_speedup": engine_speedup(smoke=smoke),
+        "engine_memory": engine_memory(smoke=smoke),
     }
 
 
@@ -133,3 +145,36 @@ def print_summary(document: dict, stream=None) -> None:
                     f"trials={entry['trials']}",
                     file=stream,
                 )
+    equivalence = document.get("engine_equivalence")
+    if equivalence and "skipped" not in equivalence:
+        print(f"\nengine equivalence: identical={equivalence['identical']}", file=stream)
+        for name, cell in equivalence["cells"].items():
+            print(
+                f"  {name:<10} n={cell['n']:<6} objects={cell['objects_s']:.2f}s "
+                f"columnar={cell['columnar_s']:.2f}s identical={cell['identical']}",
+                file=stream,
+            )
+    speedup = document.get("engine_speedup")
+    if speedup and "skipped" not in speedup:
+        print(
+            f"engine speedup: worst routing {speedup['worst_routing_speedup']:.1f}x "
+            f"(threshold {speedup['threshold']:.1f}x) passed={speedup['passed']}",
+            file=stream,
+        )
+        for name, entry in speedup["overlays"].items():
+            print(
+                f"  {name:<10} objects={entry['objects_s'] * 1e3:.1f}ms "
+                f"batch={entry['batch_s'] * 1e3:.1f}ms "
+                f"snapshot={entry['snapshot_s'] * 1e3:.1f}ms "
+                f"routing={entry['routing_speedup']:.1f}x "
+                f"end-to-end={entry['end_to_end_speedup']:.1f}x",
+                file=stream,
+            )
+    memory = document.get("engine_memory")
+    if memory and "skipped" not in memory:
+        print(
+            f"engine memory: n={memory['n']} "
+            f"{memory['bytes_per_node']:.1f} B/node "
+            f"(threshold {memory['threshold']:.0f}) passed={memory['passed']}",
+            file=stream,
+        )

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field, replace
 from repro.chord.ring import ChordRing
 from repro.chord.ring import oblivious_policy as chord_oblivious
 from repro.chord.ring import optimal_policy as chord_optimal
+from repro.engine.dispatch import ENGINES, resolve_engine
 from repro.faults.injector import apply_stable_faults, install_fault_events, maybe_corrupt
 from repro.faults.plane import FaultPlane
 from repro.faults.retry import RetryPolicy
@@ -76,10 +77,17 @@ class ExperimentConfig:
     #: Lookup retry policy; ``None`` picks the legacy single-attempt
     #: policy, or :meth:`RetryPolicy.robust` when faults are active.
     retry: RetryPolicy | None = None
+    #: Simulation engine: ``"objects"`` (object-graph oracle),
+    #: ``"columnar"`` (vectorized struct-of-arrays frontier), or
+    #: ``"auto"`` — columnar for large supported cells, objects
+    #: otherwise. See :mod:`repro.engine.dispatch`.
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.overlay not in OVERLAYS:
             raise ConfigurationError(f"unknown overlay {self.overlay!r}; expected one of {OVERLAYS}")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
         if self.n < 2:
             raise ConfigurationError("need at least 2 nodes")
         if self.bits <= 0:
@@ -166,6 +174,11 @@ class ChurnConfig(ExperimentConfig):
         super().__post_init__()
         if self.warmup >= self.duration:
             raise ConfigurationError("warmup must be shorter than duration")
+        if self.engine == "columnar":
+            raise ConfigurationError(
+                "engine='columnar' is stable-mode only: churn mutates routing "
+                "state mid-stream, which the frozen snapshot cannot observe"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -314,7 +327,18 @@ def run_stable(config: ExperimentConfig, telemetry=None) -> ComparisonResult:
     registry is sampled at every chunk boundary. Telemetry is strictly
     observe-only: attached or not, the returned statistics are
     bit-identical.
+
+    ``config.engine`` selects the routing engine. The columnar path
+    (:mod:`repro.engine`) consumes the exact same seed streams, freezes
+    the overlay after auxiliary installation and routes the identical
+    query batch vectorized — the returned statistics are bit-identical
+    to the object path.
     """
+    telemetry_active = any(
+        _policy_telemetry(telemetry, name) is not None for name in ("optimal", "oblivious")
+    )
+    if resolve_engine(config, telemetry_active) == "columnar":
+        return _run_stable_columnar(config)
     if config.faults_active:
         stats = {
             name: _run_stable_once(config, name, telemetry=_policy_telemetry(telemetry, name))
@@ -365,6 +389,66 @@ def run_stable(config: ExperimentConfig, telemetry=None) -> ComparisonResult:
                 next_boundary += 1
         stats[name] = collected
         bench.overlay.attach_telemetry(None)
+    label = (
+        f"{config.overlay} stable n={config.n} k={config.effective_k} "
+        f"alpha={config.alpha}"
+    )
+    return ComparisonResult(label, stats["optimal"], stats["oblivious"])
+
+
+def _run_stable_columnar(config: ExperimentConfig) -> ComparisonResult:
+    """Stable-mode comparison on the columnar engine (DESIGN.md §10).
+
+    Mirrors :func:`run_stable` stream for stream: the same
+    :class:`~repro.util.rng.SeedSequenceRegistry` draws, the same
+    warmup protocol, the same per-policy auxiliary recomputation and the
+    same materialized query stream — then freezes each policy's overlay
+    into a columnar snapshot and routes the whole batch vectorized.
+    Clean measured lookups are side-effect-free (``record_access`` is
+    off), so skipping the object walk is observationally invisible:
+    the folded statistics are bit-identical.
+    """
+    from repro.engine.columnar import snapshot_chord, snapshot_pastry
+    from repro.engine.router import batch_route_chord, batch_route_pastry
+
+    registry = SeedSequenceRegistry(config.seed)
+    bench = _Bench(config, registry)
+    overlay = bench.overlay
+    if config.learned_frequencies:
+        # Warmup routing's only side effect on a clean overlay is the
+        # source node observing the responsible node — which the ring
+        # oracle gives directly, no hop-by-hop walk needed.
+        generator = bench.query_generator("warmup-queries")
+        alive = overlay.alive_ids()
+        for query in generator.stream(config.effective_warmup_queries, lambda: alive):
+            destination = overlay.responsible(query.item)
+            if destination != query.source:
+                overlay.node(query.source).record_access(destination)
+    else:
+        bench.seed_all()
+    optimal, oblivious = bench.policies()
+    stats = {}
+    for name, policy in (("optimal", optimal), ("oblivious", oblivious)):
+        overlay.recompute_all_auxiliary(
+            config.effective_k,
+            policy,
+            registry.fresh(f"policy-rng-{name}"),
+            frequency_limit=config.frequency_limit,
+        )
+        generator = bench.query_generator("queries")
+        alive = overlay.alive_ids()
+        queries = list(generator.stream(config.queries, lambda: alive))
+        sources = [query.source for query in queries]
+        keys = [query.item for query in queries]
+        if config.overlay == "chord":
+            batch = batch_route_chord(snapshot_chord(overlay), sources, keys)
+        else:
+            batch = batch_route_pastry(
+                snapshot_pastry(overlay), sources, keys, mode=config.pastry_mode
+            )
+        collected = HopStatistics()
+        batch.fold_into(collected)
+        stats[name] = collected
     label = (
         f"{config.overlay} stable n={config.n} k={config.effective_k} "
         f"alpha={config.alpha}"

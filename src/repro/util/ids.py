@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.util.errors import IdSpaceError
 
@@ -47,12 +48,16 @@ class IdSpace:
     # ------------------------------------------------------------------
     # Basic properties
     # ------------------------------------------------------------------
-    @property
+    # ``size``/``mask`` sit on the routing hot path (two reads per
+    # forwarded hop); caching them keeps ``gap`` from re-allocating the
+    # ``1 << bits`` big int on every call. ``bits`` is frozen, so the
+    # cached values can never go stale.
+    @cached_property
     def size(self) -> int:
         """Number of points in the id space (``2**bits``)."""
         return 1 << self.bits
 
-    @property
+    @cached_property
     def mask(self) -> int:
         """Bit mask selecting the low ``bits`` bits."""
         return self.size - 1

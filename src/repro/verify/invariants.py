@@ -22,6 +22,13 @@ Naming convention: ``<scope>.<property>`` with scopes
   responsibility agrees with a linear-scan oracle.
 * ``trace`` — observability accounting: per-hop trace events reconcile
   exactly with :class:`~repro.sim.metrics.HopStatistics` counters.
+* ``engine`` — the columnar engine (:mod:`repro.engine`): snapshots are
+  faithful images of the object overlay (id axis, CSR rows, dense
+  gap-sorted hop tables), and batched frontier lookups replayed on a
+  snapshot satisfy the same per-hop progress and
+  termination-at-oracle-responsible properties as object lookups —
+  checked through the *same* independent oracles, with the batch result
+  adapted into the trace shape they consume.
 
 Selection solvers are always called through their *module* attribute
 (``chord_selection.select_chord_fast`` etc.), so tests can monkeypatch a
@@ -44,6 +51,8 @@ __all__ = [
     "Violation",
     "check_chord_state",
     "check_chord_successors",
+    "check_engine_coherence",
+    "check_engine_routing",
     "check_pastry_leaf_sets",
     "check_pastry_state",
     "check_responsibility",
@@ -199,6 +208,34 @@ REGISTRY: dict[str, Invariant] = {
             "Per-hop trace events reconcile exactly with HopStatistics: "
             "lookup/success/failure counts, delivered-hop totals (all "
             "lookups vs successful-only), and timeout totals all match.",
+        ),
+        Invariant(
+            "engine.table_coherence",
+            "engine",
+            ("chord", "pastry"),
+            "The columnar snapshot is a faithful image of the object "
+            "overlay: the sorted live-id axis, every per-node CSR row with "
+            "its pointer classes, the dense gap-sorted Chord hop rows "
+            "(prefix = entries ascending by clockwise gap, pads duplicating "
+            "the max-gap entry), and the Pastry leaf rows and geometry all "
+            "match a linear re-derivation from the object nodes.",
+        ),
+        Invariant(
+            "engine.routing_progress",
+            "engine",
+            ("chord", "pastry"),
+            "Batched frontier lookups on a columnar snapshot make strict "
+            "per-hop progress under the overlay's distance metric — the "
+            "object-router progress oracle evaluated on recorded batch "
+            "paths (fully-live overlays, where snapshots are defined).",
+        ),
+        Invariant(
+            "engine.routing_termination",
+            "engine",
+            ("chord", "pastry"),
+            "Batched frontier lookups terminate at the linear-scan-oracle "
+            "responsible node, report hop counts consistent with their "
+            "recorded paths, and never fail on a clean snapshot.",
         ),
     )
 }
@@ -632,3 +669,225 @@ def check_trace_reconciliation(counters, stats, results) -> list[str]:
         if left != right:
             messages.append(f"{label} does not reconcile: {left} != {right}")
     return messages
+
+
+# ----------------------------------------------------------------------
+# engine.*
+# ----------------------------------------------------------------------
+def _chord_entry_class(node, entry: int) -> int:
+    """Strongest-claim pointer class code (mirrors the tracer's rule)."""
+    if entry in node.core:
+        return 0
+    if entry in node.successors:
+        return 1
+    if entry in node.auxiliary:
+        return 2
+    return 3
+
+
+def _check_chord_snapshot(overlay) -> list[str]:
+    import numpy as np
+
+    from repro.engine.columnar import snapshot_chord
+
+    snapshot = snapshot_chord(overlay)
+    messages: list[str] = []
+    alive = overlay.alive_ids()
+    if snapshot.ids.tolist() != list(alive):
+        return [f"columnar id axis != sorted live ids ({snapshot.n} vs {len(alive)})"]
+    offsets = snapshot.table_offsets.tolist()
+    table_ids = snapshot.table_ids.tolist()
+    table_class = snapshot.table_class.tolist()
+    for position, node_id in enumerate(alive):
+        node = overlay.node(node_id)
+        entries = node.table.entries()
+        start, end = offsets[position], offsets[position + 1]
+        if table_ids[start:end] != entries:
+            messages.append(
+                f"node {node_id} CSR row {table_ids[start:end]} != object "
+                f"table {entries}"
+            )
+            continue
+        for index, entry in enumerate(entries):
+            expected = _chord_entry_class(node, entry)
+            if table_class[start + index] != expected:
+                messages.append(
+                    f"node {node_id} entry {entry} classed "
+                    f"{table_class[start + index]}, expected {expected}"
+                )
+    if snapshot.hop_gaps is None:
+        return messages
+    width = snapshot.hop_width
+    pad = int(np.iinfo(snapshot.hop_gaps.dtype).max)
+    hop_gaps = snapshot.hop_gaps.tolist()
+    hop_pos = snapshot.hop_pos.tolist()
+    hop_class = snapshot.hop_class.tolist()
+    mask = snapshot.mask
+    max_count = max(offsets[p + 1] - offsets[p] for p in range(len(alive)))
+    if width != max_count + 1:
+        messages.append(f"hop width {width} != max row count {max_count} + 1")
+        return messages
+    for position, node_id in enumerate(alive):
+        node = overlay.node(node_id)
+        ranked = sorted(
+            ((entry - node_id) & mask, entry) for entry in node.table.entries()
+        )
+        base = position * width
+        bad = False
+        for col, (gap, entry) in enumerate(ranked):
+            if (
+                hop_gaps[base + col] != gap
+                or alive[hop_pos[base + col]] != entry
+                or hop_class[base + col] != _chord_entry_class(node, entry)
+            ):
+                messages.append(
+                    f"node {node_id} dense slot {col} does not match its "
+                    f"rank-{col} table entry {entry} (gap {gap})"
+                )
+                bad = True
+                break
+        if bad:
+            continue
+        last_entry = ranked[-1][1]
+        last_class = _chord_entry_class(node, last_entry)
+        for col in range(len(ranked), width):
+            if (
+                hop_gaps[base + col] != pad
+                or alive[hop_pos[base + col]] != last_entry
+                or hop_class[base + col] != last_class
+            ):
+                messages.append(
+                    f"node {node_id} pad column {col} does not carry the pad "
+                    f"gap and duplicate the max-gap entry {last_entry}"
+                )
+                break
+    return messages
+
+
+def _check_pastry_snapshot(overlay) -> list[str]:
+    from repro.engine.columnar import snapshot_pastry
+
+    snapshot = snapshot_pastry(overlay)
+    messages: list[str] = []
+    space = overlay.space
+    alive = overlay.alive_ids()
+    if snapshot.ids.tolist() != list(alive):
+        return [f"columnar id axis != sorted live ids ({snapshot.n} vs {len(alive)})"]
+    for position, node_id in enumerate(alive):
+        node = overlay.node(node_id)
+        per_row: dict[int, list[int]] = {}
+        for (row, __), bucket in node.cells.items():
+            per_row.setdefault(row, []).extend(sorted(bucket))
+        for row in range(snapshot.bits):
+            start = int(snapshot.row_ptr[position, row])
+            end = int(snapshot.row_ptr[position, row + 1])
+            got = snapshot.nbr_ids[start:end].tolist()
+            expected = per_row.get(row, [])
+            if got != expected:
+                messages.append(
+                    f"node {node_id} prefix row {row}: CSR {got} != cells "
+                    f"{expected}"
+                )
+                continue
+            for index, entry in enumerate(expected):
+                code = (
+                    0 if entry in node.core else 1 if entry in node.leaves else 2
+                )
+                if int(snapshot.nbr_class[start + index]) != code:
+                    messages.append(
+                        f"node {node_id} entry {entry} classed "
+                        f"{int(snapshot.nbr_class[start + index])}, expected {code}"
+                    )
+        leaves = sorted(node.leaves)
+        leaf_row = snapshot.leaf_mat[position].tolist()
+        if leaf_row[: len(leaves)] != leaves or any(
+            value != node_id for value in leaf_row[len(leaves) :]
+        ):
+            messages.append(
+                f"node {node_id} leaf row {leaf_row} != sorted leaves "
+                f"{leaves} + own-id padding"
+            )
+        if bool(snapshot.no_leaves[position]) != (not leaves):
+            messages.append(f"node {node_id} no_leaves flag is wrong")
+        if leaves:
+            expected_radius = max(
+                circular_distance(space, node_id, leaf) for leaf in leaves
+            )
+            if int(snapshot.radius_max[position]) != expected_radius:
+                messages.append(
+                    f"node {node_id} proximity radius "
+                    f"{int(snapshot.radius_max[position])} != "
+                    f"{expected_radius}"
+                )
+    return messages
+
+
+def check_engine_coherence(overlay_kind: str, overlay) -> list[str]:
+    """The columnar snapshot mirrors the object overlay, field by field."""
+    if overlay_kind == "chord":
+        return _check_chord_snapshot(overlay)
+    return _check_pastry_snapshot(overlay)
+
+
+@dataclass(frozen=True)
+class _BatchTrace:
+    """Adapter: one batch lane in the shape the routing oracles consume."""
+
+    key: int
+    source: int
+    path: list[int]
+    succeeded: bool
+    destination: int | None
+
+
+def check_engine_routing(
+    overlay_kind: str, overlay, sources, keys, clean: bool = True
+) -> tuple[list[str], list[str]]:
+    """Batched columnar lookups through the object-router oracles.
+
+    Returns ``(progress, termination)`` message lists: each recorded
+    batch path is fed to :func:`check_routing_progress` and
+    :func:`check_routing_termination` via a trace adapter, plus a
+    hops-vs-path consistency check the batch result makes possible.
+    """
+    from repro.engine.columnar import snapshot_chord, snapshot_pastry
+    from repro.engine.router import batch_route_chord, batch_route_pastry
+
+    space = overlay.space
+    alive = overlay.alive_ids()
+    if overlay_kind == "chord":
+        result = batch_route_chord(
+            snapshot_chord(overlay), sources, keys, record_paths=True
+        )
+    else:
+        result = batch_route_pastry(
+            snapshot_pastry(overlay), sources, keys, record_paths=True
+        )
+    progress: list[str] = []
+    termination: list[str] = []
+    for lane, (source, key) in enumerate(zip(sources, keys)):
+        raw_destination = int(result.destinations[lane])
+        trace = _BatchTrace(
+            key=key,
+            source=source,
+            path=result.lane_path(lane),
+            succeeded=bool(result.succeeded[lane]),
+            destination=raw_destination if raw_destination >= 0 else None,
+        )
+        progress.extend(
+            f"lane {lane}: {message}"
+            for message in check_routing_progress(overlay_kind, space, trace)
+        )
+        termination.extend(
+            f"lane {lane}: {message}"
+            for message in check_routing_termination(
+                overlay_kind, space, alive, trace, clean
+            )
+        )
+        hops = int(result.hops[lane])
+        if trace.succeeded and hops != len(trace.path) - 1:
+            termination.append(
+                f"lane {lane}: reported {hops} hops but the recorded path "
+                f"has {len(trace.path) - 1} forwards"
+            )
+    return progress, termination

@@ -14,7 +14,11 @@ applicable invariant from :mod:`repro.verify.invariants`:
 * after **recompute** steps: the selection invariants (DP ≡ fast/greedy,
   nesting, monotonicity in k, QoS bounds) on a seeded sample of nodes;
 * during **lookups** steps: per-hop progress, termination-at-responsible,
-  retry accounting, and trace-vs-HopStatistics reconciliation.
+  retry accounting, and trace-vs-HopStatistics reconciliation;
+* after every *snapshot-safe* step (all live pointers live, so the
+  columnar image is defined): engine snapshot coherence, plus — on clean
+  steps — batched columnar lookups replayed through the same routing
+  progress/termination oracles.
 
 The engine tracks a ``clean`` flag — true when the overlay is fully
 stabilized and no message loss is configured — under which the strongest
@@ -46,10 +50,13 @@ from repro.sim.metrics import HopStatistics
 from repro.util.errors import ConfigurationError
 from repro.util.ids import IdSpace
 from repro.util.rng import SeedSequenceRegistry, substream_seed
+from repro.engine.dispatch import numpy_or_none
 from repro.verify.invariants import (
     Violation,
     check_chord_state,
     check_chord_successors,
+    check_engine_coherence,
+    check_engine_routing,
     check_pastry_leaf_sets,
     check_pastry_state,
     check_responsibility,
@@ -90,6 +97,9 @@ _SELECTION_SAMPLE = 2
 
 #: Responsibility-oracle keys probed after every step.
 _ORACLE_KEYS = 4
+
+#: Batched lookups replayed through the columnar engine per clean step.
+_ENGINE_LOOKUPS = 8
 
 
 @dataclass(frozen=True)
@@ -282,6 +292,7 @@ class _Engine:
         self.churn_rng = self.registry.stream("churn")
         self.sample_rng = self.registry.stream("selection-sample")
         self.key_rng = self.registry.stream("oracle-keys")
+        self.engine_rng = self.registry.stream("engine-keys")
         self.limit = 4 * self.space.bits
         self.clean = scenario.loss_rate == 0.0
         self.violations: list[Violation] = []
@@ -484,6 +495,54 @@ class _Engine:
             step,
             check_responsibility(self.kind, self.overlay, keys),
         )
+        self._engine_checks(step)
+
+    def _snapshot_safe(self) -> bool:
+        """Columnar snapshots are defined on fully-live overlays: every
+        pointer any live node holds must itself be alive (a dead entry
+        has no position on the snapshot's id axis)."""
+        alive = set(self.overlay.alive_ids())
+        for node_id in alive:
+            node = self.overlay.node(node_id)
+            if self.kind == "chord":
+                referenced = node.table.entries()
+            else:
+                referenced = node.neighbor_ids()
+            if not alive.issuperset(referenced):
+                return False
+        return True
+
+    def _engine_checks(self, step: int) -> None:
+        """Replay the step's overlay through the columnar engine.
+
+        Coherence runs on every snapshot-safe step; the routing
+        invariants additionally need the ``clean`` flag, because the
+        batch routers have no retry machinery — termination-at-
+        responsible is only an obligation when the object routers would
+        accept it without timeouts.
+        """
+        if numpy_or_none() is None:
+            return
+        if not self._snapshot_safe():
+            return
+        self._record(
+            "engine.table_coherence",
+            step,
+            check_engine_coherence(self.kind, self.overlay),
+        )
+        if not self.clean:
+            return
+        alive = self.overlay.alive_ids()
+        sources = [self.engine_rng.choice(alive) for __ in range(_ENGINE_LOOKUPS)]
+        keys = [
+            self.engine_rng.randrange(self.space.size)
+            for __ in range(_ENGINE_LOOKUPS)
+        ]
+        progress, termination = check_engine_routing(
+            self.kind, self.overlay, sources, keys, clean=True
+        )
+        self._record("engine.routing_progress", step, progress)
+        self._record("engine.routing_termination", step, termination)
 
 
 def run_scenario(scenario: Scenario) -> ScenarioReport:

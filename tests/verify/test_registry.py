@@ -17,10 +17,10 @@ class TestRegistry:
             assert invariant.scope == scope
             assert invariant.description
 
-    def test_covers_the_three_layers(self):
+    def test_covers_the_five_layers(self):
         scopes = {invariant.scope for invariant in REGISTRY.values()}
-        assert scopes == {"selection", "routing", "state", "trace"}
-        assert len(REGISTRY) == 12
+        assert scopes == {"selection", "routing", "state", "trace", "engine"}
+        assert len(REGISTRY) == 15
 
     def test_overlay_applicability(self):
         for invariant in REGISTRY.values():
