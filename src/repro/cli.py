@@ -26,7 +26,7 @@ Commands
     a seeded reservoir of N lookup traces instead of all of them.
 ``check``
     Run the invariant-checking scenario search (:mod:`repro.verify`):
-    seeded scenarios driven through both overlays with every applicable
+    seeded scenarios driven through all three overlays with every applicable
     invariant evaluated per step. Failing scenarios are shrunk to a
     replayable VERIFY_REPRO_v1 JSON (``--repro PATH``); ``--replay PATH``
     re-runs such a document deterministically.
@@ -76,7 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     figure = sub.add_parser("figure", help="regenerate one evaluation figure")
-    figure.add_argument("figure_id", choices=sorted(FIGURES), help="paper figure number")
+    figure.add_argument(
+        "figure_id",
+        nargs="?",
+        choices=sorted(FIGURES),
+        default="7",
+        help="figure number (default: 7, the three-overlay comparison)",
+    )
+    figure.add_argument(
+        "--overlay",
+        choices=["chord", "pastry", "kademlia"],
+        default=None,
+        help="pin figure 7's cross-overlay grid to one overlay",
+    )
     figure.add_argument("--paper", action="store_true", help="full paper-scale parameters (slow)")
     figure.add_argument("--seed", type=int, default=0, help="master random seed")
     figure.add_argument("--detail", action="store_true", help="print raw hop counts too")
@@ -102,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     compare = sub.add_parser("compare", help="run a single comparison cell")
-    compare.add_argument("overlay", choices=["chord", "pastry"])
+    compare.add_argument("overlay", choices=["chord", "pastry", "kademlia"])
     compare.add_argument("--n", type=int, default=256)
     compare.add_argument("--k", type=int, default=None, help="auxiliary pointers (default log2 n)")
     compare.add_argument("--alpha", type=float, default=1.2)
@@ -119,7 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sw = sub.add_parser("sweep", help="sweep one config parameter")
-    sw.add_argument("overlay", choices=["chord", "pastry"])
+    sw.add_argument("overlay", choices=["chord", "pastry", "kademlia"])
     sw.add_argument("parameter", help="ExperimentConfig field to vary (e.g. alpha, k, n)")
     sw.add_argument("values", nargs="+", help="values to sweep over")
     sw.add_argument("--n", type=int, default=128)
@@ -181,7 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser("trace", help="trace per-lookup hop paths for one cell")
     trace.add_argument(
-        "overlay", nargs="?", choices=["chord", "pastry"], default="chord",
+        "overlay", nargs="?", choices=["chord", "pastry", "kademlia"], default="chord",
         help="overlay to trace (default: chord)",
     )
     trace.add_argument("--n", type=int, default=128)
@@ -225,9 +237,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--seed", type=int, default=0, help="master random seed")
     check.add_argument(
         "--overlay",
-        choices=["chord", "pastry"],
+        choices=["chord", "pastry", "kademlia"],
         default=None,
-        help="pin one overlay (default: alternate between both)",
+        help="pin one overlay (default: cycle through all three)",
     )
     check.add_argument(
         "--smoke", action="store_true", help="CI-scale scenario count (seconds)"
@@ -252,7 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="round-clocked telemetry dashboard for one cell"
     )
     metrics.add_argument(
-        "overlay", nargs="?", choices=["chord", "pastry"], default="chord",
+        "overlay", nargs="?", choices=["chord", "pastry", "kademlia"], default="chord",
         help="overlay to instrument (default: chord)",
     )
     metrics.add_argument("--n", type=int, default=128)
@@ -307,8 +319,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--figures",
         nargs="+",
-        default=("3", "4", "5", "6"),
-        choices=("3", "4", "5", "6"),
+        default=("3", "4", "5", "6", "7"),
+        choices=("3", "4", "5", "6", "7"),
         help="subset of figures to regenerate",
     )
     report.add_argument(
@@ -322,7 +334,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_figure(args: argparse.Namespace) -> int:
     preset = FigurePreset.paper(args.seed) if args.paper else FigurePreset.quick(args.seed)
     watch = Stopwatch()
-    result = run_figure(args.figure_id, preset, jobs=args.jobs, engine=args.engine)
+    result = run_figure(
+        args.figure_id, preset, jobs=args.jobs, engine=args.engine, overlay=args.overlay
+    )
     print(render_table(result))
     if args.detail:
         print()

@@ -289,14 +289,22 @@ def chord_cost(
 
 
 def evaluate(problem: SelectionProblem, auxiliary: Iterable[int], overlay: str) -> float:
-    """Evaluate eq. 1 for ``auxiliary`` under ``overlay`` ('pastry' or 'chord')."""
-    if overlay == "pastry":
+    """Evaluate eq. 1 for ``auxiliary`` under ``overlay`` ('pastry',
+    'kademlia' or 'chord').
+
+    Kademlia's XOR metric has ``d_uv = bitlength(u XOR v) = b - lcp(u, v)``
+    — the same distance classes as Pastry — so both share the prefix
+    kernel (see :mod:`repro.core.kademlia_selection`).
+    """
+    if overlay in ("pastry", "kademlia"):
         return pastry_cost(problem.space, problem.frequencies, problem.core_neighbors, auxiliary)
     if overlay == "chord":
         return chord_cost(
             problem.space, problem.source, problem.frequencies, problem.core_neighbors, auxiliary
         )
-    raise ConfigurationError(f"unknown overlay {overlay!r}; expected 'pastry' or 'chord'")
+    raise ConfigurationError(
+        f"unknown overlay {overlay!r}; expected 'pastry', 'kademlia' or 'chord'"
+    )
 
 
 def brute_force_optimal(problem: SelectionProblem, overlay: str) -> SelectionResult:
@@ -354,7 +362,7 @@ def _satisfies_bounds(problem: SelectionProblem, auxiliary: tuple[int, ...], ove
         return True
     pointers = list(problem.core_neighbors) + list(auxiliary)
     for peer, bound in problem.delay_bounds.items():
-        if overlay == "pastry":
+        if overlay in ("pastry", "kademlia"):
             distance = pastry_peer_distance(problem.space, peer, pointers)
         else:
             distance = chord_peer_distance(problem.space, problem.source, peer, pointers)

@@ -30,6 +30,7 @@ from repro.core.types import SelectionProblem, SelectionResult
 
 __all__ = [
     "select_chord_oblivious",
+    "select_kademlia_oblivious",
     "select_pastry_oblivious",
     "select_uniform_random",
 ]
@@ -118,6 +119,22 @@ def select_pastry_oblivious(
     return SelectionResult(frozenset(chosen), cost, "pastry-oblivious")
 
 
+def select_kademlia_oblivious(
+    problem: SelectionProblem,
+    rng: random.Random,
+    pool: Sequence[int] | None = None,
+) -> SelectionResult:
+    """Kademlia baseline: ``r`` random pointers per XOR distance class.
+
+    XOR distance classes are exactly shared-prefix-length classes
+    (``bitlength(u XOR v) = b - lcp(u, v)``), so the per-class draw — and
+    the eq.-1 cost of the result — coincides with the Pastry baseline;
+    only the provenance label differs.
+    """
+    result = select_pastry_oblivious(problem, rng, pool=pool)
+    return SelectionResult(result.auxiliary, result.cost, "kademlia-oblivious")
+
+
 def select_uniform_random(
     problem: SelectionProblem,
     rng: random.Random,
@@ -127,7 +144,7 @@ def select_uniform_random(
     """Ablation baseline: ``k`` pointers uniformly at random among candidates."""
     candidates = sorted(_candidate_pool(problem, pool))
     chosen = set(rng.sample(candidates, min(problem.k, len(candidates))))
-    if overlay == "pastry":
+    if overlay in ("pastry", "kademlia"):
         cost = pastry_cost(problem.space, problem.frequencies, problem.core_neighbors, chosen)
     else:
         cost = chord_cost(

@@ -75,6 +75,8 @@ def columnar_support(config) -> tuple[bool, str]:
     """
     if numpy_or_none() is None:
         return False, "numpy is not installed"
+    if getattr(config, "overlay", None) == "kademlia":
+        return False, "the columnar engine implements chord and pastry routing only"
     if getattr(config, "duration", None) is not None and hasattr(config, "queries_per_second"):
         return False, "churn mode mutates routing state mid-stream"
     if config.faults_active:

@@ -14,6 +14,10 @@ reduction in average hops versus the frequency-oblivious baseline:
   modes, five per-node popularity rankings.
 * :func:`figure6` — Chord, improvement vs ``k``, stable and churn modes;
   the paper observes the improvement *shrinking* as k grows.
+* :func:`figure7` — extension beyond the paper: all three overlays
+  (Chord, Pastry, Kademlia) side by side, improvement vs ``k`` in
+  {1, 2, 3}·log n at a fixed ``n``, stable mode. The Kademlia series
+  answers whether the eq.-1 selection transfers to the XOR metric.
 
 Every runner accepts a :class:`FigurePreset`: ``paper()`` uses the paper's
 parameters (n up to 2048, 32-bit ids, 1800 s churn runs — minutes of wall
@@ -53,6 +57,7 @@ __all__ = [
     "figure4",
     "figure5",
     "figure6",
+    "figure7",
     "run_figure",
     "result_to_json",
     "FIGURES",
@@ -81,6 +86,11 @@ class FigurePreset:
     churn_warmup: float
     seed: int = 0
     replicas: int = 1
+    #: Figure 7 (the three-overlay extension) grid: the shared node count
+    #: is ``kademlia_k_base``; defaults keep presets built before the
+    #: third overlay (e.g. serialized ones) loadable.
+    kademlia_sizes: tuple[int, ...] = (128, 256, 512, 1024)
+    kademlia_k_base: int = 1024
 
     @classmethod
     def paper(cls, seed: int = 0) -> "FigurePreset":
@@ -96,6 +106,8 @@ class FigurePreset:
             churn_duration=1800.0,
             churn_warmup=300.0,
             seed=seed,
+            kademlia_sizes=(128, 256, 512, 1024),
+            kademlia_k_base=1024,
         )
 
     @classmethod
@@ -112,6 +124,8 @@ class FigurePreset:
             churn_duration=400.0,
             churn_warmup=100.0,
             seed=seed,
+            kademlia_sizes=(48, 96, 192),
+            kademlia_k_base=96,
         )
 
 
@@ -440,12 +454,75 @@ def figure6(
     )
 
 
+# ----------------------------------------------------------------------
+# Extension figure: three overlays side by side
+# ----------------------------------------------------------------------
+
+
+def figure7(
+    preset: FigurePreset | None = None,
+    jobs: int | None = None,
+    engine: str = "auto",
+    overlay: str | None = None,
+) -> FigureResult:
+    """Figure 7 (extension): Chord, Pastry and Kademlia improvement vs k.
+
+    All three overlays at the same node count (``preset.kademlia_k_base``)
+    with identical rankings, k in {1, 2, 3}·log n, stable mode. ``overlay``
+    pins the plan to a single series (the CLI's ``--overlay`` flag).
+
+    Expected shape: every overlay keeps a solidly positive reduction, the
+    prefix-metric overlays (Pastry, Kademlia) tracking each other closely
+    since their distance classes coincide.
+    """
+    preset = preset or FigurePreset.quick()
+    overlays = ("chord", "pastry", "kademlia") if overlay is None else (overlay,)
+    n = preset.kademlia_k_base
+    base_k = _log2(n)
+    cells = [
+        FigureCell(
+            series,
+            multiple * base_k,
+            "stable",
+            ExperimentConfig(
+                overlay=series,
+                n=n,
+                k=multiple * base_k,
+                alpha=1.2,
+                bits=preset.bits,
+                queries=preset.queries,
+                num_rankings=1,
+                seed=preset.seed,
+            ),
+        )
+        for series in overlays
+        for multiple in (1, 2, 3)
+    ]
+    # The engine override skips Kademlia cells: the columnar engine
+    # implements chord/pastry routing only (see engine.dispatch).
+    if engine != "auto":
+        cells = [
+            replace(cell, config=replace(cell.config, engine=engine))
+            if cell.config.overlay != "kademlia"
+            else cell
+            for cell in cells
+        ]
+    series_out = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
+    return FigureResult(
+        "figure7",
+        f"Three overlays: % hop reduction vs k (n = {n}, stable)",
+        "k (auxiliary neighbors)",
+        series_out,
+    )
+
+
 #: Registry used by the CLI and the benchmark harness.
 FIGURES: dict[str, Callable[..., FigureResult]] = {
     "3": figure3,
     "4": figure4,
     "5": figure5,
     "6": figure6,
+    "7": figure7,
 }
 
 
@@ -454,13 +531,21 @@ def run_figure(
     preset: FigurePreset | None = None,
     jobs: int | None = None,
     engine: str = "auto",
+    overlay: str | None = None,
 ) -> FigureResult:
-    """Run one figure by id ('3', '4', '5' or '6')."""
+    """Run one figure by id ('3'..'7'). ``overlay`` pins figure 7's
+    cross-overlay grid to a single overlay and is rejected elsewhere."""
     from repro.util.errors import ConfigurationError
 
     runner = FIGURES.get(str(figure_id))
     if runner is None:
         raise ConfigurationError(f"unknown figure {figure_id!r}; expected one of {sorted(FIGURES)}")
+    if str(figure_id) == "7":
+        return runner(preset, jobs, engine, overlay)
+    if overlay is not None:
+        raise ConfigurationError(
+            "--overlay applies to figure 7 (the cross-overlay comparison) only"
+        )
     return runner(preset, jobs, engine)
 
 

@@ -6,7 +6,7 @@ churn; this experiment stresses it with the deterministic fault plane
 open: does the %-reduction in average hops survive message loss and
 correlated crash bursts, once lookups are allowed to retry and fail over?
 
-Two one-dimensional axes, both overlays, stable-mode measurement:
+Two one-dimensional axes, all three overlays, stable-mode measurement:
 
 * ``loss``  — per-message drop probability in {0, 0.01, 0.05, 0.1};
 * ``burst`` — one correlated crash burst of {0, ...} nodes before
@@ -40,7 +40,7 @@ __all__ = [
     "rows_to_table",
 ]
 
-OVERLAYS = ("chord", "pastry")
+OVERLAYS = ("chord", "pastry", "kademlia")
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,9 @@ from repro.faults.injector import apply_stable_faults, install_fault_events, may
 from repro.faults.plane import FaultPlane
 from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import FaultSchedule
+from repro.kademlia.network import KademliaNetwork
+from repro.kademlia.network import oblivious_policy as kademlia_oblivious
+from repro.kademlia.network import optimal_policy as kademlia_optimal
 from repro.pastry.network import PastryNetwork
 from repro.pastry.network import oblivious_policy as pastry_oblivious
 from repro.pastry.network import optimal_policy as pastry_optimal
@@ -43,7 +46,7 @@ from repro.workload.queries import QueryGenerator
 
 __all__ = ["ExperimentConfig", "ChurnConfig", "run_stable", "run_churn"]
 
-OVERLAYS = ("chord", "pastry")
+OVERLAYS = ("chord", "pastry", "kademlia")
 
 
 @dataclass(frozen=True)
@@ -203,6 +206,8 @@ class _Bench:
         overlay_seed = self.registry.stream("overlay").randrange(2**31)
         if config.overlay == "chord":
             self.overlay = ChordRing.build(config.n, space=space, seed=overlay_seed)
+        elif config.overlay == "kademlia":
+            self.overlay = KademliaNetwork.build(config.n, space=space, seed=overlay_seed)
         else:
             self.overlay = PastryNetwork.build(config.n, space=space, seed=overlay_seed)
         catalog = ItemCatalog(space, config.effective_items, seed=self.registry.stream("items").randrange(2**31))
@@ -234,6 +239,8 @@ class _Bench:
         """(optimal, oblivious) policy pair for the configured overlay."""
         if self.config.overlay == "chord":
             return chord_optimal, chord_oblivious
+        if self.config.overlay == "kademlia":
+            return kademlia_optimal, kademlia_oblivious
         return pastry_optimal, pastry_oblivious
 
     def lookup(
@@ -245,7 +252,7 @@ class _Bench:
         faults: FaultPlane | None = None,
         trace=None,
     ):
-        if self.config.overlay == "chord":
+        if self.config.overlay in ("chord", "kademlia"):
             return self.overlay.lookup(
                 source,
                 item,

@@ -40,7 +40,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core import chord_selection, cost, pastry_selection
+from repro.core import chord_selection, cost, kademlia_selection, pastry_selection
 from repro.core.types import SelectionProblem
 from repro.pastry.routing import circular_distance
 from repro.util.errors import InfeasibleConstraintError
@@ -53,6 +53,8 @@ __all__ = [
     "check_chord_successors",
     "check_engine_coherence",
     "check_engine_routing",
+    "check_kademlia_buckets",
+    "check_kademlia_state",
     "check_pastry_leaf_sets",
     "check_pastry_state",
     "check_responsibility",
@@ -102,7 +104,7 @@ class Invariant:
     """A registered machine-checked property."""
 
     name: str
-    scope: str  # "selection" | "routing" | "state" | "trace"
+    scope: str  # "selection" | "routing" | "state" | "trace" | "engine" | "kademlia"
     overlays: tuple[str, ...]
     description: str
 
@@ -113,7 +115,7 @@ REGISTRY: dict[str, Invariant] = {
         Invariant(
             "selection.equivalence",
             "selection",
-            ("chord", "pastry"),
+            ("chord", "pastry", "kademlia"),
             "The O(n^2 k) DP, the fast/greedy algorithm, an independent cost "
             "re-evaluation, and (on tiny instances) brute force all agree on "
             "the optimal selection cost (eq. 7-10 / Section IV).",
@@ -121,22 +123,23 @@ REGISTRY: dict[str, Invariant] = {
         Invariant(
             "selection.nesting",
             "selection",
-            ("pastry",),
-            "Greedy Pastry selections nest: the budget-(j-1) selection is a "
-            "subset of the budget-j selection, at DP-optimal cost for every "
-            "budget (the nesting property P, Lemma 4.1).",
+            ("pastry", "kademlia"),
+            "Greedy prefix-metric selections nest: the budget-(j-1) "
+            "selection is a subset of the budget-j selection, at DP-optimal "
+            "cost for every budget (the nesting property P, Lemma 4.1) — on "
+            "Pastry and on Kademlia, whose XOR classes are prefix lengths.",
         ),
         Invariant(
             "selection.monotone_k",
             "selection",
-            ("chord", "pastry"),
+            ("chord", "pastry", "kademlia"),
             "The optimal expected lookup cost is non-increasing in the "
             "auxiliary budget k (more pointers can only help).",
         ),
         Invariant(
             "selection.qos",
             "selection",
-            ("chord", "pastry"),
+            ("chord", "pastry", "kademlia"),
             "Under feasible per-peer delay bounds the QoS-aware DP returns a "
             "selection that satisfies every bound, at a cost no better than "
             "the unconstrained optimum (Section IV-C).",
@@ -144,16 +147,17 @@ REGISTRY: dict[str, Invariant] = {
         Invariant(
             "routing.progress",
             "routing",
-            ("chord", "pastry"),
+            ("chord", "pastry", "kademlia"),
             "Every delivered hop makes strict progress: on Chord the "
             "clockwise gap to the key strictly shrinks; on Pastry each hop "
             "lengthens the shared prefix with the key, or strictly reduces "
-            "circular distance, or breaks an exact distance tie downward.",
+            "circular distance, or breaks an exact distance tie downward; on "
+            "Kademlia the XOR distance to the key strictly shrinks.",
         ),
         Invariant(
             "routing.termination",
             "routing",
-            ("chord", "pastry"),
+            ("chord", "pastry", "kademlia"),
             "Successful lookups terminate exactly at the responsible node "
             "(linear-scan oracle); failed lookups report no destination; on "
             "a fully stabilized overlay with no message loss every lookup "
@@ -162,7 +166,7 @@ REGISTRY: dict[str, Invariant] = {
         Invariant(
             "routing.retry_bounds",
             "routing",
-            ("chord", "pastry"),
+            ("chord", "pastry", "kademlia"),
             "Per-target delivery attempts never exceed the retry policy's "
             "max_attempts; per-event and per-lookup hop/timeout accounting "
             "is exact; hops + timeouts stays within the routing hop limit.",
@@ -196,15 +200,26 @@ REGISTRY: dict[str, Invariant] = {
         Invariant(
             "state.responsibility",
             "state",
-            ("chord", "pastry"),
-            "The bisect-based responsible() agrees with a linear scan over "
-            "all live nodes: clockwise predecessor on Chord (eq. 6 metric), "
-            "numerically closest with lower-id tie-break on Pastry.",
+            ("chord", "pastry", "kademlia"),
+            "The overlay's responsible() agrees with a linear scan over all "
+            "live nodes: clockwise predecessor on Chord (eq. 6 metric), "
+            "numerically closest with lower-id tie-break on Pastry, XOR "
+            "minimizer on Kademlia (injective — no tie-break).",
+        ),
+        Invariant(
+            "kademlia.table_coherence",
+            "kademlia",
+            ("kademlia",),
+            "The Kademlia per-class index is a faithful view of core ∪ "
+            "auxiliary (never containing self, every entry filed under its "
+            "true common-prefix-length class), the live-id list matches "
+            "per-node alive flags, and after stabilization every node's "
+            "core equals a ground-truth k-bucket rebuild over the live set.",
         ),
         Invariant(
             "trace.reconciliation",
             "trace",
-            ("chord", "pastry"),
+            ("chord", "pastry", "kademlia"),
             "Per-hop trace events reconcile exactly with HopStatistics: "
             "lookup/success/failure counts, delivered-hop totals (all "
             "lookups vs successful-only), and timeout totals all match.",
@@ -262,6 +277,12 @@ def _solve_pair(problem: SelectionProblem, overlay: str):
             chord_selection.select_chord_fast(problem),
             "fast",
         )
+    if overlay == "kademlia":
+        return (
+            kademlia_selection.select_kademlia_dp(problem),
+            kademlia_selection.select_kademlia_greedy(problem),
+            "greedy",
+        )
     return (
         pastry_selection.select_pastry_dp(problem),
         pastry_selection.select_pastry_greedy(problem),
@@ -307,14 +328,23 @@ def check_selection_equivalence(problem: SelectionProblem, overlay: str) -> list
     return messages
 
 
-def check_selection_nesting(problem: SelectionProblem) -> list[str]:
-    """Lemma 4.1: greedy selections nest across budgets at DP cost."""
+def check_selection_nesting(
+    problem: SelectionProblem, overlay: str = "pastry"
+) -> list[str]:
+    """Lemma 4.1: greedy selections nest across budgets at DP cost.
+
+    Applies to both prefix-metric overlays — Pastry directly, Kademlia
+    because its XOR distance classes *are* common prefix lengths."""
     messages: list[str] = []
     previous: set[int] = set()
     for budget in range(problem.k + 1):
         sub = problem.with_k(budget)
-        greedy = pastry_selection.select_pastry_greedy(sub)
-        dp = pastry_selection.select_pastry_dp(sub)
+        if overlay == "kademlia":
+            greedy = kademlia_selection.select_kademlia_greedy(sub)
+            dp = kademlia_selection.select_kademlia_dp(sub)
+        else:
+            greedy = pastry_selection.select_pastry_greedy(sub)
+            dp = pastry_selection.select_pastry_dp(sub)
         if not _close(greedy.cost, dp.cost):
             messages.append(
                 f"greedy cost {greedy.cost!r} != dp cost {dp.cost!r} "
@@ -334,11 +364,12 @@ def check_selection_nesting(problem: SelectionProblem) -> list[str]:
 def check_selection_monotone(problem: SelectionProblem, overlay: str) -> list[str]:
     """Optimal cost never increases when the budget k grows."""
     messages: list[str] = []
-    select = (
-        chord_selection.select_chord_fast
-        if overlay == "chord"
-        else pastry_selection.select_pastry_greedy
-    )
+    if overlay == "chord":
+        select = chord_selection.select_chord_fast
+    elif overlay == "kademlia":
+        select = kademlia_selection.select_kademlia_greedy
+    else:
+        select = pastry_selection.select_pastry_greedy
     last: float | None = None
     for budget in range(problem.k + 1):
         result = select(problem.with_k(budget))
@@ -354,6 +385,10 @@ def check_selection_monotone(problem: SelectionProblem, overlay: str) -> list[st
 def _peer_distance(problem: SelectionProblem, overlay: str, peer: int, pointers) -> int:
     if overlay == "chord":
         return cost.chord_peer_distance(problem.space, problem.source, peer, pointers)
+    if overlay == "kademlia":
+        return kademlia_selection.kademlia_peer_distance(
+            problem.space, peer, pointers
+        )
     return cost.pastry_peer_distance(problem.space, peer, pointers)
 
 
@@ -384,6 +419,8 @@ def check_selection_qos(problem: SelectionProblem, overlay: str) -> list[str]:
     try:
         if overlay == "chord":
             bounded = chord_selection.select_chord_dp(bounded_problem)
+        elif overlay == "kademlia":
+            bounded = kademlia_selection.select_kademlia_dp(bounded_problem)
         else:
             bounded = pastry_selection.select_pastry_dp(bounded_problem)
     except InfeasibleConstraintError:
@@ -425,6 +462,16 @@ def check_routing_progress(overlay_kind: str, space, trace) -> list[str]:
                     f"{before} -> {after}"
                 )
         return messages
+    if overlay_kind == "kademlia":
+        distances = [node ^ key for node in path]
+        for index, (before, after) in enumerate(zip(distances, distances[1:])):
+            if after >= before:
+                messages.append(
+                    f"hop {index} ({path[index]} -> {path[index + 1]}) did "
+                    f"not shrink the XOR distance to key {key}: "
+                    f"{before} -> {after}"
+                )
+        return messages
     for index, (cur, nxt) in enumerate(zip(path, path[1:])):
         lcp_cur = space.common_prefix_length(cur, key)
         lcp_next = space.common_prefix_length(nxt, key)
@@ -450,6 +497,9 @@ def _oracle_responsible(overlay_kind: str, space, alive, key: int) -> int:
         # The predecessor minimizes the clockwise gap node -> key (eq. 6
         # operand): gaps are distinct per node, so no tie-break needed.
         return min(alive, key=lambda nid: space.gap(nid, key))
+    if overlay_kind == "kademlia":
+        # XOR with a fixed key is injective: the minimizer is unique.
+        return min(alive, key=lambda nid: nid ^ key)
     return min(alive, key=lambda nid: (circular_distance(space, nid, key), nid))
 
 
@@ -617,6 +667,55 @@ def check_pastry_leaf_sets(network) -> list[str]:
                     f"leaf-set asymmetry: {leaf} in leaves({node_id}) but "
                     f"{node_id} not in leaves({leaf})"
                 )
+    return messages
+
+
+def check_kademlia_state(network) -> list[str]:
+    """Per-class index == core ∪ auxiliary, minus self, correctly filed."""
+    messages = _check_alive_bookkeeping(network)
+    for node_id in network.alive_ids():
+        node = network.node(node_id)
+        expected = (node.core | node.auxiliary) - {node_id}
+        actual: set[int] = set()
+        for entries in node.classes.values():
+            actual.update(entries)
+        if actual != expected:
+            missing = sorted(expected - actual)
+            extra = sorted(actual - expected)
+            messages.append(
+                f"node {node_id} class-index union incoherent: missing "
+                f"{missing}, extra {extra}"
+            )
+            continue
+        for prefix, entries in sorted(node.classes.items()):
+            for entry in sorted(entries):
+                true_prefix = network.space.common_prefix_length(node_id, entry)
+                if true_prefix != prefix:
+                    messages.append(
+                        f"node {node_id} filed contact {entry} under prefix "
+                        f"class {prefix}, true common prefix is {true_prefix}"
+                    )
+    return messages
+
+
+def check_kademlia_buckets(network) -> list[str]:
+    """Post-stabilization cores match a ground-truth k-bucket rebuild."""
+    messages: list[str] = []
+    for node_id in network.alive_ids():
+        node = network.node(node_id)
+        reference = network.reference_core(node_id)
+        if node.core != reference:
+            missing = sorted(reference - node.core)
+            extra = sorted(node.core - reference)
+            messages.append(
+                f"node {node_id} core != ground-truth bucket rebuild: "
+                f"missing {missing}, extra {extra}"
+            )
+        dead = sorted(
+            contact for contact in node.core if not network.nodes[contact].alive
+        )
+        if dead:
+            messages.append(f"node {node_id} core holds crashed nodes {dead}")
     return messages
 
 

@@ -66,7 +66,7 @@ def check_scenarios(
         failures.append(document)
     return {
         "schema": CHECK_SCHEMA,
-        "overlay": overlay or "both",
+        "overlay": overlay or "all",
         "scenarios": count,
         "seed": seed,
         "passed": scenarios_failed == 0,
@@ -75,7 +75,7 @@ def check_scenarios(
         "checks": dict(sorted(checks.items())),
         "failures": failures,
         "manifest": build_manifest(
-            {"scenarios": count, "seed": seed, "overlay": overlay or "both"},
+            {"scenarios": count, "seed": seed, "overlay": overlay or "all"},
             seed=seed,
         ),
     }

@@ -43,6 +43,8 @@ from repro.core.types import SelectionProblem
 from repro.faults.plane import FaultPlane
 from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import FaultSchedule
+from repro.kademlia.network import KademliaNetwork
+from repro.kademlia.network import optimal_policy as kademlia_optimal
 from repro.obs.recorder import LookupTracer
 from repro.pastry.network import PastryNetwork
 from repro.pastry.network import optimal_policy as pastry_optimal
@@ -57,6 +59,8 @@ from repro.verify.invariants import (
     check_chord_successors,
     check_engine_coherence,
     check_engine_routing,
+    check_kademlia_buckets,
+    check_kademlia_state,
     check_pastry_leaf_sets,
     check_pastry_state,
     check_responsibility,
@@ -80,7 +84,7 @@ __all__ = [
     "run_scenario",
 ]
 
-OVERLAYS = ("chord", "pastry")
+OVERLAYS = ("chord", "pastry", "kademlia")
 
 #: Step operations: ``(op, arg)`` pairs. ``arg`` is the lookup count,
 #: burst size, rejoin count or corruption count; zero for the arg-less
@@ -208,7 +212,7 @@ def generate_scenario(
     invariants are exercised at least once per scenario.
     """
     rng = random.Random(substream_seed(master_seed, f"scenario-{index}"))
-    chosen = overlay if overlay is not None else OVERLAYS[index % 2]
+    chosen = overlay if overlay is not None else OVERLAYS[index % len(OVERLAYS)]
     if chosen not in OVERLAYS:
         raise ConfigurationError(f"unknown overlay {chosen!r}")
     n = rng.randrange(8, 41)
@@ -274,6 +278,11 @@ class _Engine:
                 scenario.n, space=self.space, seed=overlay_seed
             )
             self.policy = chord_optimal
+        elif self.kind == "kademlia":
+            self.overlay = KademliaNetwork.build(
+                scenario.n, space=self.space, seed=overlay_seed
+            )
+            self.policy = kademlia_optimal
         else:
             self.overlay = PastryNetwork.build(
                 scenario.n, space=self.space, seed=overlay_seed
@@ -437,9 +446,11 @@ class _Engine:
             self._record(
                 "selection.qos", step, check_selection_qos(problem, self.kind)
             )
-            if self.kind == "pastry":
+            if self.kind in ("pastry", "kademlia"):
                 self._record(
-                    "selection.nesting", step, check_selection_nesting(problem)
+                    "selection.nesting",
+                    step,
+                    check_selection_nesting(problem, self.kind),
                 )
 
     def _op_corrupt(self, count: int, step: int) -> None:
@@ -462,6 +473,8 @@ class _Engine:
             return None
         if self.kind == "chord":
             core = frozenset(node.core | set(node.successors))
+        elif self.kind == "kademlia":
+            core = frozenset(node.core)
         else:
             core = frozenset(node.core | node.leaves)
         return SelectionProblem(
@@ -480,6 +493,16 @@ class _Engine:
                     "state.successor_lists",
                     step,
                     check_chord_successors(self.overlay),
+                )
+        elif self.kind == "kademlia":
+            self._record(
+                "kademlia.table_coherence", step, check_kademlia_state(self.overlay)
+            )
+            if stabilized:
+                self._record(
+                    "kademlia.table_coherence",
+                    step,
+                    check_kademlia_buckets(self.overlay),
                 )
         else:
             self._record(
@@ -523,6 +546,8 @@ class _Engine:
         """
         if numpy_or_none() is None:
             return
+        if self.kind == "kademlia":
+            return  # the columnar engine implements chord and pastry only
         if not self._snapshot_safe():
             return
         self._record(

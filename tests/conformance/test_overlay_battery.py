@@ -1,0 +1,196 @@
+"""Cross-overlay conformance battery.
+
+One parametrized suite runs every overlay backend — Chord, Pastry,
+Kademlia — through the same behavioural contract, replacing the
+copy-pasted per-overlay property tests that used to live in
+``tests/chord`` and ``tests/pastry``:
+
+* stable lookups terminate at the responsible node, validated against a
+  *linear-scan* oracle re-deriving responsibility from the overlay's own
+  distance metric (no bisect, no routing);
+* every delivered hop makes strict progress under that metric;
+* hop counts respect the O(log n) bound (and never exceed the id length);
+* crash half / stabilize / rejoin / stabilize is idempotent: the live set,
+  responsibility and full lookup correctness all come back;
+* figure-cell JSON is byte-identical at ``--jobs 1`` vs ``--jobs 4`` once
+  volatile manifest keys are stripped.
+
+Adding a fourth overlay means adding one entry to :data:`OVERLAYS` plus
+its two metric lambdas — the battery itself does not change.
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.pastry.routing import circular_distance
+
+OVERLAYS = ("chord", "pastry", "kademlia")
+
+_N = 32
+_BITS = 14
+
+
+def _oracle_responsible(overlay_kind, space, alive, key):
+    """Linear-scan responsibility under the overlay's own metric."""
+    if overlay_kind == "chord":
+        return min(alive, key=lambda nid: space.gap(nid, key))
+    if overlay_kind == "kademlia":
+        return min(alive, key=lambda nid: nid ^ key)
+    return min(alive, key=lambda nid: (circular_distance(space, nid, key), nid))
+
+
+def _assert_strict_progress(overlay_kind, space, path, key):
+    """Every delivered hop strictly improves the overlay's metric."""
+    if overlay_kind == "chord":
+        gaps = [space.gap(node, key) for node in path]
+        assert gaps == sorted(gaps, reverse=True)
+        assert len(set(gaps)) == len(gaps), f"stalled hop in {path}"
+        return
+    if overlay_kind == "kademlia":
+        distances = [node ^ key for node in path]
+        assert distances == sorted(distances, reverse=True)
+        assert len(set(distances)) == len(distances), f"stalled hop in {path}"
+        return
+    for cur, nxt in zip(path, path[1:]):
+        lcp_cur = space.common_prefix_length(cur, key)
+        lcp_next = space.common_prefix_length(nxt, key)
+        dist_cur = circular_distance(space, cur, key)
+        dist_next = circular_distance(space, nxt, key)
+        assert (
+            lcp_next > lcp_cur
+            or dist_next < dist_cur
+            or (dist_next == dist_cur and nxt < cur)
+        ), f"hop {cur} -> {nxt} made no progress toward {key}"
+
+
+@pytest.fixture(params=OVERLAYS)
+def overlay_kind(request):
+    return request.param
+
+
+class TestStableLookups:
+    def test_terminates_at_linear_scan_responsible(self, small_universe, overlay_kind):
+        overlay = small_universe(overlay_kind, n=_N, bits=_BITS, seed=5)
+        rng = random.Random(5)
+        ids = overlay.alive_ids()
+        for __ in range(40):
+            source = ids[rng.randrange(len(ids))]
+            key = rng.randrange(overlay.space.size)
+            result = overlay.lookup(source, key, record_access=False)
+            assert result.succeeded
+            assert result.timeouts == 0
+            assert result.destination == _oracle_responsible(
+                overlay_kind, overlay.space, ids, key
+            )
+            assert result.path[0] == source
+            assert result.path[-1] == result.destination
+
+    def test_every_hop_makes_strict_progress(self, small_universe, overlay_kind):
+        overlay = small_universe(overlay_kind, n=_N, bits=_BITS, seed=6)
+        rng = random.Random(6)
+        ids = overlay.alive_ids()
+        for __ in range(40):
+            source = ids[rng.randrange(len(ids))]
+            key = rng.randrange(overlay.space.size)
+            result = overlay.lookup(source, key, record_access=False)
+            assert len(set(result.path)) == len(result.path)  # no revisits
+            _assert_strict_progress(overlay_kind, overlay.space, result.path, key)
+
+    def test_hop_counts_are_logarithmic(self, small_universe, overlay_kind):
+        overlay = small_universe(overlay_kind, n=_N, bits=_BITS, seed=7)
+        rng = random.Random(7)
+        ids = overlay.alive_ids()
+        hops = []
+        for __ in range(60):
+            source = ids[rng.randrange(len(ids))]
+            key = rng.randrange(overlay.space.size)
+            result = overlay.lookup(source, key, record_access=False)
+            assert result.hops <= _BITS  # hard per-lookup ceiling
+            hops.append(result.hops)
+        # The O(log n) claim, with slack for the constant factor.
+        assert sum(hops) / len(hops) <= math.log2(_N) + 1
+
+
+class TestResponsibility:
+    def test_responsible_matches_linear_scan(self, small_universe, overlay_kind):
+        overlay = small_universe(overlay_kind, n=24, bits=12, seed=8)
+        rng = random.Random(8)
+        ids = overlay.alive_ids()
+        for __ in range(50):
+            key = rng.randrange(overlay.space.size)
+            assert overlay.responsible(key) == _oracle_responsible(
+                overlay_kind, overlay.space, ids, key
+            )
+
+
+class TestCrashRejoinIdempotence:
+    def test_crash_half_then_rejoin_restores_everything(
+        self, small_universe, overlay_kind
+    ):
+        overlay = small_universe(overlay_kind, n=24, bits=_BITS, seed=9)
+        before = list(overlay.alive_ids())
+        victims = before[::2]
+        for victim in victims:
+            overlay.crash(victim)
+        overlay.stabilize_all()
+        survivors = overlay.alive_ids()
+        assert survivors == [nid for nid in before if nid not in set(victims)]
+        # Survivors still serve correct lookups among themselves.
+        rng = random.Random(9)
+        for __ in range(10):
+            source = survivors[rng.randrange(len(survivors))]
+            key = rng.randrange(overlay.space.size)
+            result = overlay.lookup(source, key, record_access=False)
+            assert result.succeeded
+            assert result.destination == _oracle_responsible(
+                overlay_kind, overlay.space, survivors, key
+            )
+        for victim in victims:
+            overlay.rejoin(victim)
+        overlay.stabilize_all()
+        assert overlay.alive_ids() == before
+        for __ in range(20):
+            source = before[rng.randrange(len(before))]
+            key = rng.randrange(overlay.space.size)
+            result = overlay.lookup(source, key, record_access=False)
+            assert result.succeeded
+            assert result.timeouts == 0
+            assert result.destination == _oracle_responsible(
+                overlay_kind, overlay.space, before, key
+            )
+
+
+class TestFigureDeterminism:
+    def test_figure_cell_json_identical_across_jobs(self):
+        """The three-overlay figure-7 document is byte-identical at one
+        worker and four, after stripping volatile manifest keys."""
+        from repro.experiments.figures import FigurePreset, result_to_json, run_figure
+        from repro.obs.manifest import strip_volatile
+
+        preset = FigurePreset(
+            name="conformance-tiny",
+            bits=_BITS,
+            queries=300,
+            pastry_sizes=(16,),
+            pastry_k_base=16,
+            chord_sizes=(16,),
+            chord_k_base=16,
+            churn_duration=60.0,
+            churn_warmup=20.0,
+            seed=0,
+            kademlia_sizes=(24,),
+            kademlia_k_base=24,
+        )
+        documents = []
+        for jobs in (1, 4):
+            result = run_figure("7", preset, jobs=jobs)
+            payload = json.loads(result_to_json(result, preset))
+            documents.append(
+                json.dumps(strip_volatile(payload), sort_keys=True, indent=2)
+            )
+        assert documents[0] == documents[1]
+        parsed = json.loads(documents[0])
+        assert {series["label"] for series in parsed["series"]} == set(OVERLAYS)

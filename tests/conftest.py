@@ -12,6 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.chord.ring import ChordRing
+from repro.kademlia.network import KademliaNetwork
 from repro.pastry.network import PastryNetwork
 from repro.util.ids import IdSpace
 
@@ -30,6 +31,8 @@ def small_universe():
             return ChordRing.build(n, space=space, seed=seed, **kwargs)
         if overlay == "pastry":
             return PastryNetwork.build(n, space=space, seed=seed, **kwargs)
+        if overlay == "kademlia":
+            return KademliaNetwork.build(n, space=space, seed=seed, **kwargs)
         raise ValueError(f"unknown overlay {overlay!r}")
 
     return build

@@ -87,8 +87,12 @@ class TestCosts:
         assert evaluate(problem, [], "pastry") == pytest.approx(
             pastry_cost(problem.space, problem.frequencies, [1], [])
         )
+        # Kademlia's XOR distance class is a prefix length: same cost model.
+        assert evaluate(problem, [], "kademlia") == pytest.approx(
+            pastry_cost(problem.space, problem.frequencies, [1], [])
+        )
         with pytest.raises(ConfigurationError):
-            evaluate(problem, [], "kademlia")
+            evaluate(problem, [], "tapestry")
 
 
 class TestBruteForce:

@@ -44,11 +44,15 @@ def fig5():
 
 class TestStructure:
     def test_registry_covers_all_figures(self):
-        assert sorted(FIGURES) == ["3", "4", "5", "6"]
+        assert sorted(FIGURES) == ["3", "4", "5", "6", "7"]
 
     def test_run_figure_rejects_unknown(self):
         with pytest.raises(ConfigurationError):
-            run_figure("7")
+            run_figure("8")
+
+    def test_overlay_pin_applies_to_figure7_only(self):
+        with pytest.raises(ConfigurationError):
+            run_figure("3", TINY, overlay="kademlia")
 
     def test_figure3_structure(self, fig3):
         assert fig3.figure_id == "figure3"

@@ -79,7 +79,7 @@ class TestPresets:
     def test_smoke_uses_the_issue_loss_axis(self):
         preset = RobustnessPreset.smoke()
         assert preset.loss_rates == (0.0, 0.01, 0.05, 0.1)
-        assert preset.overlays == ("chord", "pastry")
+        assert preset.overlays == ("chord", "pastry", "kademlia")
 
     def test_quick_is_larger_than_smoke(self):
         assert RobustnessPreset.quick().n > RobustnessPreset.smoke().n

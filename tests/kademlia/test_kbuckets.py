@@ -1,0 +1,151 @@
+"""Unit tests for the Kademlia k-bucket routing table.
+
+The structural claims the routing-correctness argument rests on:
+
+* a full bucket splits *only* while it covers the owner's id — distant
+  subtrees cap at ``bucket_size`` contacts, the owner's path keeps
+  splitting (Maymounkov & Mazières §2.4);
+* buckets order contacts least-recently-seen first and evict the LRU
+  head when a distant bucket overflows;
+* bucket ranges always partition the id space and never overflow their
+  capacity, under arbitrary insert/remove sequences;
+* because splitting peels sibling subtrees off the owner's path, every
+  non-owner bucket covers exactly one XOR distance class.
+"""
+
+import random
+
+from repro.kademlia.node import KBucket, RoutingTable
+from repro.util.ids import IdSpace
+
+
+def _space(bits=8):
+    return IdSpace(bits)
+
+
+class TestSplitPolicy:
+    def test_splits_only_on_the_owner_branch(self):
+        """Filling the half of the space away from the owner never splits
+        that subtree: it stays one bucket of ``bucket_size`` contacts."""
+        space = _space(8)
+        table = RoutingTable(owner=0, space=space, bucket_size=4)
+        # Ids in [128, 256) share prefix 0 with owner 0: the distant half.
+        for node_id in range(128, 168):
+            table.insert(node_id)
+        distant = [b for b in table.buckets if b.low >= 128]
+        assert len(distant) == 1
+        assert distant[0].low == 128 and distant[0].high == 256
+        assert len(distant[0].entries) == 4
+
+    def test_owner_branch_keeps_splitting(self):
+        """Contacts near the owner split down to fine granularity."""
+        space = _space(8)
+        table = RoutingTable(owner=0, space=space, bucket_size=2)
+        for node_id in range(1, 17):
+            table.insert(node_id)
+        owner_bucket = table.bucket_for(0)
+        # The bucket still covering the owner is small: splitting worked.
+        assert owner_bucket.high - owner_bucket.low < 256
+        # And near-owner contacts survive beyond one bucket's capacity.
+        assert len(table) > 2
+
+    def test_non_owner_buckets_cover_one_distance_class_each(self):
+        space = _space(8)
+        rng = random.Random(7)
+        owner = rng.randrange(space.size)
+        table = RoutingTable(owner=owner, space=space, bucket_size=3)
+        for node_id in rng.sample(range(space.size), 120):
+            table.insert(node_id)
+        for bucket in table.buckets:
+            if bucket.covers(owner):
+                continue
+            classes = {
+                space.common_prefix_length(owner, entry) for entry in bucket.entries
+            }
+            assert len(classes) <= 1, (
+                f"bucket [{bucket.low}, {bucket.high}) mixes distance "
+                f"classes {sorted(classes)}"
+            )
+
+
+class TestLRUOrdering:
+    def test_touch_moves_known_contact_to_fresh_end(self):
+        bucket = KBucket(0, 256, 4)
+        for node_id in (1, 2, 3):
+            bucket.entries.append(node_id)
+        assert bucket.touch(1)
+        assert bucket.entries == [2, 3, 1]
+        assert not bucket.touch(99)
+
+    def test_full_distant_bucket_evicts_lru_head(self):
+        space = _space(8)
+        table = RoutingTable(owner=0, space=space, bucket_size=3)
+        for node_id in (200, 210, 220):
+            table.insert(node_id)
+        table.insert(200)  # refresh: 200 is now freshest
+        evicted = table.insert(230)
+        assert evicted == 210  # the least-recently-seen entry
+        assert set(table.bucket_for(230).entries) == {220, 200, 230}
+
+    def test_refresh_never_evicts(self):
+        space = _space(8)
+        table = RoutingTable(owner=0, space=space, bucket_size=2)
+        table.insert(200)
+        table.insert(210)
+        assert table.insert(200) is None  # known contact: refresh only
+        assert len(table) == 2
+
+    def test_split_preserves_relative_recency(self):
+        bucket = KBucket(0, 8, 8)
+        bucket.entries = [5, 1, 6, 2]  # LRU first
+        lower, upper = bucket.split()
+        assert lower.entries == [1, 2]
+        assert upper.entries == [5, 6]
+
+
+class TestStructuralInvariants:
+    def test_random_sequences_keep_partition_and_capacity(self):
+        """Under random insert/remove streams, bucket ranges partition the
+        space, no bucket overflows, and no contact is duplicated."""
+        space = _space(8)
+        for seed in range(8):
+            rng = random.Random(seed)
+            owner = rng.randrange(space.size)
+            table = RoutingTable(owner=owner, space=space, bucket_size=3)
+            population = rng.sample(range(space.size), 100)
+            for node_id in population:
+                if rng.random() < 0.15 and len(table):
+                    table.remove(rng.choice(table.contacts()))
+                table.insert(node_id)
+            # Ranges partition [0, size).
+            edge = 0
+            for bucket in table.buckets:
+                assert bucket.low == edge
+                edge = bucket.high
+                assert len(bucket.entries) <= bucket.capacity
+                for entry in bucket.entries:
+                    assert bucket.covers(entry)
+            assert edge == space.size
+            contacts = table.contacts()
+            assert len(contacts) == len(set(contacts))
+            assert owner not in contacts
+
+    def test_closest_matches_sorted_oracle(self):
+        space = _space(8)
+        rng = random.Random(3)
+        table = RoutingTable(owner=17, space=space, bucket_size=4)
+        for node_id in rng.sample(range(space.size), 60):
+            table.insert(node_id)
+        key = 99
+        oracle = sorted(table.contacts(), key=lambda nid: nid ^ key)[:5]
+        assert table.closest(key, 5) == oracle
+
+    def test_insert_is_deterministic(self):
+        space = _space(8)
+        tables = []
+        for __ in range(2):
+            table = RoutingTable(owner=5, space=space, bucket_size=3)
+            for node_id in range(0, 256, 7):
+                table.insert(node_id)
+            tables.append([(b.low, b.high, list(b.entries)) for b in table.buckets])
+        assert tables[0] == tables[1]

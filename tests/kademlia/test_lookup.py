@@ -1,0 +1,135 @@
+"""Kademlia lookup tests: iterative FIND_NODE and recursive routing.
+
+The iterative α-parallel lookup is fully deterministic given the network
+state (XOR injectivity leaves no ties), so the same seed must replay to
+the same query order, round count and result set at any α — the
+seeded-replay contract the conformance battery's determinism tests extend
+to whole figure documents.
+"""
+
+import random
+
+import pytest
+
+from repro.kademlia.network import KademliaNetwork
+from repro.kademlia.routing import iterative_find_node
+from repro.util.ids import IdSpace
+
+
+def _network(n=48, bits=14, seed=11, **kwargs):
+    return KademliaNetwork.build(n, space=IdSpace(bits), seed=seed, **kwargs)
+
+
+class TestIterativeFindNode:
+    @pytest.mark.parametrize("alpha", [1, 3])
+    def test_finds_the_globally_closest_nodes(self, alpha):
+        """The shortlist converges on the true XOR top-k over all live
+        nodes (linear-scan oracle), for serial and parallel α."""
+        network = _network()
+        rng = random.Random(42)
+        ids = network.alive_ids()
+        for __ in range(15):
+            source = ids[rng.randrange(len(ids))]
+            key = rng.randrange(network.space.size)
+            result = iterative_find_node(network, source, key, alpha=alpha)
+            oracle = tuple(sorted(ids, key=lambda nid: nid ^ key)[: len(result.found)])
+            assert result.found == oracle
+            assert result.timeouts == 0
+            assert len(result.found) == network.bucket_size
+
+    @pytest.mark.parametrize("alpha", [1, 3])
+    def test_seeded_replay_is_deterministic(self, alpha):
+        """Identical network state and query -> identical query-order
+        fingerprint, rounds and message count, every time."""
+        fingerprints = []
+        for __ in range(2):
+            network = _network()
+            rng = random.Random(7)
+            runs = []
+            for __ in range(10):
+                source = network.alive_ids()[rng.randrange(network.alive_count())]
+                key = rng.randrange(network.space.size)
+                result = iterative_find_node(network, source, key, alpha=alpha)
+                runs.append(
+                    (result.queried, result.found, result.rounds, result.messages)
+                )
+            fingerprints.append(runs)
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_alpha_one_queries_serially_closest_first(self):
+        """At α=1 each round queries exactly one node; messages == rounds
+        and the first query is the closest known contact."""
+        network = _network()
+        key = 12345
+        source = network.alive_ids()[0]
+        result = iterative_find_node(network, source, key, alpha=1)
+        assert result.messages == result.rounds
+        node = network.node(source)
+        first_known = min(
+            node.neighbor_ids() | {source} - {source}, key=lambda nid: nid ^ key
+        )
+        assert result.queried[0] == first_known
+
+    def test_dead_peers_cost_timeouts_and_drop_out(self):
+        network = _network(n=24)
+        ids = network.alive_ids()
+        source = ids[0]
+        for victim in ids[1::3]:
+            network.crash(victim)
+        key = 999
+        result = iterative_find_node(network, source, key, alpha=3)
+        alive = set(network.alive_ids())
+        assert set(result.found) <= alive
+        assert result.timeouts >= 0
+        # Every found node is genuinely among the closest live ones the
+        # search could have reached (sanity, not the clean-state oracle).
+        assert result.found == tuple(sorted(result.found, key=lambda nid: nid ^ key))
+
+
+class TestRecursiveRoute:
+    def test_pointer_class_accounting_in_traces(self):
+        """Traced lookups label every forward with the pointer structure
+        that nominated it (core before auxiliary)."""
+        from repro.obs.recorder import LookupTracer
+
+        network = _network(n=32)
+        rng = random.Random(3)
+        ids = network.alive_ids()
+        # Install some auxiliaries so both classes appear.
+        from repro.kademlia.network import optimal_policy
+
+        for node_id in ids:
+            network.seed_frequencies(
+                node_id,
+                {peer: float(rng.randint(1, 9)) for peer in ids if peer != node_id},
+            )
+        network.recompute_all_auxiliary(4, optimal_policy, random.Random(3))
+        tracer = LookupTracer()
+        classes = set()
+        for __ in range(40):
+            source = ids[rng.randrange(len(ids))]
+            key = rng.randrange(network.space.size)
+            result = network.lookup(source, key, record_access=False, trace=tracer)
+            assert result.succeeded
+        for trace in tracer.traces:
+            for event in trace.events:
+                assert event.pointer_class in ("core", "auxiliary")
+                classes.add(event.pointer_class)
+        assert "core" in classes  # the workhorse class must appear
+
+    def test_route_replays_identically(self):
+        """Same network, same queries -> byte-equal paths (route() draws
+        no randomness at all)."""
+        outcomes = []
+        for __ in range(2):
+            network = _network(n=32, seed=5)
+            rng = random.Random(5)
+            ids = network.alive_ids()
+            paths = []
+            for __ in range(20):
+                source = ids[rng.randrange(len(ids))]
+                key = rng.randrange(network.space.size)
+                result = network.lookup(source, key, record_access=False)
+                paths.append((tuple(result.path), result.hops, result.destination))
+            outcomes.append(paths)
+        assert outcomes[0] == outcomes[1]

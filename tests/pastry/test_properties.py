@@ -1,4 +1,12 @@
-"""Property tests for Pastry routing over random stable networks."""
+"""Pastry-specific property tests.
+
+The cross-overlay behavioural contract — termination at the linear-scan
+responsible node, strict per-hop progress, hop bounds, crash/rejoin
+idempotence — lives in ``tests/conformance/test_overlay_battery.py``;
+only what is Pastry-specific remains here: the greedy routing *mode*
+(the battery exercises the default proximity mode) holds the contract on
+randomly sized networks.
+"""
 
 import random
 
@@ -6,61 +14,22 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.pastry.network import PastryNetwork
-from repro.pastry.routing import circular_distance
 from repro.util.ids import IdSpace
 
 
 @settings(max_examples=12, deadline=None)
-@given(st.integers(0, 10_000), st.integers(4, 48), st.sampled_from(["greedy", "proximity"]))
-def test_stable_lookup_correct_and_bounded(seed, n, mode):
-    """On any stabilized network, every lookup reaches the numerically
-    closest node within the id-length hop bound, with no timeouts."""
+@given(st.integers(0, 10_000), st.integers(4, 48))
+def test_greedy_mode_lookup_correct_and_bounded(seed, n):
+    """Greedy (non-default) mode reaches the numerically closest node
+    within the id-length hop bound, with no timeouts, at any size."""
     network = PastryNetwork.build(n, space=IdSpace(14), seed=seed)
     rng = random.Random(seed)
     ids = network.alive_ids()
     for __ in range(12):
         source = ids[rng.randrange(len(ids))]
         key = rng.randrange(2**14)
-        result = network.lookup(source, key, mode=mode, record_access=False)
+        result = network.lookup(source, key, mode="greedy", record_access=False)
         assert result.succeeded
         assert result.destination == network.responsible(key)
         assert result.timeouts == 0
         assert result.hops <= 14
-
-
-@settings(max_examples=20, deadline=None)
-@given(st.integers(0, 10_000))
-def test_responsible_is_global_argmin(seed):
-    """responsible(key) minimizes circular distance over all live nodes."""
-    network = PastryNetwork.build(20, space=IdSpace(12), seed=seed)
-    rng = random.Random(seed)
-    for __ in range(20):
-        key = rng.randrange(2**12)
-        owner = network.responsible(key)
-        best = min(
-            network.alive_ids(),
-            key=lambda c: (circular_distance(network.space, c, key), c),
-        )
-        assert owner == best
-
-
-@settings(max_examples=10, deadline=None)
-@given(st.integers(0, 10_000))
-def test_rejoin_restores_full_correctness(seed):
-    """Crash half the network, stabilize, rejoin, stabilize: every lookup
-    is correct again with zero timeouts (full self-healing)."""
-    network = PastryNetwork.build(24, space=IdSpace(14), seed=seed)
-    ids = network.alive_ids()
-    for victim in ids[::2]:
-        network.crash(victim)
-    network.stabilize_all()
-    for victim in ids[::2]:
-        network.rejoin(victim)
-    network.stabilize_all()
-    rng = random.Random(seed)
-    for __ in range(10):
-        source = ids[rng.randrange(len(ids))]
-        key = rng.randrange(2**14)
-        result = network.lookup(source, key, record_access=False)
-        assert result.succeeded
-        assert result.timeouts == 0

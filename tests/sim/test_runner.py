@@ -33,7 +33,10 @@ class TestConfig:
 
     def test_rejects_unknown_overlay(self):
         with pytest.raises(ConfigurationError):
-            ExperimentConfig(overlay="kademlia")
+            ExperimentConfig(overlay="tapestry")
+
+    def test_accepts_kademlia(self):
+        assert ExperimentConfig(overlay="kademlia").effective_rankings == 1
 
     def test_rejects_non_positive_bits(self):
         with pytest.raises(ConfigurationError):

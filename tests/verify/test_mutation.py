@@ -11,7 +11,7 @@ import dataclasses
 
 import pytest
 
-from repro.core import chord_selection, pastry_selection
+from repro.core import chord_selection, kademlia_selection, pastry_selection
 from repro.util.errors import ConfigurationError
 from repro.verify import (
     check_scenarios,
@@ -60,6 +60,21 @@ class TestMutationIsCaught:
             pastry_selection,
             "select_pastry_greedy",
             miscosted(pastry_selection.select_pastry_greedy),
+        )
+        report = run_scenario(scenario)
+        assert not report.passed
+        assert any(
+            violation.invariant in ("selection.equivalence", "selection.nesting")
+            for violation in report.violations
+        )
+
+    def test_broken_kademlia_greedy_flagged(self, monkeypatch):
+        scenario = next(iter(generate_scenarios(2, 0, "kademlia")))
+        assert run_scenario(scenario).passed
+        monkeypatch.setattr(
+            kademlia_selection,
+            "select_kademlia_greedy",
+            miscosted(kademlia_selection.select_kademlia_greedy),
         )
         report = run_scenario(scenario)
         assert not report.passed
@@ -124,6 +139,77 @@ class TestShrinkAndReplay:
             original["n"],
             len(original["steps"]),
         )
+
+
+class TestKademliaMutation:
+    def test_unfiltered_candidate_breaks_progress(self, monkeypatch):
+        """A router that forwards to the best contact even when it is *not*
+        strictly closer must trip ``routing.progress`` (the XOR distance no
+        longer shrinks on every hop)."""
+        from repro.kademlia import routing as kademlia_routing
+
+        def no_filter(node, key):
+            best = None
+            best_distance = None
+            for neighbor in node.core | node.auxiliary:
+                distance = neighbor ^ key
+                if best_distance is None or distance < best_distance:
+                    best = neighbor
+                    best_distance = distance
+            return best  # may equal a contact farther than the node itself
+
+        scenario = next(iter(generate_scenarios(2, 0, "kademlia")))
+        assert run_scenario(scenario).passed
+        monkeypatch.setattr(kademlia_routing, "_best_candidate", no_filter)
+        report = run_scenario(scenario)
+        assert not report.passed
+        assert any(
+            violation.invariant in ("routing.progress", "routing.termination")
+            for violation in report.violations
+        )
+
+    def test_stale_class_index_breaks_table_coherence(self, monkeypatch):
+        """A ``set_auxiliary`` that leaves replaced pointers filed in the
+        per-class index must trip ``kademlia.table_coherence``."""
+        from repro.kademlia.node import KademliaNode
+
+        def sloppy(self, pointers):
+            # Forgets to unfile dropped pointers from ``classes``.
+            self.auxiliary = {p for p in pointers if p != self.node_id}
+            for pointer in self.auxiliary:
+                self._add_to_class(pointer)
+
+        caught = False
+        monkeypatch.setattr(KademliaNode, "set_auxiliary", sloppy)
+        # Not every scenario replaces a pointer (a tiny population can
+        # re-select the same set every round); scan until one does.
+        for scenario in generate_scenarios(12, 0, "kademlia"):
+            report = run_scenario(scenario)
+            if report.passed:
+                continue
+            assert any(
+                violation.invariant == "kademlia.table_coherence"
+                for violation in report.violations
+            )
+            monkeypatch.undo()
+            assert run_scenario(scenario).passed  # bug out -> green again
+            caught = True
+            break
+        assert caught, "no scenario tripped the planted class-index bug"
+
+    def test_kademlia_failure_shrinks_to_repro_schema(self, monkeypatch):
+        monkeypatch.setattr(
+            kademlia_selection,
+            "select_kademlia_greedy",
+            miscosted(kademlia_selection.select_kademlia_greedy),
+        )
+        document = check_scenarios(
+            count=4, seed=0, overlay="kademlia", shrink_budget=40
+        )
+        assert not document["passed"]
+        failure = document["failures"][0]
+        assert failure["schema"] == "VERIFY_REPRO_v1"
+        assert failure["scenario"]["overlay"] == "kademlia"
 
 
 class TestRoutingMutation:

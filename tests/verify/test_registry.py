@@ -17,19 +17,24 @@ class TestRegistry:
             assert invariant.scope == scope
             assert invariant.description
 
-    def test_covers_the_five_layers(self):
+    def test_covers_the_six_layers(self):
         scopes = {invariant.scope for invariant in REGISTRY.values()}
-        assert scopes == {"selection", "routing", "state", "trace", "engine"}
-        assert len(REGISTRY) == 15
+        assert scopes == {"selection", "routing", "state", "trace", "engine", "kademlia"}
+        assert len(REGISTRY) == 16
 
     def test_overlay_applicability(self):
         for invariant in REGISTRY.values():
             assert set(invariant.overlays) <= set(OVERLAYS)
-        # Nesting (Lemma 4.1) is a Pastry-cost-structure property.
-        assert REGISTRY["selection.nesting"].overlays == ("pastry",)
+        # Nesting (Lemma 4.1) needs the prefix cost structure: Pastry, and
+        # Kademlia, whose XOR distance classes are prefix lengths.
+        assert REGISTRY["selection.nesting"].overlays == ("pastry", "kademlia")
         # Per-overlay structural invariants stay overlay-pinned.
         assert REGISTRY["state.successor_lists"].overlays == ("chord",)
         assert REGISTRY["state.leaf_sets"].overlays == ("pastry",)
+        assert REGISTRY["kademlia.table_coherence"].overlays == ("kademlia",)
+        # The routing and responsibility oracles cover all three overlays.
+        assert set(REGISTRY["routing.progress"].overlays) == set(OVERLAYS)
+        assert set(REGISTRY["state.responsibility"].overlays) == set(OVERLAYS)
 
     def test_invariants_for_filters_both_axes(self):
         chord_state = invariants_for("state", "chord")
@@ -53,7 +58,7 @@ class TestScenarioSchema:
             a = generate_scenario(1, index)
             b = generate_scenario(1, index)
             assert a == b
-            assert a.overlay == OVERLAYS[index % 2]
+            assert a.overlay == OVERLAYS[index % len(OVERLAYS)]
             assert all(op in STEP_OPS for op, __ in a.steps)
 
     def test_different_seeds_differ(self):
@@ -62,7 +67,7 @@ class TestScenarioSchema:
     @pytest.mark.parametrize(
         "overrides",
         [
-            {"overlay": "kademlia"},
+            {"overlay": "tapestry"},
             {"n": 1},
             {"n": 100, "bits": 5},
             {"k": -1},
