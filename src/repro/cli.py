@@ -129,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="routing engine (stable mode only; churn always uses objects)",
     )
+    compare.add_argument(
+        "--budget",
+        default=None,
+        metavar="MODE[:K]",
+        help="budget policy: 'uniform' or 'allocated', optionally with a "
+        "total pointer budget K (e.g. 'allocated:256'; default K = n*k). "
+        "Omit for the legacy per-node-k path",
+    )
 
     sw = sub.add_parser("sweep", help="sweep one config parameter")
     sw.add_argument("overlay", choices=["chord", "pastry", "kademlia"])
@@ -185,6 +193,21 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--seed", type=int, default=0, help="master random seed")
     faults.add_argument("--json", default=None, metavar="PATH", help="write the grid as canonical JSON")
     faults.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for grid cells (default: REPRO_JOBS or CPU count)",
+    )
+
+    allocate = sub.add_parser(
+        "allocate", help="uniform-k vs allocated-k at equal total budget"
+    )
+    allocate.add_argument("--smoke", action="store_true", help="CI-scale grid (seconds)")
+    allocate.add_argument("--seed", type=int, default=0, help="master random seed")
+    allocate.add_argument(
+        "--json", default=None, metavar="PATH", help="write the ALLOCATION_v1 document here"
+    )
+    allocate.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -359,9 +382,31 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_budget(text: str | None) -> dict:
+    """``--budget MODE[:K]`` -> ExperimentConfig budget kwargs."""
+    if text is None:
+        return {}
+    mode, sep, total = text.partition(":")
+    if mode not in ("uniform", "allocated"):
+        raise SystemExit(
+            f"--budget mode must be 'uniform' or 'allocated', got {mode!r}"
+        )
+    kwargs: dict = {"budget_mode": mode}
+    if sep:
+        try:
+            kwargs["budget_total"] = int(total)
+        except ValueError:
+            raise SystemExit(f"--budget total must be an integer, got {total!r}")
+    elif mode == "allocated":
+        # Bare 'allocated' still plans: K defaults to n * effective_k.
+        kwargs["budget_total"] = None
+    return kwargs
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.sim.runner import ChurnConfig, ExperimentConfig, run_churn, run_stable
 
+    budget_kwargs = _parse_budget(args.budget)
     if args.churn:
         config = ChurnConfig(
             overlay=args.overlay,
@@ -372,6 +417,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             seed=args.seed,
             duration=args.duration,
             warmup=min(args.duration / 4, 300.0),
+            **budget_kwargs,
         )
         result = run_churn(config)
     else:
@@ -384,6 +430,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             queries=args.queries,
             seed=args.seed,
             engine=args.engine,
+            **budget_kwargs,
         )
         result = run_stable(config)
     print(result.summary())
@@ -514,6 +561,44 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                 f"({row.improvement_pct:.1f}% reduction)",
                 file=sys.stderr,
             )
+        return 1
+    return 0
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    from repro.experiments.allocation import (
+        AllocationPreset,
+        allocation,
+        gate_messages,
+        measured_gate_messages,
+        plans_to_table,
+        rows_to_json,
+        rows_to_table,
+    )
+
+    preset = (
+        AllocationPreset.smoke(args.seed) if args.smoke else AllocationPreset.quick(args.seed)
+    )
+    watch = Stopwatch()
+    plans, rows = allocation(preset, jobs=args.jobs)
+    print("predicted eq.-1 network cost at equal total budget:")
+    print(plans_to_table(plans))
+    print()
+    print("measured mean hops per scenario:")
+    print(rows_to_table(rows))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(rows_to_json(plans, rows, preset, wall_time_s=round(watch.elapsed, 3)))
+        print(f"\nallocation document written to {args.json}")
+    print(f"\n[{preset.name} preset, {watch}]")
+    # Gates: the allocated plan must strictly beat uniform on predicted
+    # cost for every overlay (convexity guarantees it — a miss means a
+    # broken allocator), and must win measured hops on at least one
+    # scenario per overlay.
+    failures = gate_messages(plans) + measured_gate_messages(rows)
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
         return 1
     return 0
 
@@ -861,6 +946,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "faults": _cmd_faults,
+        "allocate": _cmd_allocate,
         "trace": _cmd_trace,
         "check": _cmd_check,
         "metrics": _cmd_metrics,

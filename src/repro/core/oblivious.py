@@ -59,11 +59,26 @@ def _fill_remaining(chosen: set[int], candidates: Iterable[int], k: int, rng: ra
         chosen.update(rng.sample(leftovers, min(missing, len(leftovers))))
 
 
-def _per_class_quota(k: int, class_count: int) -> int:
-    """Pointers per class: the paper's ``r`` for ``k = r * (number of classes)``."""
+def _class_quotas(k: int, class_count: int) -> list[int]:
+    """Per-class budgets in visit order: the paper's ``r`` pointers per
+    class, with the remainder of ``k = r * class_count + rem`` spread
+    round-robin over the first ``rem`` classes visited.
+
+    Previously the remainder was silently dropped (``max(1, k //
+    class_count)``), leaving it to the uniform ``_fill_remaining`` top-up
+    — which quietly degraded the per-class baseline toward uniform
+    random whenever ``class_count`` did not divide ``k``. For
+    ``k < class_count`` the quotas degenerate to one pointer for each of
+    the first ``k`` classes visited, matching the old behavior there.
+    """
     if class_count == 0:
-        return 0
-    return max(1, k // class_count)
+        return []
+    base, remainder = divmod(k, class_count)
+    if base == 0:
+        # Budget below one-per-class: a single pointer for each class,
+        # the caller's running ``k - len(chosen)`` cap stops after ``k``.
+        return [1] * class_count
+    return [base + (1 if index < remainder else 0) for index in range(class_count)]
 
 
 def select_chord_oblivious(
@@ -80,11 +95,11 @@ def select_chord_oblivious(
         gap = space.gap(source, peer)
         if gap:
             by_range[gap.bit_length() - 1].append(peer)
-    quota = _per_class_quota(problem.k, len(by_range))
+    quotas = _class_quotas(problem.k, len(by_range))
     chosen: set[int] = set()
     # Visit ranges far-to-near so the far (densely populated) intervals are
     # covered first when the budget is tight.
-    for bucket in sorted(by_range, reverse=True):
+    for quota, bucket in zip(quotas, sorted(by_range, reverse=True)):
         if len(chosen) >= problem.k:
             break
         take = min(quota, len(by_range[bucket]), problem.k - len(chosen))
@@ -106,10 +121,10 @@ def select_pastry_oblivious(
     by_class: dict[int, list[int]] = defaultdict(list)
     for peer in sorted(candidates):
         by_class[space.common_prefix_length(source, peer)].append(peer)
-    quota = _per_class_quota(problem.k, len(by_class))
+    quotas = _class_quotas(problem.k, len(by_class))
     chosen: set[int] = set()
     # Short-prefix classes hold most peers; cover them first.
-    for shared in sorted(by_class):
+    for quota, shared in zip(quotas, sorted(by_class)):
         if len(chosen) >= problem.k:
             break
         take = min(quota, len(by_class[shared]), problem.k - len(chosen))

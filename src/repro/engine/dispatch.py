@@ -83,6 +83,11 @@ def columnar_support(config) -> tuple[bool, str]:
         return False, "fault injection mutates routing state mid-stream"
     if config.retry is not None:
         return False, "an explicit retry policy is only observable on the object path"
+    if getattr(config, "budget_plan_active", False):
+        return False, (
+            "global budget plans install heterogeneous per-node quotas, which "
+            "the uniform-k columnar install path does not model"
+        )
     if config.bits > COLUMNAR_MAX_BITS:
         return False, (
             f"bits={config.bits} exceeds the columnar engine's exact-arithmetic "

@@ -1,0 +1,383 @@
+"""Uniform-k vs allocated-k at equal total pointer budget (DESIGN.md §12).
+
+The paper gives every node the same auxiliary budget ``k``. The global
+allocator (:mod:`repro.core.budget`) spends the *same total* budget
+``K = budget_fraction * n * k`` non-uniformly, by marginal gain over the
+per-node cost curves. This experiment measures what that buys:
+
+* a deterministic **plan** stage per overlay — build the seeded overlay
+  and workload exactly as the runners do, compute the uniform and the
+  greedy allocation over the same curves, and record the predicted eq.-1
+  network costs (the allocated plan is mathematically guaranteed to be
+  no worse; see the convexity argument in DESIGN.md §12). The installed
+  tables are cross-checked against
+  :func:`repro.extensions.global_greedy.network_cost` — the shared
+  evaluation — so the predicted numbers are honest.
+* a measured **grid** stage — overlay x scenario (stable / churn /
+  fault) x budget mode, each cell a full policy comparison through
+  :func:`~repro.sim.runner.run_stable` / :func:`~repro.sim.runner.run_churn`
+  with the budget threaded through ``ExperimentConfig``. Cells fan out
+  over workers like every other harness; serial and parallel runs are
+  bit-identical.
+
+Skew comes from ``num_rankings > 1``: nodes hold different Zipf rankings
+(and different core tables), so their cost curves — and hence their
+marginal gains — differ, which is exactly the regime where non-uniform
+budgets win.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+from repro.core import budget as budget_mod
+from repro.extensions.global_greedy import network_cost
+from repro.faults.schedule import FaultSchedule
+from repro.obs.manifest import build_manifest
+from repro.sim.metrics import ComparisonResult
+from repro.sim.runner import ChurnConfig, ExperimentConfig, _Bench, run_churn, run_stable
+from repro.util.errors import ConfigurationError
+from repro.util.parallel import run_tasks
+from repro.util.rng import SeedSequenceRegistry
+
+__all__ = [
+    "AllocationPlan",
+    "AllocationPreset",
+    "AllocationRow",
+    "allocation",
+    "allocation_plans",
+    "gate_messages",
+    "measured_gate_messages",
+    "plans_to_table",
+    "rows_to_json",
+    "rows_to_table",
+]
+
+OVERLAYS = ("chord", "pastry", "kademlia")
+SCENARIOS = ("stable", "churn", "fault")
+MODES = ("uniform", "allocated")
+
+#: Predicted-cost comparisons tolerate float rounding only.
+_COST_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class AllocationPreset:
+    """Grid definition for one uniform-vs-allocated run."""
+
+    name: str
+    n: int
+    bits: int
+    queries: int
+    seed: int
+    num_rankings: int
+    #: Total budget as a fraction of the paper's ``n * k`` spend. Tight
+    #: budgets are where allocation matters: at full ``n * k`` most
+    #: candidate pools saturate and the two schemes converge.
+    budget_fraction: float = 0.5
+    loss_rate: float = 0.05
+    churn_duration: float = 600.0
+    overlays: tuple[str, ...] = OVERLAYS
+    scenarios: tuple[str, ...] = SCENARIOS
+
+    def __post_init__(self) -> None:
+        if not 0 < self.budget_fraction <= 1:
+            raise ConfigurationError(
+                f"budget_fraction must be in (0, 1], got {self.budget_fraction}"
+            )
+        for scenario in self.scenarios:
+            if scenario not in SCENARIOS:
+                raise ConfigurationError(
+                    f"unknown scenario {scenario!r}; expected one of {SCENARIOS}"
+                )
+
+    @classmethod
+    def quick(cls, seed: int = 0) -> "AllocationPreset":
+        """Laptop-scale grid (~a couple of minutes)."""
+        return cls(
+            name="quick",
+            n=96,
+            bits=18,
+            queries=4000,
+            seed=seed,
+            num_rankings=6,
+            churn_duration=600.0,
+        )
+
+    @classmethod
+    def smoke(cls, seed: int = 0) -> "AllocationPreset":
+        """CI-scale grid (seconds)."""
+        return cls(
+            name="smoke",
+            n=40,
+            bits=16,
+            queries=1200,
+            seed=seed,
+            num_rankings=5,
+            churn_duration=240.0,
+        )
+
+    @property
+    def effective_k(self) -> int:
+        return max(1, self.n.bit_length() - 1)
+
+    @property
+    def total_budget(self) -> int:
+        return max(1, int(self.n * self.effective_k * self.budget_fraction))
+
+
+@dataclass(frozen=True)
+class AllocationPlan:
+    """One overlay's deterministic allocation plan at equal total budget."""
+
+    overlay: str
+    total_budget: int
+    spent: int
+    uniform_cost: float
+    allocated_cost: float
+    #: Predicted eq.-1 network-cost reduction of allocated over uniform.
+    reduction_pct: float
+    min_quota: int
+    max_quota: int
+    nodes: int
+    #: ``network_cost`` re-evaluation of the *installed* allocated tables
+    #: minus the plan's prediction — honesty check, ~0 up to rounding.
+    installed_cost_delta: float
+
+
+@dataclass(frozen=True)
+class AllocationRow:
+    """One measured grid cell: overlay x scenario x budget mode."""
+
+    overlay: str
+    scenario: str
+    mode: str
+    total_budget: int
+    improvement_pct: float
+    optimal_mean_hops: float
+    baseline_mean_hops: float
+    label: str
+
+
+def _plan_one(preset: AllocationPreset, overlay: str) -> AllocationPlan:
+    """Plan stage for one overlay: seeded bench, both allocations, the
+    shared-evaluation cross-check. Pure function of the preset."""
+    config = _cell_config(preset, overlay, "stable", "allocated")
+    registry = SeedSequenceRegistry(config.seed)
+    bench = _Bench(config, registry)
+    bench.seed_all()
+    problems = budget_mod.overlay_problems(overlay, bench.overlay, config.frequency_limit)
+    curves = budget_mod.curves_for_problems(problems, overlay)
+    uniform = budget_mod.allocate_uniform(curves, preset.total_budget)
+    allocated = budget_mod.allocate_greedy(curves, preset.total_budget)
+    # Honesty check: install the allocated plan (frequency-aware policy)
+    # and re-evaluate with the shared network_cost over the exact demand
+    # snapshots the curves were built from.
+    optimal, __ = bench.policies()
+    budget_mod.install_allocation(
+        bench.overlay, allocated, optimal, registry.fresh("plan-install"), config.frequency_limit
+    )
+    demands = {node_id: dict(problem.frequencies) for node_id, problem in problems.items()}
+    installed = network_cost(bench.overlay, demands, overlay=overlay)
+    quotas = allocated.quotas.values()
+    return AllocationPlan(
+        overlay=overlay,
+        total_budget=preset.total_budget,
+        spent=allocated.spent,
+        uniform_cost=uniform.total_cost,
+        allocated_cost=allocated.total_cost,
+        reduction_pct=100.0 * (uniform.total_cost - allocated.total_cost) / uniform.total_cost
+        if uniform.total_cost
+        else 0.0,
+        min_quota=min(quotas, default=0),
+        max_quota=max(quotas, default=0),
+        nodes=len(allocated.quotas),
+        installed_cost_delta=installed - allocated.total_cost,
+    )
+
+
+def allocation_plans(preset: AllocationPreset) -> list[AllocationPlan]:
+    """Deterministic per-overlay plans (serial — they are cheap)."""
+    return [_plan_one(preset, overlay) for overlay in preset.overlays]
+
+
+def _cell_config(
+    preset: AllocationPreset, overlay: str, scenario: str, mode: str
+) -> ExperimentConfig:
+    common = dict(
+        overlay=overlay,
+        n=preset.n,
+        bits=preset.bits,
+        queries=preset.queries,
+        seed=preset.seed,
+        num_rankings=preset.num_rankings,
+        budget_mode=mode,
+        budget_total=preset.total_budget,
+        engine="objects",
+    )
+    if scenario == "stable":
+        return ExperimentConfig(**common)
+    if scenario == "fault":
+        return ExperimentConfig(**common, faults=FaultSchedule(loss_rate=preset.loss_rate))
+    return ChurnConfig(
+        **common,
+        duration=preset.churn_duration,
+        warmup=preset.churn_duration / 5.0,
+    )
+
+
+def _cells(preset: AllocationPreset) -> list[tuple[str, str, str]]:
+    return [
+        (overlay, scenario, mode)
+        for overlay in preset.overlays
+        for scenario in preset.scenarios
+        for mode in MODES
+    ]
+
+
+def _run_cell(config: ExperimentConfig) -> ComparisonResult:
+    """Module-level so the process pool can pickle it."""
+    if isinstance(config, ChurnConfig):
+        return run_churn(config)
+    return run_stable(config)
+
+
+def _row(cell: tuple[str, str, str], preset: AllocationPreset, result: ComparisonResult) -> AllocationRow:
+    overlay, scenario, mode = cell
+    return AllocationRow(
+        overlay=overlay,
+        scenario=scenario,
+        mode=mode,
+        total_budget=preset.total_budget,
+        improvement_pct=result.improvement,
+        optimal_mean_hops=result.optimized.mean_hops,
+        baseline_mean_hops=result.baseline.mean_hops,
+        label=result.label,
+    )
+
+
+def allocation(
+    preset: AllocationPreset, jobs: int | None = None
+) -> tuple[list[AllocationPlan], list[AllocationRow]]:
+    """Plans plus the measured grid; identical output at any ``jobs``."""
+    plans = allocation_plans(preset)
+    cells = _cells(preset)
+    configs = [_cell_config(preset, *cell) for cell in cells]
+    results = run_tasks(_run_cell, configs, jobs)
+    rows = [_row(cell, preset, result) for cell, result in zip(cells, results)]
+    return plans, rows
+
+
+def gate_messages(plans: Sequence[AllocationPlan]) -> list[str]:
+    """Exit-gate checks: allocation must strictly beat uniform on every
+    overlay's predicted cost, and the installed tables must reproduce the
+    prediction under the shared evaluation."""
+    messages = []
+    for plan in plans:
+        if not plan.allocated_cost < plan.uniform_cost - _COST_TOL:
+            messages.append(
+                f"{plan.overlay}: allocated cost {plan.allocated_cost:.6f} does "
+                f"not beat uniform {plan.uniform_cost:.6f} at K={plan.total_budget}"
+            )
+        if abs(plan.installed_cost_delta) > 1e-6:
+            messages.append(
+                f"{plan.overlay}: installed tables cost deviates from the plan "
+                f"by {plan.installed_cost_delta!r}"
+            )
+    return messages
+
+
+def measured_gate_messages(rows: Sequence[AllocationRow]) -> list[str]:
+    """Per overlay, the allocated budget must deliver lower measured mean
+    hops (frequency-aware policy) than uniform on at least one scenario.
+    Measured hops are noisier than predicted cost — routing uses pointers
+    the eq.-1 model only approximates — so one-scenario-per-overlay is
+    the honest measurable claim."""
+    messages = []
+    by_overlay: dict[str, list[AllocationRow]] = {}
+    for row in rows:
+        by_overlay.setdefault(row.overlay, []).append(row)
+    for overlay, overlay_rows in sorted(by_overlay.items()):
+        uniform = {r.scenario: r for r in overlay_rows if r.mode == "uniform"}
+        allocated = {r.scenario: r for r in overlay_rows if r.mode == "allocated"}
+        wins = [
+            scenario
+            for scenario in uniform
+            if scenario in allocated
+            and allocated[scenario].optimal_mean_hops < uniform[scenario].optimal_mean_hops
+        ]
+        if not wins:
+            messages.append(
+                f"{overlay}: allocated budget beat uniform measured hops on no "
+                f"scenario (scenarios: {sorted(uniform)})"
+            )
+    return messages
+
+
+def rows_to_json(
+    plans: Sequence[AllocationPlan],
+    rows: Sequence[AllocationRow],
+    preset: AllocationPreset,
+    wall_time_s: float | None = None,
+) -> str:
+    """Canonical ALLOCATION_v1 document: sorted keys, fixed indent,
+    byte-identical for the same seed at any worker count after
+    :func:`repro.obs.manifest.strip_volatile`."""
+    document = {
+        "schema": "ALLOCATION_v1",
+        "preset": asdict(preset),
+        "manifest": build_manifest(preset, wall_time_s=wall_time_s),
+        "plans": [asdict(plan) for plan in plans],
+        "rows": [asdict(row) for row in rows],
+    }
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def _render(table: list[list[str]]) -> str:
+    widths = [max(len(line[col]) for line in table) for col in range(len(table[0]))]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def plans_to_table(plans: Sequence[AllocationPlan]) -> str:
+    """Predicted eq.-1 costs at equal total budget, per overlay."""
+    if not plans:
+        return "(no plans)"
+    header = ["overlay", "K", "uniform", "allocated", "reduction", "quotas"]
+    body = [
+        [
+            plan.overlay,
+            str(plan.total_budget),
+            f"{plan.uniform_cost:.2f}",
+            f"{plan.allocated_cost:.2f}",
+            f"{plan.reduction_pct:.2f}%",
+            f"{plan.min_quota}..{plan.max_quota}",
+        ]
+        for plan in plans
+    ]
+    return _render([header] + body)
+
+
+def rows_to_table(rows: Sequence[AllocationRow]) -> str:
+    """Measured mean hops per overlay x scenario x budget mode."""
+    if not rows:
+        return "(empty grid)"
+    header = ["overlay", "scenario", "mode", "improvement", "ours", "oblivious"]
+    body = [
+        [
+            row.overlay,
+            row.scenario,
+            row.mode,
+            f"{row.improvement_pct:.1f}%",
+            f"{row.optimal_mean_hops:.3f}",
+            f"{row.baseline_mean_hops:.3f}",
+        ]
+        for row in rows
+    ]
+    return _render([header] + body)

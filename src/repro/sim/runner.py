@@ -24,6 +24,7 @@ from dataclasses import dataclass, field, replace
 from repro.chord.ring import ChordRing
 from repro.chord.ring import oblivious_policy as chord_oblivious
 from repro.chord.ring import optimal_policy as chord_optimal
+from repro.core import budget as budget_mod
 from repro.engine.dispatch import ENGINES, resolve_engine
 from repro.faults.injector import apply_stable_faults, install_fault_events, maybe_corrupt
 from repro.faults.plane import FaultPlane
@@ -85,6 +86,15 @@ class ExperimentConfig:
     #: ``"auto"`` — columnar for large supported cells, objects
     #: otherwise. See :mod:`repro.engine.dispatch`.
     engine: str = "auto"
+    #: Budget policy: ``"uniform"`` gives every node the same per-node
+    #: ``k`` (the paper's scheme); ``"allocated"`` distributes one global
+    #: pointer budget by marginal gain (:mod:`repro.core.budget`,
+    #: DESIGN.md §12). With ``budget_mode="uniform"`` and no explicit
+    #: ``budget_total`` the legacy per-node path runs bit-identically.
+    budget_mode: str = "uniform"
+    #: Total network-wide pointer budget ``K``; ``None`` means
+    #: ``n * effective_k`` (the uniform scheme's spend).
+    budget_total: int | None = None
 
     def __post_init__(self) -> None:
         if self.overlay not in OVERLAYS:
@@ -105,6 +115,14 @@ class ExperimentConfig:
             raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
         if self.k is not None and self.k < 0:
             raise ConfigurationError(f"k must be non-negative, got {self.k}")
+        if self.budget_mode not in ("uniform", "allocated"):
+            raise ConfigurationError(
+                f"unknown budget_mode {self.budget_mode!r}; expected 'uniform' or 'allocated'"
+            )
+        if self.budget_total is not None and self.budget_total < 0:
+            raise ConfigurationError(
+                f"budget_total must be non-negative, got {self.budget_total}"
+            )
         if self.k is not None and self.k >= self.n:
             # A node can hold at most n - 1 distinct auxiliary pointers;
             # beyond that the budget silently degenerates (selection just
@@ -140,6 +158,28 @@ class ExperimentConfig:
         return 5 if self.overlay == "chord" else 1
 
     @property
+    def effective_budget(self) -> int:
+        """The network-wide pointer budget ``K``: ``budget_total`` when
+        set, otherwise the uniform scheme's spend ``n * effective_k``."""
+        if self.budget_total is not None:
+            return self.budget_total
+        return self.n * self.effective_k
+
+    @property
+    def budget_plan_active(self) -> bool:
+        """True when per-node quotas come from a global budget plan
+        (allocated mode, or uniform with an explicit total) rather than
+        the legacy constant-``k`` path."""
+        return self.budget_mode == "allocated" or self.budget_total is not None
+
+    @property
+    def budget_label(self) -> str:
+        """Label fragment for budget-planned cells, empty on legacy."""
+        if not self.budget_plan_active:
+            return ""
+        return f" budget={self.budget_mode}:{self.effective_budget}"
+
+    @property
     def faults_active(self) -> bool:
         """True when a fault schedule is attached and actually injects."""
         return self.faults is not None and self.faults.active
@@ -169,6 +209,10 @@ class ChurnConfig(ExperimentConfig):
     queries_per_second: float = 4.0
     stabilize_interval: float = 25.0
     recompute_interval: float = 62.5
+    #: Global budget-rebalancing cadence in allocated mode (two recompute
+    #: intervals by default, so moved quotas take effect at the affected
+    #: nodes' next recomputation before the next rebalancing round).
+    rebalance_interval: float = 125.0
     mean_uptime: float = 900.0
     mean_downtime: float = 900.0
     frequency_limit: int | None = 128
@@ -177,6 +221,10 @@ class ChurnConfig(ExperimentConfig):
         super().__post_init__()
         if self.warmup >= self.duration:
             raise ConfigurationError("warmup must be shorter than duration")
+        if self.rebalance_interval <= 0:
+            raise ConfigurationError(
+                f"rebalance_interval must be positive, got {self.rebalance_interval}"
+            )
         if self.engine == "columnar":
             raise ConfigurationError(
                 "engine='columnar' is stable-mode only: churn mutates routing "
@@ -315,6 +363,45 @@ def _round_boundaries(queries: int, rounds: int) -> list[int]:
     return boundaries
 
 
+def _budget_allocation(bench: "_Bench", config: ExperimentConfig):
+    """The global budget plan for one seeded bench, or ``None`` on the
+    legacy constant-``k`` path.
+
+    Quotas are computed once from the frequency-aware curves and shared
+    by both policies, so the optimal/oblivious comparison inside a cell
+    stays apples-to-apples: they differ in *what* they point at, never in
+    how many pointers each node holds.
+    """
+    if not config.budget_plan_active:
+        return None
+    problems = budget_mod.overlay_problems(
+        config.overlay, bench.overlay, config.frequency_limit
+    )
+    curves = budget_mod.curves_for_problems(problems, config.overlay)
+    if config.budget_mode == "allocated":
+        return budget_mod.allocate_greedy(curves, config.effective_budget)
+    return budget_mod.allocate_uniform(curves, config.effective_budget)
+
+
+def _install_policy_tables(
+    overlay,
+    config: ExperimentConfig,
+    policy,
+    rng: random.Random,
+    allocation,
+) -> None:
+    """Install one policy's auxiliary tables: per-node quotas when a
+    budget plan is active, the legacy uniform ``k`` otherwise."""
+    if allocation is None:
+        overlay.recompute_all_auxiliary(
+            config.effective_k, policy, rng, frequency_limit=config.frequency_limit
+        )
+    else:
+        budget_mod.install_allocation(
+            overlay, allocation, policy, rng, config.frequency_limit
+        )
+
+
 def run_stable(config: ExperimentConfig, telemetry=None) -> ComparisonResult:
     """Stable-mode comparison: frequency-aware vs frequency-oblivious.
 
@@ -353,7 +440,7 @@ def run_stable(config: ExperimentConfig, telemetry=None) -> ComparisonResult:
         }
         label = (
             f"{config.overlay} stable n={config.n} k={config.effective_k} "
-            f"alpha={config.alpha} faults"
+            f"alpha={config.alpha}{config.budget_label} faults"
         )
         return ComparisonResult(label, stats["optimal"], stats["oblivious"])
     registry = SeedSequenceRegistry(config.seed)
@@ -368,16 +455,14 @@ def run_stable(config: ExperimentConfig, telemetry=None) -> ComparisonResult:
     else:
         bench.seed_all()
     optimal, oblivious = bench.policies()
+    allocation = _budget_allocation(bench, config)
     retry = config.effective_retry
     stats = {}
     for name, policy in (("optimal", optimal), ("oblivious", oblivious)):
         tel = _policy_telemetry(telemetry, name)
         bench.overlay.attach_telemetry(tel)
-        bench.overlay.recompute_all_auxiliary(
-            config.effective_k,
-            policy,
-            registry.fresh(f"policy-rng-{name}"),
-            frequency_limit=config.frequency_limit,
+        _install_policy_tables(
+            bench.overlay, config, policy, registry.fresh(f"policy-rng-{name}"), allocation
         )
         generator = bench.query_generator("queries")
         collected = HopStatistics()
@@ -398,7 +483,7 @@ def run_stable(config: ExperimentConfig, telemetry=None) -> ComparisonResult:
         bench.overlay.attach_telemetry(None)
     label = (
         f"{config.overlay} stable n={config.n} k={config.effective_k} "
-        f"alpha={config.alpha}"
+        f"alpha={config.alpha}{config.budget_label}"
     )
     return ComparisonResult(label, stats["optimal"], stats["oblivious"])
 
@@ -488,13 +573,13 @@ def _run_stable_once(
         bench.seed_all()
     optimal, oblivious = bench.policies()
     policy = optimal if policy_name == "optimal" else oblivious
+    # Allocation happens pre-fault (both universes share seeds, so the
+    # curves — and hence the quotas — are identical across policies).
+    allocation = _budget_allocation(bench, config)
     tel = _normalize_telemetry(telemetry)
     bench.overlay.attach_telemetry(tel)
-    bench.overlay.recompute_all_auxiliary(
-        config.effective_k,
-        policy,
-        registry.fresh(f"policy-rng-{policy_name}"),
-        frequency_limit=config.frequency_limit,
+    _install_policy_tables(
+        bench.overlay, config, policy, registry.fresh(f"policy-rng-{policy_name}"), allocation
     )
     plane: FaultPlane | None = None
     if config.faults_active:
@@ -549,7 +634,7 @@ def run_churn(config: ChurnConfig, telemetry=None) -> ComparisonResult:
         stats[name] = _run_churn_once(config, name, telemetry=_policy_telemetry(telemetry, name))
     label = (
         f"{config.overlay} churn n={config.n} k={config.effective_k} "
-        f"alpha={config.alpha}"
+        f"alpha={config.alpha}{config.budget_label}"
     )
     return ComparisonResult(label, stats["optimal"], stats["oblivious"])
 
@@ -569,8 +654,11 @@ def _run_churn_once(config: ChurnConfig, policy_name: str, telemetry=None) -> Ho
     scheduler = EventScheduler()
     stats = HopStatistics(keep_samples=config.faults_active)
 
-    # Initial auxiliary installation at t=0.
-    overlay.recompute_all_auxiliary(k, policy, policy_rng, config.frequency_limit)
+    # Initial auxiliary installation at t=0 (per-node quotas when a
+    # global budget plan is active).
+    allocation = _budget_allocation(bench, config)
+    _install_policy_tables(overlay, config, policy, policy_rng, allocation)
+    quotas = allocation.quotas if allocation is not None else None
 
     # Churn process (same trace for both policies via the shared seed).
     churn_rng = registry.fresh("churn")
@@ -613,7 +701,30 @@ def _run_churn_once(config: ChurnConfig, policy_name: str, telemetry=None) -> Ho
                 overlay,
                 node_id,
                 config.recompute_interval,
-                _make_recompute(k, policy, policy_rng, config.frequency_limit),
+                _make_recompute(k, policy, policy_rng, config.frequency_limit, quotas),
+            ),
+        )
+
+    # Allocated mode keeps the plan live: a bounded drift-gated rebalance
+    # round every ``rebalance_interval`` mutates the shared quotas dict,
+    # and moved budget lands at the next per-node recomputation. A node
+    # that crashes keeps its quota until it rejoins and drifts.
+    if allocation is not None and config.budget_mode == "allocated":
+        problems = budget_mod.overlay_problems(
+            config.overlay, overlay, config.frequency_limit
+        )
+        rebalancer = budget_mod.BudgetRebalancer.from_allocation(allocation)
+        rebalancer.baseline(problems)
+        scheduler.schedule(
+            config.rebalance_interval,
+            _PeriodicRebalanceTask(
+                scheduler,
+                overlay,
+                config.overlay,
+                rebalancer,
+                config.frequency_limit,
+                config.rebalance_interval,
+                tel,
             ),
         )
 
@@ -720,11 +831,66 @@ def _stabilize(overlay, node_id: int) -> None:
     overlay.stabilize(node_id)
 
 
-def _make_recompute(k: int, policy, rng: random.Random, frequency_limit: int | None):
+def _make_recompute(
+    k: int,
+    policy,
+    rng: random.Random,
+    frequency_limit: int | None,
+    quotas: dict[int, int] | None = None,
+):
+    """Per-node recompute action; ``quotas`` (shared by reference with the
+    rebalancer) overrides the uniform ``k`` when a budget plan is live.
+    Nodes outside the plan — e.g. rejoined after the allocation was cut —
+    fall back to the uniform ``k``."""
+
     def action(overlay, node_id: int) -> None:
-        overlay.recompute_auxiliary(node_id, k, policy, rng, frequency_limit)
+        node_k = k if quotas is None else quotas.get(node_id, k)
+        overlay.recompute_auxiliary(node_id, node_k, policy, rng, frequency_limit)
 
     return action
+
+
+class _PeriodicRebalanceTask:
+    """Self-rescheduling drift-gated budget rebalance round (allocated
+    mode only). Mutates the rebalancer's quotas dict in place — the same
+    dict the per-node recompute tasks read."""
+
+    __slots__ = (
+        "scheduler",
+        "overlay",
+        "overlay_kind",
+        "rebalancer",
+        "frequency_limit",
+        "interval",
+        "telemetry",
+    )
+
+    def __init__(
+        self,
+        scheduler,
+        overlay,
+        overlay_kind: str,
+        rebalancer,
+        frequency_limit: int | None,
+        interval: float,
+        telemetry,
+    ) -> None:
+        self.scheduler = scheduler
+        self.overlay = overlay
+        self.overlay_kind = overlay_kind
+        self.rebalancer = rebalancer
+        self.frequency_limit = frequency_limit
+        self.interval = interval
+        self.telemetry = telemetry
+
+    def __call__(self) -> None:
+        problems = budget_mod.overlay_problems(
+            self.overlay_kind, self.overlay, self.frequency_limit
+        )
+        self.rebalancer.rebalance(
+            problems, self.overlay_kind, telemetry=self.telemetry
+        )
+        self.scheduler.schedule(self.interval, self)
 
 
 def scaled_down(config: ChurnConfig, factor: float = 0.25) -> ChurnConfig:

@@ -205,6 +205,13 @@ class RoundTelemetry:
             "repro_faults_injected_total", "Injected faults by kind."
         ).labels(kind=kind).inc(amount)
 
+    def record_budget(self, kind: str, amount: float = 1.0) -> None:
+        """Budget-rebalancer activity: rounds scored, rounds skipped for
+        lack of drift, and single-pointer moves applied."""
+        self.registry.counter(
+            "repro_budget_rebalance_total", "Budget-rebalancer activity by kind."
+        ).labels(kind=kind).inc(amount)
+
     def _span_counter(self, name: str):
         return self.registry.counter(
             "repro_span_entries_total", "Profiled maintenance-phase entries by span."

@@ -49,6 +49,7 @@ __all__ = [
     "Invariant",
     "REGISTRY",
     "Violation",
+    "check_budget_feasibility",
     "check_chord_state",
     "check_chord_successors",
     "check_engine_coherence",
@@ -223,6 +224,16 @@ REGISTRY: dict[str, Invariant] = {
             "Per-hop trace events reconcile exactly with HopStatistics: "
             "lookup/success/failure counts, delivered-hop totals (all "
             "lookups vs successful-only), and timeout totals all match.",
+        ),
+        Invariant(
+            "budget.feasibility",
+            "budget",
+            ("chord", "pastry", "kademlia"),
+            "A global budget allocation is feasible and honest: per-node "
+            "quotas are within candidate capacity, they sum to exactly the "
+            "spendable budget min(K, total capacity), and every per-node "
+            "reported cost matches a fresh local selection re-run at that "
+            "node's quota (DESIGN.md §12).",
         ),
         Invariant(
             "engine.table_coherence",
@@ -441,6 +452,62 @@ def check_selection_qos(problem: SelectionProblem, overlay: str) -> list[str]:
             f"constrained cost {bounded.cost!r} beats unconstrained optimum "
             f"{base.cost!r} at node {problem.source}"
         )
+    return messages
+
+
+# ----------------------------------------------------------------------
+# budget.*
+# ----------------------------------------------------------------------
+def check_budget_feasibility(allocation, problems, overlay: str) -> list[str]:
+    """``budget.feasibility``: the allocation is spendable and honest.
+
+    Independent re-derivation: capacities come from the problems' own
+    candidate pools (not the allocator's curves), and every per-node cost
+    is recomputed by running the overlay's local selector fresh at the
+    allocated quota — through the selection-module attributes, so a
+    monkeypatched allocator or solver cannot satisfy its own checker.
+    Assumes unweighted curves (load 1), which is how the scenario engine
+    allocates.
+    """
+    messages: list[str] = []
+    capacities = {
+        node_id: len(problem.candidates) for node_id, problem in problems.items()
+    }
+    rogue = sorted(set(allocation.quotas) - set(problems))
+    if rogue:
+        messages.append(f"allocation covers nodes without problems: {rogue}")
+        return messages
+    spendable = min(allocation.total, sum(capacities.values()))
+    spent = sum(allocation.quotas.values())
+    if spent != spendable:
+        messages.append(
+            f"allocation spends {spent} pointers but the spendable budget is "
+            f"min(K={allocation.total}, capacity={sum(capacities.values())}) "
+            f"= {spendable}"
+        )
+    for node_id in sorted(allocation.quotas):
+        quota = allocation.quotas[node_id]
+        if quota < 0 or quota > capacities[node_id]:
+            messages.append(
+                f"node {node_id} quota {quota} outside [0, capacity "
+                f"{capacities[node_id]}]"
+            )
+            continue
+        problem = problems[node_id].with_k(quota)
+        if overlay == "chord":
+            fresh = chord_selection.select_chord(problem)
+        elif overlay == "kademlia":
+            fresh = kademlia_selection.select_kademlia(problem)
+        else:
+            fresh = pastry_selection.select_pastry(problem)
+        reported = allocation.costs.get(node_id)
+        if reported is None:
+            messages.append(f"node {node_id} has a quota but no reported cost")
+        elif not _close(reported, fresh.cost):
+            messages.append(
+                f"node {node_id} reported cost {reported!r} at quota {quota} "
+                f"but a fresh local selection achieves {fresh.cost!r}"
+            )
     return messages
 
 

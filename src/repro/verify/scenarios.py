@@ -39,6 +39,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.chord.ring import ChordRing
 from repro.chord.ring import optimal_policy as chord_optimal
+from repro.core import budget as budget_mod
 from repro.core.types import SelectionProblem
 from repro.faults.plane import FaultPlane
 from repro.faults.retry import RetryPolicy
@@ -55,6 +56,7 @@ from repro.util.rng import SeedSequenceRegistry, substream_seed
 from repro.engine.dispatch import numpy_or_none
 from repro.verify.invariants import (
     Violation,
+    check_budget_feasibility,
     check_chord_state,
     check_chord_successors,
     check_engine_coherence,
@@ -88,8 +90,16 @@ OVERLAYS = ("chord", "pastry", "kademlia")
 
 #: Step operations: ``(op, arg)`` pairs. ``arg`` is the lookup count,
 #: burst size, rejoin count or corruption count; zero for the arg-less
-#: maintenance ops.
-STEP_OPS = ("lookups", "crash_burst", "rejoin", "stabilize", "recompute", "corrupt")
+#: maintenance ops (``allocate`` = global budget allocation + install).
+STEP_OPS = (
+    "lookups",
+    "crash_burst",
+    "rejoin",
+    "stabilize",
+    "recompute",
+    "allocate",
+    "corrupt",
+)
 
 #: Crash bursts never reduce the population below this (leaf sets and
 #: successor lists need a handful of peers to mean anything).
@@ -234,13 +244,16 @@ def generate_scenario(
             steps.append(("rejoin", rng.randrange(1, 3)))
         elif roll < 0.77:
             steps.append(("stabilize", 0))
-        elif roll < 0.90:
+        elif roll < 0.87:
             steps.append(("recompute", 0))
+        elif roll < 0.93:
+            steps.append(("allocate", 0))
         else:
             steps.append(("corrupt", rng.randrange(1, 3)))
     steps += [
         ("stabilize", 0),
         ("recompute", 0),
+        ("allocate", 0),
         ("lookups", rng.randrange(10, 21)),
     ]
     return Scenario(
@@ -452,6 +465,29 @@ class _Engine:
                     step,
                     check_selection_nesting(problem, self.kind),
                 )
+
+    def _op_allocate(self, arg: int, step: int) -> None:
+        """Global marginal-gain allocation of ``k * alive`` pointers,
+        checked for feasibility and installed.
+
+        Calls flow through the :mod:`repro.core.budget` module attributes
+        so the mutation tests can plant a corrupted allocator and watch
+        ``budget.feasibility`` fire.
+        """
+        problems = budget_mod.overlay_problems(self.kind, self.overlay, 64)
+        if not problems:
+            return
+        curves = budget_mod.curves_for_problems(problems, self.kind)
+        total = self.scenario.k * len(problems)
+        allocation = budget_mod.allocate_greedy(curves, total)
+        self._record(
+            "budget.feasibility",
+            step,
+            check_budget_feasibility(allocation, problems, self.kind),
+        )
+        budget_mod.install_allocation(
+            self.overlay, allocation, self.policy, self.policy_rng, 64
+        )
 
     def _op_corrupt(self, count: int, step: int) -> None:
         for __ in range(count):

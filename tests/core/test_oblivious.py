@@ -6,11 +6,66 @@ import pytest
 
 from repro.core.cost import chord_cost, pastry_cost
 from repro.core.oblivious import (
+    _class_quotas,
     select_chord_oblivious,
     select_pastry_oblivious,
     select_uniform_random,
 )
 from tests.helpers import problem_from_lists, random_problem
+
+
+class TestClassQuotas:
+    """Pin the per-class budget split: the remainder of ``k // classes``
+    must be distributed, not silently dropped (the old ``max(1, k //
+    class_count)`` handed it to the uniform top-up)."""
+
+    def test_remainder_spread_over_first_classes(self):
+        assert _class_quotas(7, 3) == [3, 2, 2]
+        assert _class_quotas(11, 4) == [3, 3, 3, 2]
+
+    def test_exact_division_is_flat(self):
+        assert _class_quotas(6, 3) == [2, 2, 2]
+
+    def test_budget_below_one_per_class_degenerates_to_ones(self):
+        # The caller's running ``k - len(chosen)`` cap stops after k draws.
+        assert _class_quotas(2, 5) == [1, 1, 1, 1, 1]
+
+    def test_quotas_sum_to_k_when_base_positive(self):
+        for k in range(3, 30):
+            for classes in range(1, k + 1):
+                assert sum(_class_quotas(k, classes)) == k
+
+    def test_no_classes(self):
+        assert _class_quotas(4, 0) == []
+
+    def test_chord_selection_honors_quotas_end_to_end(self):
+        # Four candidates in each of three finger ranges, k = 7: the
+        # far-to-near visit takes 3 from the farthest range, 2 and 2 from
+        # the nearer two — no remainder leaks to the uniform top-up.
+        weights = {p: 1.0 for p in (300, 301, 302, 303, 150, 151, 152, 153, 70, 71, 72, 73)}
+        problem = problem_from_lists(10, 0, weights, [], k=7)
+        result = select_chord_oblivious(problem, random.Random(2))
+        counts = {
+            bucket: sum(1 for p in result.auxiliary if p.bit_length() - 1 == bucket)
+            for bucket in (8, 7, 6)
+        }
+        assert counts == {8: 3, 7: 2, 6: 2}
+
+    def test_pastry_selection_honors_quotas_end_to_end(self):
+        # Four candidates in each of three shared-prefix classes with
+        # source 0; short prefixes are visited first and get the remainder.
+        weights = {p: 1.0 for p in (128, 129, 130, 131, 64, 65, 66, 67, 32, 33, 34, 35)}
+        problem = problem_from_lists(8, 0, weights, [], k=7)
+        result = select_pastry_oblivious(problem, random.Random(2))
+        counts = {
+            shared: sum(
+                1
+                for p in result.auxiliary
+                if problem.space.common_prefix_length(0, p) == shared
+            )
+            for shared in (0, 1, 2)
+        }
+        assert counts == {0: 3, 1: 2, 2: 2}
 
 
 class TestChordOblivious:

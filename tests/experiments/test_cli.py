@@ -72,6 +72,60 @@ class TestExecution:
         assert target.exists()
         assert '"schema": "ROBUSTNESS_v1"' in target.read_text()
 
+    def test_allocate_parser_arguments(self):
+        args = build_parser().parse_args(
+            ["allocate", "--smoke", "--seed", "4", "--jobs", "2"]
+        )
+        assert args.command == "allocate"
+        assert args.smoke
+        assert args.seed == 4
+        assert args.jobs == 2
+
+    def test_compare_budget_argument_parses(self):
+        from repro.cli import _parse_budget
+
+        assert _parse_budget(None) == {}
+        assert _parse_budget("uniform:120") == {
+            "budget_mode": "uniform",
+            "budget_total": 120,
+        }
+        assert _parse_budget("allocated") == {
+            "budget_mode": "allocated",
+            "budget_total": None,
+        }
+        with pytest.raises(SystemExit):
+            _parse_budget("clever:3")
+        with pytest.raises(SystemExit):
+            _parse_budget("allocated:many")
+
+    def test_compare_with_budget_runs(self, capsys):
+        code = main(
+            [
+                "compare",
+                "chord",
+                "--n",
+                "32",
+                "--bits",
+                "16",
+                "--queries",
+                "300",
+                "--budget",
+                "allocated:100",
+            ]
+        )
+        assert code == 0
+        assert "budget=allocated:100" in capsys.readouterr().out
+
+    def test_allocate_smoke_runs_and_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "allocation.json"
+        code = main(["allocate", "--smoke", "--jobs", "2", "--json", str(target)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "allocated" in out
+        assert "reduction" in out
+        assert target.exists()
+        assert '"schema": "ALLOCATION_v1"' in target.read_text()
+
     def test_demo_runs(self, capsys):
         assert main(["demo"]) == 0
         out = capsys.readouterr().out

@@ -44,3 +44,46 @@ class TestCompareStrategies:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             compare_maintenance_strategies(n=8, bits=12, duration=5.0, epoch=10.0)
+
+
+class TestPenaltyAccounting:
+    """``mean_hops`` is a message count; retry backoff penalty — a latency
+    proxy — must not leak into it (it used to, via ``result.latency``)."""
+
+    def test_no_faults_means_no_penalty(self, reports):
+        for report in reports.values():
+            assert report.mean_penalty == 0.0
+            assert "penalty" not in report.summary()
+
+    def test_armed_schedule_splits_penalty_from_hops(self):
+        from repro.faults import FaultSchedule
+
+        clean = compare_maintenance_strategies(
+            n=24, bits=16, duration=100.0, epoch=12.5, queries_per_epoch=30, seed=7
+        )
+        faulted = compare_maintenance_strategies(
+            n=24,
+            bits=16,
+            duration=100.0,
+            epoch=12.5,
+            queries_per_epoch=30,
+            seed=7,
+            faults=FaultSchedule(loss_rate=0.25),
+        )
+        assert any(report.mean_penalty > 0.0 for report in faulted.values())
+        for strategy, report in faulted.items():
+            # Hops may rise (timed-out probes count as transfers), but the
+            # backoff penalty stays out of the hop metric: the combined
+            # latency always exceeds the hop count whenever penalty > 0.
+            assert report.mean_penalty >= 0.0
+            if report.mean_penalty:
+                assert "penalty" in report.summary()
+            # Sanity: the clean run of the same seed is penalty-free.
+            assert clean[strategy].mean_penalty == 0.0
+
+    def test_report_defaults_keep_positional_compat(self):
+        from repro.extensions.adaptive import MaintenanceReport
+
+        legacy = MaintenanceReport("static", 2.5, 10, 100)
+        assert legacy.mean_penalty == 0.0
+        assert "penalty" not in legacy.summary()

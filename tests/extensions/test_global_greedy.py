@@ -56,3 +56,47 @@ class TestGlobalGreedy:
         ring.node(source).set_auxiliary({destination})
         after = network_cost(ring, demands)
         assert after <= before
+
+
+class TestTournament:
+    """The docstring's claim, now true: pointers are granted one at a time
+    by global marginal gain, so heavy sources can out-bid light ones."""
+
+    def test_total_k_allows_non_uniform_assignments(self, ring):
+        ids = ring.alive_ids()
+        # One source demands an order of magnitude more than the rest.
+        demands = make_demands(ring, weight=1.0)
+        hot = ids[0]
+        demands[hot] = {
+            peer: 100.0 for peer in ids[1 : 6] if peer != hot
+        }
+        result = select_global_greedy(ring, demands, k=4, total_k=len(ids))
+        sizes = {source: len(pointers) for source, pointers in result.assignment.items()}
+        assert sum(sizes.values()) <= len(ids)
+        assert max(sizes.values()) > min(sizes.values())  # a real tournament
+        assert sizes[hot] >= max(sizes.values()) - 1  # the heavy bidder wins
+        assert all(size <= 4 for size in sizes.values())  # per-node cap holds
+
+    def test_default_budget_matches_uniform_spend(self, ring):
+        demands = make_demands(ring)
+        result = select_global_greedy(ring, demands, k=2)
+        assert sum(len(p) for p in result.assignment.values()) <= 2 * len(demands)
+
+    def test_tournament_never_worse_than_its_own_smaller_budget(self, ring):
+        demands = make_demands(ring, weight=3.0)
+        small = select_global_greedy(ring, demands, k=3, total_k=10)
+        large = select_global_greedy(ring, demands, k=3, total_k=20)
+        assert large.total_cost <= small.total_cost + 1e-9
+
+    def test_pastry_overlay_supported(self, small_universe):
+        network = small_universe("pastry", n=20, bits=16, seed=6)
+        ids = network.alive_ids()
+        demands = {
+            source: {ids[(index + 7) % len(ids)]: 4.0}
+            for index, source in enumerate(ids)
+        }
+        result = select_global_greedy(network, demands, k=2, overlay="pastry")
+        result.install(network)
+        assert network_cost(network, demands, overlay="pastry") == pytest.approx(
+            result.total_cost
+        )

@@ -83,6 +83,82 @@ class TestConfig:
         with pytest.raises(ConfigurationError):
             ChurnConfig(overlay="chord", duration=100.0, warmup=200.0)
 
+    def test_budget_mode_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlay="chord", budget_mode="clever")
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlay="chord", budget_total=-1)
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(overlay="chord", rebalance_interval=0.0)
+
+    def test_budget_defaults_and_labels(self):
+        legacy = ExperimentConfig(overlay="chord", n=64)
+        assert not legacy.budget_plan_active
+        assert legacy.budget_label == ""
+        assert legacy.effective_budget == 64 * legacy.effective_k
+
+    def test_budget_total_alone_activates_the_plan(self):
+        config = ExperimentConfig(overlay="chord", n=64, budget_total=100)
+        assert config.budget_plan_active
+        assert config.effective_budget == 100
+        assert config.budget_label == " budget=uniform:100"
+        allocated = ExperimentConfig(overlay="chord", n=64, budget_mode="allocated")
+        assert allocated.budget_plan_active
+        assert allocated.effective_budget == 64 * allocated.effective_k
+        assert allocated.budget_label.startswith(" budget=allocated:")
+
+
+class TestBudgetedRuns:
+    def test_uniform_plan_at_full_budget_matches_legacy(self):
+        # The explicit uniform plan at K = n * k installs the same quotas
+        # through the same recompute walk, so the numbers are identical.
+        legacy = run_stable(small_stable("chord", n=48, bits=16, queries=800))
+        k = ExperimentConfig(overlay="chord", n=48).effective_k
+        planned = run_stable(
+            small_stable(
+                "chord",
+                n=48,
+                bits=16,
+                queries=800,
+                budget_mode="uniform",
+                budget_total=48 * k,
+            )
+        )
+        assert planned.optimized.mean_hops == legacy.optimized.mean_hops
+        assert planned.baseline.mean_hops == legacy.baseline.mean_hops
+
+    def test_allocated_stable_run_wins_and_labels(self):
+        result = run_stable(
+            small_stable(
+                "chord",
+                n=48,
+                bits=16,
+                queries=800,
+                num_rankings=4,
+                budget_mode="allocated",
+                budget_total=120,
+            )
+        )
+        assert "budget=allocated:120" in result.label
+        assert result.improvement > 0.0
+
+    def test_allocated_churn_run_completes(self):
+        result = run_churn(
+            ChurnConfig(
+                overlay="chord",
+                n=32,
+                bits=16,
+                queries=400,
+                seed=2,
+                duration=250.0,
+                warmup=50.0,
+                budget_mode="allocated",
+                rebalance_interval=60.0,
+            )
+        )
+        assert "budget=allocated:" in result.label
+        assert result.optimized.mean_hops > 0.0
+
 
 class TestStableRunner:
     @pytest.mark.parametrize("overlay", ["chord", "pastry"])

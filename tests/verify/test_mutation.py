@@ -42,6 +42,30 @@ def first_chord_scenario_with_selection(master_seed=0, count=20):
 
 
 class TestMutationIsCaught:
+    def test_overspending_allocator_flagged_as_infeasible(self, monkeypatch):
+        from repro.core import budget as budget_mod
+
+        scenario = next(iter(generate_scenarios(1, 0, "chord")))
+        assert any(op == "allocate" for op, __ in scenario.steps)
+        assert run_scenario(scenario).passed
+        real = budget_mod.allocate_greedy
+
+        def overspending(curves, total):
+            allocation = real(curves, total)
+            # One extra pointer: either the spent total now exceeds the
+            # budget, or some node's quota exceeds its capacity.
+            node = min(allocation.quotas)
+            allocation.quotas[node] += 1
+            return allocation
+
+        monkeypatch.setattr(budget_mod, "allocate_greedy", overspending)
+        report = run_scenario(scenario)
+        assert not report.passed
+        assert any(
+            violation.invariant == "budget.feasibility"
+            for violation in report.violations
+        )
+
     def test_broken_fast_solver_flagged_as_equivalence(self, monkeypatch):
         scenario = first_chord_scenario_with_selection()
         assert run_scenario(scenario).passed

@@ -17,10 +17,18 @@ class TestRegistry:
             assert invariant.scope == scope
             assert invariant.description
 
-    def test_covers_the_six_layers(self):
+    def test_covers_the_seven_layers(self):
         scopes = {invariant.scope for invariant in REGISTRY.values()}
-        assert scopes == {"selection", "routing", "state", "trace", "engine", "kademlia"}
-        assert len(REGISTRY) == 16
+        assert scopes == {
+            "selection",
+            "routing",
+            "state",
+            "trace",
+            "engine",
+            "kademlia",
+            "budget",
+        }
+        assert len(REGISTRY) == 17
 
     def test_overlay_applicability(self):
         for invariant in REGISTRY.values():
