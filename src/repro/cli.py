@@ -19,6 +19,13 @@ Commands
     Run the fault-injection robustness grid (%-reduction vs message-loss
     rate and vs crash-burst size) and fail if the frequency-aware policy
     stops winning under >= 5% message loss.
+``workload``
+    Run the workload-plane grid (every synthetic scenario × overlay ×
+    selection mode, plus the §II-C item-cache discipline grid) and fail
+    if frequency-aware selection stops winning on skewed scenarios or
+    adaptive refresh stops winning anywhere. ``figure``, ``compare``,
+    ``sweep``, ``faults`` and ``metrics`` accept ``--workload
+    NAME[:PARAM]`` to swap the query scenario on any cell.
 ``trace``
     Run one traced cell (:mod:`repro.obs`): per-lookup hop paths with
     pointer-class attribution, a hop-class/verdict breakdown table, and
@@ -112,6 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="routing engine for stable cells (columnar = vectorized struct-of-arrays)",
     )
+    figure.add_argument(
+        "--workload",
+        default="static-zipf",
+        metavar="NAME[:PARAM]",
+        help="query scenario for every cell (e.g. drifting-zipf:30, "
+        "flash-crowd:3, trace:/path/to/trace.jsonl; default: static-zipf)",
+    )
 
     compare = sub.add_parser("compare", help="run a single comparison cell")
     compare.add_argument("overlay", choices=["chord", "pastry", "kademlia"])
@@ -136,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="budget policy: 'uniform' or 'allocated', optionally with a "
         "total pointer budget K (e.g. 'allocated:256'; default K = n*k). "
         "Omit for the legacy per-node-k path",
+    )
+    compare.add_argument(
+        "--workload",
+        default="static-zipf",
+        metavar="NAME[:PARAM]",
+        help="query scenario (default: static-zipf, the paper's workload)",
     )
 
     sw = sub.add_parser("sweep", help="sweep one config parameter")
@@ -165,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="routing engine for the swept cells",
     )
+    sw.add_argument(
+        "--workload",
+        default="static-zipf",
+        metavar="NAME[:PARAM]",
+        help="query scenario for the swept cells (default: static-zipf)",
+    )
 
     bench = sub.add_parser("bench", help="run perf benchmarks, emit BENCH_v1 JSON")
     bench.add_argument("--smoke", action="store_true", help="trimmed sizes/repeats (for CI)")
@@ -193,6 +219,27 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--seed", type=int, default=0, help="master random seed")
     faults.add_argument("--json", default=None, metavar="PATH", help="write the grid as canonical JSON")
     faults.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for grid cells (default: REPRO_JOBS or CPU count)",
+    )
+    faults.add_argument(
+        "--workload",
+        default="static-zipf",
+        metavar="NAME[:PARAM]",
+        help="query scenario for every grid cell (default: static-zipf)",
+    )
+
+    workload = sub.add_parser(
+        "workload", help="scenario × overlay × selection comparison grid"
+    )
+    workload.add_argument("--smoke", action="store_true", help="CI-scale grid (seconds)")
+    workload.add_argument("--seed", type=int, default=0, help="master random seed")
+    workload.add_argument(
+        "--json", default=None, metavar="PATH", help="write the WORKLOAD_v1 document here"
+    )
+    workload.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -329,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the OpenMetrics text exposition here",
     )
+    metrics.add_argument(
+        "--workload",
+        default="static-zipf",
+        metavar="NAME[:PARAM]",
+        help="query scenario for the instrumented cell (default: static-zipf)",
+    )
 
     report = sub.add_parser(
         "report", help="regenerate EXPERIMENTS.md tables (results/report.*)"
@@ -358,7 +411,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     preset = FigurePreset.paper(args.seed) if args.paper else FigurePreset.quick(args.seed)
     watch = Stopwatch()
     result = run_figure(
-        args.figure_id, preset, jobs=args.jobs, engine=args.engine, overlay=args.overlay
+        args.figure_id,
+        preset,
+        jobs=args.jobs,
+        engine=args.engine,
+        overlay=args.overlay,
+        workload=args.workload,
     )
     print(render_table(result))
     if args.detail:
@@ -417,6 +475,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             seed=args.seed,
             duration=args.duration,
             warmup=min(args.duration / 4, 300.0),
+            workload=args.workload,
             **budget_kwargs,
         )
         result = run_churn(config)
@@ -430,6 +489,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             queries=args.queries,
             seed=args.seed,
             engine=args.engine,
+            workload=args.workload,
             **budget_kwargs,
         )
         result = run_stable(config)
@@ -452,6 +512,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         queries=args.queries,
         seed=args.seed,
         engine=args.engine,
+        workload=args.workload,
     )
 
     def convert(text: str):
@@ -537,7 +598,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     )
 
     preset = (
-        RobustnessPreset.smoke(args.seed) if args.smoke else RobustnessPreset.quick(args.seed)
+        RobustnessPreset.smoke(args.seed, workload=args.workload)
+        if args.smoke
+        else RobustnessPreset.quick(args.seed, workload=args.workload)
     )
     watch = Stopwatch()
     rows = robustness(preset, jobs=args.jobs)
@@ -561,6 +624,43 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                 f"({row.improvement_pct:.1f}% reduction)",
                 file=sys.stderr,
             )
+        return 1
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.experiments.workload import (
+        WorkloadPreset,
+        cache_rows_to_table,
+        gate_messages,
+        rows_to_json,
+        rows_to_table,
+        run_workloads,
+    )
+
+    preset = (
+        WorkloadPreset.smoke(args.seed) if args.smoke else WorkloadPreset.quick(args.seed)
+    )
+    watch = Stopwatch()
+    rows, cache_rows = run_workloads(preset, jobs=args.jobs)
+    print("selection policies per workload scenario (mean hops):")
+    print(rows_to_table(rows))
+    print()
+    print("item caching vs pointer caching per scenario (§II-C grid):")
+    print(cache_rows_to_table(cache_rows))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(
+                rows_to_json(rows, cache_rows, preset, wall_time_s=round(watch.elapsed, 3))
+            )
+        print(f"\nworkload document written to {args.json}")
+    print(f"\n[{preset.name} preset, {watch}]")
+    # Gates: frequency-aware selection must win on the skewed stationary
+    # scenario, and adaptive refresh must keep a win on every scenario.
+    failures = gate_messages(rows)
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
         return 1
     return 0
 
@@ -788,6 +888,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             duration=duration,
             warmup=min(duration / 4, 300.0),
             faults=schedule,
+            workload=args.workload,
         )
     else:
         config = ExperimentConfig(
@@ -799,6 +900,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             queries=1500 if args.smoke else args.queries,
             seed=args.seed,
             faults=schedule,
+            workload=args.workload,
         )
     document = metrics_document(config, rounds=rounds, jobs=args.jobs)
     print(_render_metrics_dashboard(document))
@@ -924,10 +1026,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.sim.runner import ExperimentConfig, run_stable
 
-    print("Building a 128-node Chord ring, zipf(1.2) workload, k = log n ...")
-    result = run_stable(
-        ExperimentConfig(overlay="chord", n=128, bits=20, queries=3000, seed=1)
+    config = ExperimentConfig(overlay="chord", n=128, bits=20, queries=3000, seed=1)
+    # The banner derives from the actual config — alpha and workload were
+    # once hardcoded here and silently went stale when defaults moved.
+    print(
+        f"Building a {config.n}-node Chord ring, "
+        f"{_describe_workload(config)} workload, k = log n ..."
     )
+    result = run_stable(config)
     print(result.summary())
     print("Now the same on Pastry with locality-aware routing ...")
     result = run_stable(
@@ -938,6 +1044,15 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _describe_workload(config) -> str:
+    """Human-readable workload description for banners, derived from the
+    config's parsed :class:`~repro.workload.spec.WorkloadSpec`."""
+    spec = config.workload_spec
+    if spec.is_static:
+        return f"zipf({config.alpha:g})"
+    return spec.describe()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -946,6 +1061,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "faults": _cmd_faults,
+        "workload": _cmd_workload,
         "allocate": _cmd_allocate,
         "trace": _cmd_trace,
         "check": _cmd_check,

@@ -199,6 +199,18 @@ def _with_engine(cells: list[FigureCell], engine: str) -> list[FigureCell]:
     ]
 
 
+def _with_workload(cells: list[FigureCell], workload: str) -> list[FigureCell]:
+    """Apply a workload-scenario override to every cell of a plan.
+
+    Like the engine override, the workload lives on the cell configs and
+    never on the preset, so a default (``static-zipf``) plan's FIGURE_v1
+    document is unchanged by the flag's existence.
+    """
+    if workload == "static-zipf":
+        return cells
+    return [replace(cell, config=replace(cell.config, workload=workload)) for cell in cells]
+
+
 def _replica_config(config: ExperimentConfig, replica: int) -> ExperimentConfig:
     """Replica 0 keeps the cell's seed; later replicates get independent
     seeds from the cell's own substream, so the replicate set is stable
@@ -265,6 +277,7 @@ def figure3(
     preset: FigurePreset | None = None,
     jobs: int | None = None,
     engine: str = "auto",
+    workload: str = "static-zipf",
 ) -> FigureResult:
     """Figure 3: Pastry improvement vs number of nodes.
 
@@ -293,6 +306,7 @@ def figure3(
         for n in preset.pastry_sizes
     ]
     cells = _with_engine(cells, engine)
+    cells = _with_workload(cells, workload)
     series = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
     return FigureResult(
         "figure3",
@@ -306,6 +320,7 @@ def figure4(
     preset: FigurePreset | None = None,
     jobs: int | None = None,
     engine: str = "auto",
+    workload: str = "static-zipf",
 ) -> FigureResult:
     """Figure 4: Pastry improvement vs number of auxiliary neighbors.
 
@@ -337,6 +352,7 @@ def figure4(
         for multiple in (1, 2, 3)
     ]
     cells = _with_engine(cells, engine)
+    cells = _with_workload(cells, workload)
     series = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
     return FigureResult(
         "figure4",
@@ -390,6 +406,7 @@ def figure5(
     preset: FigurePreset | None = None,
     jobs: int | None = None,
     engine: str = "auto",
+    workload: str = "static-zipf",
 ) -> FigureResult:
     """Figure 5: Chord improvement vs number of nodes, stable and churn.
 
@@ -405,6 +422,7 @@ def figure5(
         for n in preset.chord_sizes
     ]
     cells = _with_engine(cells, engine)
+    cells = _with_workload(cells, workload)
     series = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
     return FigureResult(
         "figure5",
@@ -418,6 +436,7 @@ def figure6(
     preset: FigurePreset | None = None,
     jobs: int | None = None,
     engine: str = "auto",
+    workload: str = "static-zipf",
 ) -> FigureResult:
     """Figure 6: Chord improvement vs k, stable and churn.
 
@@ -445,6 +464,7 @@ def figure6(
         for multiple in (1, 2, 3)
     ]
     cells = _with_engine(cells, engine)
+    cells = _with_workload(cells, workload)
     series = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
     return FigureResult(
         "figure6",
@@ -464,6 +484,7 @@ def figure7(
     jobs: int | None = None,
     engine: str = "auto",
     overlay: str | None = None,
+    workload: str = "static-zipf",
 ) -> FigureResult:
     """Figure 7 (extension): Chord, Pastry and Kademlia improvement vs k.
 
@@ -507,6 +528,7 @@ def figure7(
             else cell
             for cell in cells
         ]
+    cells = _with_workload(cells, workload)
     series_out = _assemble_series(cells, _execute_plan(cells, preset.replicas, jobs))
     return FigureResult(
         "figure7",
@@ -532,6 +554,7 @@ def run_figure(
     jobs: int | None = None,
     engine: str = "auto",
     overlay: str | None = None,
+    workload: str = "static-zipf",
 ) -> FigureResult:
     """Run one figure by id ('3'..'7'). ``overlay`` pins figure 7's
     cross-overlay grid to a single overlay and is rejected elsewhere."""

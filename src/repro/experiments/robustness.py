@@ -55,9 +55,11 @@ class RobustnessPreset:
     loss_rates: tuple[float, ...]
     burst_sizes: tuple[int, ...]
     overlays: tuple[str, ...] = OVERLAYS
+    #: Query scenario for every grid cell (``NAME[:PARAM]``).
+    workload: str = "static-zipf"
 
     @classmethod
-    def quick(cls, seed: int = 0) -> "RobustnessPreset":
+    def quick(cls, seed: int = 0, workload: str = "static-zipf") -> "RobustnessPreset":
         """Laptop-scale grid (~a minute): the issue's loss axis plus a
         burst axis reaching an eighth of the overlay."""
         return cls(
@@ -68,10 +70,11 @@ class RobustnessPreset:
             seed=seed,
             loss_rates=(0.0, 0.01, 0.05, 0.1),
             burst_sizes=(0, 4, 8, 16),
+            workload=workload,
         )
 
     @classmethod
-    def smoke(cls, seed: int = 0) -> "RobustnessPreset":
+    def smoke(cls, seed: int = 0, workload: str = "static-zipf") -> "RobustnessPreset":
         """CI-scale grid (seconds), same loss axis, shorter burst axis."""
         return cls(
             name="smoke",
@@ -81,6 +84,7 @@ class RobustnessPreset:
             seed=seed,
             loss_rates=(0.0, 0.01, 0.05, 0.1),
             burst_sizes=(0, 4),
+            workload=workload,
         )
 
 
@@ -164,6 +168,7 @@ def robustness(preset: RobustnessPreset, jobs: int | None = None) -> list[Robust
             queries=preset.queries,
             seed=preset.seed,
             faults=_schedule_for(axis, value),
+            workload=preset.workload,
         )
         for overlay, axis, value in cells
     ]

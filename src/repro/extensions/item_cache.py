@@ -32,18 +32,53 @@ from repro.util.ids import IdSpace
 from repro.util.rng import SeedSequenceRegistry
 from repro.util.validation import require_positive_int
 from repro.workload.items import ItemCatalog, PopularityModel
-from repro.workload.queries import QueryGenerator
+from repro.workload.spec import DEFAULT_RATE, WorkloadContext, WorkloadSpec
 
-__all__ = ["ItemCache", "ItemChurnReport", "simulate_item_churn"]
+__all__ = ["CACHE_POLICIES", "ItemCache", "ItemChurnReport", "simulate_item_churn"]
+
+
+CACHE_POLICIES = ("lru", "lfu")
 
 
 class ItemCache:
-    """A node-local LRU cache of item copies with version stamps."""
+    """A node-local cache of item copies with version stamps.
 
-    def __init__(self, capacity: int) -> None:
+    ``policy`` picks the eviction discipline: ``"lru"`` (the original
+    behaviour, bit-identical at the defaults) evicts the least recently
+    used entry; ``"lfu"`` (icarus-style) evicts the least frequently hit
+    entry, breaking ties toward the least recently touched.
+    ``admission_probability`` < 1 turns :meth:`store` into probabilistic
+    caching (Psaras et al.'s ProbCache idea in its simplest form): a miss
+    only populates the cache with that probability, which shields the
+    small cache from one-hit wonders under heavy-tailed workloads.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "lru",
+        admission_probability: float = 1.0,
+        rng: random.Random | None = None,
+    ) -> None:
         require_positive_int(capacity, "capacity")
+        if policy not in CACHE_POLICIES:
+            raise ConfigurationError(
+                f"unknown cache policy {policy!r}; expected one of {CACHE_POLICIES}"
+            )
+        if not 0.0 < admission_probability <= 1.0:
+            raise ConfigurationError(
+                f"admission_probability must be in (0, 1], got {admission_probability!r}"
+            )
+        if admission_probability < 1.0 and rng is None:
+            raise ConfigurationError(
+                "probabilistic admission needs an explicit rng for determinism"
+            )
         self.capacity = capacity
+        self.policy = policy
+        self.admission_probability = admission_probability
+        self._rng = rng
         self._entries: OrderedDict[int, int] = OrderedDict()  # item -> cached version
+        self._frequencies: dict[int, int] = {}
         self.hits = 0
         self.misses = 0
         self.stale_hits = 0
@@ -56,17 +91,39 @@ class ItemCache:
             self.misses += 1
             return False
         self._entries.move_to_end(item)
+        self._frequencies[item] = self._frequencies.get(item, 0) + 1
         self.hits += 1
         if cached != current_version:
             self.stale_hits += 1
         return True
 
     def store(self, item: int, version: int) -> None:
-        """Insert/update an item copy, evicting the LRU entry when full."""
+        """Insert/update an item copy, evicting per policy when full."""
+        if (
+            self.admission_probability < 1.0
+            and item not in self._entries
+            and self._rng.random() >= self.admission_probability
+        ):
+            return
         self._entries[item] = version
         self._entries.move_to_end(item)
+        self._frequencies.setdefault(item, 0)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            victim = self._victim(protected=item)
+            del self._entries[victim]
+            self._frequencies.pop(victim, None)
+
+    def _victim(self, protected: int) -> int:
+        # The entry being stored is immune for this round: admission is
+        # the admission filter's job, not the eviction policy's.
+        if self.policy == "lru":
+            return next(entry for entry in self._entries if entry != protected)
+        # LFU: smallest hit count, ties broken by recency (OrderedDict
+        # iterates least-recently-touched first).
+        return min(
+            (entry for entry in self._entries if entry != protected),
+            key=lambda entry: self._frequencies.get(entry, 0),
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -119,6 +176,9 @@ def simulate_item_churn(
     cache_capacity: int = 64,
     seed: int = 0,
     faults=None,
+    workload: str = "static-zipf",
+    cache_policy: str = "lru",
+    admission_probability: float = 1.0,
 ) -> dict[str, ItemChurnReport]:
     """Compare pointer caching, item caching and plain Chord while a
     fraction ``update_probability`` of queries is preceded by an update to
@@ -127,10 +187,15 @@ def simulate_item_churn(
     ``faults`` optionally injects a
     :class:`~repro.faults.schedule.FaultSchedule` into every strategy's
     ring (same plane seed per strategy, robust retries); ``None`` is the
-    bit-identical fault-free path. Returns ``{strategy: ItemChurnReport}``.
+    bit-identical fault-free path. ``workload`` names the query scenario
+    (:data:`repro.workload.spec.WORKLOADS`); ``cache_policy`` and
+    ``admission_probability`` configure the item-cache strategy's
+    eviction/admission behaviour. Defaults run the legacy comparison
+    draw-for-draw. Returns ``{strategy: ItemChurnReport}``.
     """
     if not 0.0 <= update_probability <= 1.0:
         raise ConfigurationError("update_probability must be in [0, 1]")
+    spec = WorkloadSpec.parse(workload)
     registry = SeedSequenceRegistry(seed)
     space = IdSpace(bits)
     effective_k = k if k is not None else max(1, n.bit_length() - 1)
@@ -153,17 +218,42 @@ def simulate_item_churn(
                 effective_k, optimal_policy, registry.fresh("policy"), frequency_limit=256
             )
         plane, retry = arm_stable_plane(faults, registry.fresh("fault-plane"), ring)
-        caches = {node_id: ItemCache(cache_capacity) for node_id in ring.alive_ids()}
+        admission_rng = (
+            registry.fresh("cache-admission") if admission_probability < 1.0 else None
+        )
+        caches = {
+            node_id: ItemCache(
+                cache_capacity,
+                policy=cache_policy,
+                admission_probability=admission_probability,
+                rng=admission_rng,
+            )
+            for node_id in ring.alive_ids()
+        }
         world = _ItemWorld()
-        generator = QueryGenerator(popularity, assignment, registry.fresh("queries"))
+        stream = spec.build(
+            WorkloadContext(
+                popularity=popularity,
+                assignment=assignment,
+                rng=registry.fresh("queries"),
+                scenario_rng=registry.fresh("queries-scenario"),
+                alpha=alpha,
+                horizon=queries / DEFAULT_RATE,
+            )
+        )
         update_rng = registry.fresh("updates")
 
         total_hops = 0
+        issued = 0
         alive = ring.alive_ids()
-        for __ in range(queries):
+        for index in range(queries):
             if update_rng.random() < update_probability:
                 world.update(popularity.sample_item(0, update_rng))
-            query = generator.query_from(generator.random_source(alive))
+            stream.advance(index / DEFAULT_RATE)
+            query = stream.next_query(alive)
+            if query is None:
+                break
+            issued += 1
             if strategy == "item-cache":
                 cache = caches[query.source]
                 if cache.lookup(query.item, world.version(query.item)):
@@ -182,9 +272,9 @@ def simulate_item_churn(
         hits = sum(cache.hits for cache in caches.values())
         reports[strategy] = ItemChurnReport(
             strategy=strategy,
-            mean_hops=total_hops / queries,
-            stale_answer_rate=stale / queries,
-            queries=queries,
-            cache_hit_rate=hits / queries,
+            mean_hops=total_hops / issued if issued else 0.0,
+            stale_answer_rate=stale / issued if issued else 0.0,
+            queries=issued,
+            cache_hit_rate=hits / issued if issued else 0.0,
         )
     return reports

@@ -28,7 +28,7 @@ from repro.util.ids import IdSpace
 from repro.util.rng import SeedSequenceRegistry
 from repro.util.validation import require_non_negative_int
 from repro.workload.items import ItemCatalog, PopularityModel
-from repro.workload.queries import QueryGenerator
+from repro.workload.spec import DEFAULT_RATE, WorkloadContext, WorkloadSpec
 
 __all__ = ["ReplicaDirectory", "ReplicationReport", "simulate_replication"]
 
@@ -113,6 +113,7 @@ def simulate_replication(
     replication_level: int = 3,
     seed: int = 0,
     faults=None,
+    workload: str = "static-zipf",
 ) -> dict[str, ReplicationReport]:
     """Compare pointer caching against Beehive-style replication.
 
@@ -123,8 +124,13 @@ def simulate_replication(
     ``faults`` is an optional :class:`~repro.faults.schedule.FaultSchedule`
     applied identically to every strategy's ring (setup crash burst /
     partition, then per-message loss with robust retries); ``None`` keeps
-    the fault-free legacy behaviour bit for bit.
+    the fault-free legacy behaviour bit for bit. ``workload`` selects the
+    query scenario (default: the paper's static Zipf stream, draw-for-draw
+    identical to the legacy path). Replica placement keys off the *static*
+    ranking either way, so drifting scenarios show replication chasing a
+    hot set that has moved on.
     """
+    spec = WorkloadSpec.parse(workload)
     registry = SeedSequenceRegistry(seed)
     space = IdSpace(bits)
     effective_k = k if k is not None else max(1, n.bit_length() - 1)
@@ -153,11 +159,25 @@ def simulate_replication(
                 directory.replicate(item, replication_level)
 
         plane, retry = arm_stable_plane(faults, registry.fresh("fault-plane"), ring)
-        generator = QueryGenerator(popularity, assignment, registry.fresh("queries"))
+        stream = spec.build(
+            WorkloadContext(
+                popularity=popularity,
+                assignment=assignment,
+                rng=registry.fresh("queries"),
+                scenario_rng=registry.fresh("queries-scenario"),
+                alpha=alpha,
+                horizon=queries / DEFAULT_RATE,
+            )
+        )
         alive = ring.alive_ids()
         total_hops = 0
-        for __ in range(queries):
-            query = generator.query_from(generator.random_source(alive))
+        issued = 0
+        for index in range(queries):
+            stream.advance(index / DEFAULT_RATE)
+            query = stream.next_query(alive)
+            if query is None:
+                break
+            issued += 1
             if strategy == "replication":
                 total_hops += _route_until_replica(
                     ring, query.source, query.item, directory.holders(query.item),
@@ -174,7 +194,7 @@ def simulate_replication(
         )
         reports[strategy] = ReplicationReport(
             strategy=strategy,
-            mean_hops=total_hops / queries,
+            mean_hops=total_hops / issued if issued else 0.0,
             replicas=directory.replica_count(),
             update_messages_per_update=mean_update_cost if strategy == "replication" else 0.0,
         )

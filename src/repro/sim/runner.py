@@ -44,6 +44,7 @@ from repro.util.ids import IdSpace
 from repro.util.rng import SeedSequenceRegistry
 from repro.workload.items import ItemCatalog, PopularityModel
 from repro.workload.queries import QueryGenerator
+from repro.workload.spec import DEFAULT_RATE, WorkloadContext, WorkloadSpec, WorkloadStream
 
 __all__ = ["ExperimentConfig", "ChurnConfig", "run_stable", "run_churn"]
 
@@ -95,6 +96,11 @@ class ExperimentConfig:
     #: Total network-wide pointer budget ``K``; ``None`` means
     #: ``n * effective_k`` (the uniform scheme's spend).
     budget_total: int | None = None
+    #: Query-stream scenario, as a ``NAME[:PARAM]`` selector resolved
+    #: against :data:`repro.workload.spec.WORKLOADS`. The default
+    #: ``"static-zipf"`` is the paper's workload and runs draw-for-draw
+    #: identically to the pre-workload-plane code.
+    workload: str = "static-zipf"
 
     def __post_init__(self) -> None:
         if self.overlay not in OVERLAYS:
@@ -123,6 +129,9 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"budget_total must be non-negative, got {self.budget_total}"
             )
+        # Validate the selector eagerly so a typo fails at config time,
+        # not deep inside a worker process.
+        WorkloadSpec.parse(self.workload)
         if self.k is not None and self.k >= self.n:
             # A node can hold at most n - 1 distinct auxiliary pointers;
             # beyond that the budget silently degenerates (selection just
@@ -178,6 +187,20 @@ class ExperimentConfig:
         if not self.budget_plan_active:
             return ""
         return f" budget={self.budget_mode}:{self.effective_budget}"
+
+    @property
+    def workload_spec(self) -> WorkloadSpec:
+        """The parsed workload selector."""
+        return WorkloadSpec.parse(self.workload)
+
+    @property
+    def workload_label(self) -> str:
+        """Label fragment for non-default workloads, empty on the
+        legacy static stream (keeps historical labels byte-identical)."""
+        spec = self.workload_spec
+        if spec.is_static:
+            return ""
+        return f" workload={spec.label}"
 
     @property
     def faults_active(self) -> bool:
@@ -324,6 +347,27 @@ class _Bench:
             self.popularity, self.assignment, self.registry.fresh(stream_name)
         )
 
+    def workload_stream(
+        self, stream_name: str, horizon: float, rate: float = DEFAULT_RATE
+    ) -> WorkloadStream:
+        """Build the configured scenario's query substream for one cell.
+
+        ``rng`` reuses the legacy ``stream_name`` substream seed, so the
+        static default makes the exact same draw sequence the old
+        :meth:`query_generator` path made; scenario-internal randomness
+        lives on a separate ``-scenario`` substream.
+        """
+        context = WorkloadContext(
+            popularity=self.popularity,
+            assignment=self.assignment,
+            rng=self.registry.fresh(stream_name),
+            scenario_rng=self.registry.fresh(f"{stream_name}-scenario"),
+            alpha=self.config.alpha,
+            horizon=horizon,
+            rate=rate,
+        )
+        return self.config.workload_spec.build(context)
+
 
 # ----------------------------------------------------------------------
 # Stable mode
@@ -440,7 +484,7 @@ def run_stable(config: ExperimentConfig, telemetry=None) -> ComparisonResult:
         }
         label = (
             f"{config.overlay} stable n={config.n} k={config.effective_k} "
-            f"alpha={config.alpha}{config.budget_label} faults"
+            f"alpha={config.alpha}{config.budget_label}{config.workload_label} faults"
         )
         return ComparisonResult(label, stats["optimal"], stats["oblivious"])
     registry = SeedSequenceRegistry(config.seed)
@@ -464,13 +508,13 @@ def run_stable(config: ExperimentConfig, telemetry=None) -> ComparisonResult:
         _install_policy_tables(
             bench.overlay, config, policy, registry.fresh(f"policy-rng-{name}"), allocation
         )
-        generator = bench.query_generator("queries")
+        workload = bench.workload_stream("queries", horizon=config.queries / DEFAULT_RATE)
         collected = HopStatistics()
         alive = bench.overlay.alive_ids()
         recorder = tel.recorder if tel is not None else None
         boundaries = _round_boundaries(config.queries, tel.rounds) if tel is not None else ()
         next_boundary = 0
-        for index, query in enumerate(generator.stream(config.queries, lambda: alive), start=1):
+        for index, query in enumerate(workload.stream(config.queries, lambda: alive), start=1):
             collected.record(
                 bench.lookup(
                     query.source, query.item, record_access=False, retry=retry, trace=recorder
@@ -483,7 +527,7 @@ def run_stable(config: ExperimentConfig, telemetry=None) -> ComparisonResult:
         bench.overlay.attach_telemetry(None)
     label = (
         f"{config.overlay} stable n={config.n} k={config.effective_k} "
-        f"alpha={config.alpha}{config.budget_label}"
+        f"alpha={config.alpha}{config.budget_label}{config.workload_label}"
     )
     return ComparisonResult(label, stats["optimal"], stats["oblivious"])
 
@@ -527,9 +571,9 @@ def _run_stable_columnar(config: ExperimentConfig) -> ComparisonResult:
             registry.fresh(f"policy-rng-{name}"),
             frequency_limit=config.frequency_limit,
         )
-        generator = bench.query_generator("queries")
+        workload = bench.workload_stream("queries", horizon=config.queries / DEFAULT_RATE)
         alive = overlay.alive_ids()
-        queries = list(generator.stream(config.queries, lambda: alive))
+        queries = list(workload.stream(config.queries, lambda: alive))
         sources = [query.source for query in queries]
         keys = [query.item for query in queries]
         if config.overlay == "chord":
@@ -543,7 +587,7 @@ def _run_stable_columnar(config: ExperimentConfig) -> ComparisonResult:
         stats[name] = collected
     label = (
         f"{config.overlay} stable n={config.n} k={config.effective_k} "
-        f"alpha={config.alpha}"
+        f"alpha={config.alpha}{config.workload_label}"
     )
     return ComparisonResult(label, stats["optimal"], stats["oblivious"])
 
@@ -589,13 +633,13 @@ def _run_stable_once(
         plane = FaultPlane(config.faults, registry.fresh("fault-plane"))
         apply_stable_faults(plane, bench.overlay, telemetry=tel)
     retry = config.effective_retry
-    generator = bench.query_generator("queries")
+    workload = bench.workload_stream("queries", horizon=config.queries / DEFAULT_RATE)
     stats = HopStatistics(keep_samples=True)
     alive = bench.overlay.alive_ids()
     recorder = tel.recorder if tel is not None else None
     boundaries = _round_boundaries(config.queries, tel.rounds) if tel is not None else ()
     next_boundary = 0
-    for index, query in enumerate(generator.stream(config.queries, lambda: alive), start=1):
+    for index, query in enumerate(workload.stream(config.queries, lambda: alive), start=1):
         if plane is not None:
             maybe_corrupt(plane, bench.overlay, telemetry=tel)
         stats.record(
@@ -634,7 +678,7 @@ def run_churn(config: ChurnConfig, telemetry=None) -> ComparisonResult:
         stats[name] = _run_churn_once(config, name, telemetry=_policy_telemetry(telemetry, name))
     label = (
         f"{config.overlay} churn n={config.n} k={config.effective_k} "
-        f"alpha={config.alpha}{config.budget_label}"
+        f"alpha={config.alpha}{config.budget_label}{config.workload_label}"
     )
     return ComparisonResult(label, stats["optimal"], stats["oblivious"])
 
@@ -728,25 +772,31 @@ def _run_churn_once(config: ChurnConfig, policy_name: str, telemetry=None) -> Ho
             ),
         )
 
-    # Poisson query arrivals; frequencies keep learning online.
-    generator = bench.query_generator("queries")
+    # Poisson query arrivals; frequencies keep learning online. The
+    # workload's virtual clock rides the event scheduler directly, so
+    # drift/crowd/rotation epochs land at real simulation times.
+    workload = bench.workload_stream(
+        "queries", horizon=config.duration, rate=config.queries_per_second
+    )
     query_rng = registry.fresh("query-arrivals")
     recorder = tel.recorder if tel is not None else None
 
     def fire_query() -> None:
         alive = overlay.alive_ids()
         if alive:
-            query = generator.query_from(generator.random_source(alive))
-            result = bench.lookup(
-                query.source,
-                query.item,
-                record_access=True,
-                retry=retry,
-                faults=plane,
-                trace=recorder,
-            )
-            if scheduler.now >= config.warmup:
-                stats.record(result)
+            workload.advance(scheduler.now)
+            query = workload.next_query(alive)
+            if query is not None:
+                result = bench.lookup(
+                    query.source,
+                    query.item,
+                    record_access=True,
+                    retry=retry,
+                    faults=plane,
+                    trace=recorder,
+                )
+                if scheduler.now >= config.warmup:
+                    stats.record(result)
         scheduler.schedule(query_rng.expovariate(config.queries_per_second), fire_query)
 
     scheduler.schedule(query_rng.expovariate(config.queries_per_second), fire_query)

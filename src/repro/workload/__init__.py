@@ -16,3 +16,19 @@ from repro.workload.dynamics import DynamicPopularity, FlashCrowd
 from repro.workload.trace import QueryTrace, TimedQuery
 
 __all__ += ["DynamicPopularity", "FlashCrowd", "QueryTrace", "TimedQuery"]
+
+from repro.workload.spec import (
+    WORKLOADS,
+    WorkloadContext,
+    WorkloadSpec,
+    WorkloadStream,
+    record_trace,
+)
+
+__all__ += [
+    "WORKLOADS",
+    "WorkloadContext",
+    "WorkloadSpec",
+    "WorkloadStream",
+    "record_trace",
+]

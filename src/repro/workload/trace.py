@@ -91,10 +91,20 @@ class QueryTrace:
             header_line = handle.readline()
             if not header_line:
                 raise ConfigurationError(f"{source} is empty, not a trace")
-            header = json.loads(header_line)
+            try:
+                header = json.loads(header_line)
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"{source}:1: malformed trace header ({error})"
+                ) from error
+            if not isinstance(header, dict):
+                raise ConfigurationError(
+                    f"{source}:1: trace header must be a JSON object, "
+                    f"got {type(header).__name__}"
+                )
             if header.get("format") != _FORMAT:
                 raise ConfigurationError(
-                    f"{source} is not a {_FORMAT} file (format={header.get('format')!r})"
+                    f"{source}:1: not a {_FORMAT} file (format={header.get('format')!r})"
                 )
             trace = cls(metadata=header.get("metadata", {}))
             for line_number, line in enumerate(handle, start=2):
@@ -103,7 +113,7 @@ class QueryTrace:
                 try:
                     payload = json.loads(line)
                     trace.record(payload["t"], payload["src"], payload["item"])
-                except (KeyError, ValueError) as error:
+                except (KeyError, TypeError, ValueError) as error:
                     raise ConfigurationError(
                         f"{source}:{line_number}: malformed trace entry ({error})"
                     ) from error

@@ -1,0 +1,97 @@
+"""Workload × overlay conformance battery.
+
+Companion to ``test_overlay_battery``: every scenario in the workload
+registry runs through the real stable runner on every overlay backend,
+asserting the same behavioural contract everywhere — the run completes
+at full query count with zero failures (fault-free universes), repeats
+bit-identically, and labels carry the workload so result files are
+self-describing. Adding a scenario to :data:`repro.workload.spec.WORKLOADS`
+means adding one spec string to :data:`SCENARIOS` here — the battery
+itself does not change.
+"""
+
+import pytest
+
+from repro.sim.runner import ExperimentConfig, _Bench, run_stable
+from repro.util.rng import SeedSequenceRegistry
+from repro.workload.spec import DEFAULT_RATE, record_trace
+
+OVERLAYS = ("chord", "pastry", "kademlia")
+SCENARIOS = (
+    "static-zipf",
+    "drifting-zipf:20",
+    "flash-crowd:2",
+    "diurnal:40",
+    "hotspot-rotation:25",
+)
+
+_N = 24
+_BITS = 14
+_QUERIES = 200
+_SEED = 3
+
+
+def _config(overlay, workload, **overrides):
+    defaults = dict(
+        overlay=overlay, n=_N, bits=_BITS, queries=_QUERIES, seed=_SEED, workload=workload
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture(params=OVERLAYS)
+def overlay_kind(request):
+    return request.param
+
+
+class TestScenarioBattery:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_runs_to_completion_without_failures(self, overlay_kind, scenario):
+        result = run_stable(_config(overlay_kind, scenario))
+        for stats in (result.optimized, result.baseline):
+            assert stats.lookups == _QUERIES
+            assert stats.failure_rate == 0.0
+            assert stats.mean_hops > 0.0
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_repeats_bit_identically(self, overlay_kind, scenario):
+        first = run_stable(_config(overlay_kind, scenario))
+        second = run_stable(_config(overlay_kind, scenario))
+        assert first.optimized.mean_hops == second.optimized.mean_hops
+        assert first.baseline.mean_hops == second.baseline.mean_hops
+        assert first.improvement == second.improvement
+
+    def test_scenarios_actually_differ(self, overlay_kind):
+        """The plane is not decorative: distinct scenarios route distinct
+        traffic through the same universe."""
+        means = {
+            scenario: run_stable(_config(overlay_kind, scenario)).baseline.mean_hops
+            for scenario in SCENARIOS
+        }
+        assert len(set(means.values())) > 1
+
+    def test_labels_carry_the_workload(self, overlay_kind):
+        static = run_stable(_config(overlay_kind, "static-zipf"))
+        drifted = run_stable(_config(overlay_kind, "drifting-zipf:20"))
+        assert "workload=" not in static.label  # legacy labels unchanged
+        assert "workload=drifting-zipf:20" in drifted.label
+
+
+class TestTraceWorkload:
+    def test_recorded_trace_replays_through_the_runner(self, tmp_path, overlay_kind):
+        """End-to-end: record a scenario into a trace file, then drive the
+        stable runner from ``trace:PATH`` against the same universe."""
+        config = _config(overlay_kind, "flash-crowd:2")
+        bench = _Bench(config, SeedSequenceRegistry(config.seed))
+        live = bench.overlay.alive_ids()
+        stream = bench.workload_stream("queries", horizon=_QUERIES / DEFAULT_RATE)
+        trace = record_trace(stream, _QUERIES, lambda: live, metadata={"origin": "battery"})
+        path = tmp_path / "battery.jsonl"
+        trace.save(path)
+
+        replayed = run_stable(_config(overlay_kind, f"trace:{path}"))
+        direct = run_stable(config)
+        # Same universe seed + same query sequence -> identical measurement.
+        assert replayed.optimized.lookups == _QUERIES
+        assert replayed.optimized.mean_hops == direct.optimized.mean_hops
+        assert replayed.baseline.mean_hops == direct.baseline.mean_hops

@@ -5,6 +5,12 @@ factory fixture taking ``(overlay, n, bits, seed)`` — the same copy-
 pasted defaults half the suite used to re-declare locally. Using the
 factory keeps universe parameters greppable in one place and gives every
 test file the same meaning for "a small ring".
+
+``stable_config`` is its experiment-level sibling: a factory for small
+stable-mode :class:`~repro.sim.runner.ExperimentConfig` objects,
+parameterized by workload scenario name. It replaces the ``small_stable``
+/ ``base_config`` helpers that ``tests/sim`` and ``tests/experiments``
+each used to re-declare with their own Zipf-stream defaults.
 """
 
 from __future__ import annotations
@@ -34,5 +40,27 @@ def small_universe():
         if overlay == "kademlia":
             return KademliaNetwork.build(n, space=space, seed=seed, **kwargs)
         raise ValueError(f"unknown overlay {overlay!r}")
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def stable_config():
+    """Factory for small stable-mode experiment configs, parameterized by
+    workload name: ``stable_config("chord", workload="drifting-zipf:30")``.
+
+    Defaults match the historical ``tests/sim`` miniature (n=64, bits=18,
+    1500 queries, seed 2); every :class:`ExperimentConfig` field is
+    overridable by keyword. Session-scoped so class-scoped fixtures may
+    depend on it — the factory itself is stateless.
+    """
+    from repro.sim.runner import ExperimentConfig
+
+    def build(overlay: str = "chord", workload: str = "static-zipf", **overrides):
+        defaults = dict(
+            overlay=overlay, n=64, bits=18, queries=1500, seed=2, workload=workload
+        )
+        defaults.update(overrides)
+        return ExperimentConfig(**defaults)
 
     return build

@@ -4,40 +4,45 @@ import pytest
 
 from repro.cli import main
 from repro.experiments.sweep import rows_to_csv, rows_to_table, sweep
-from repro.sim.runner import ExperimentConfig
 from repro.util.errors import ConfigurationError
 
 
-def base_config(**overrides):
-    defaults = dict(overlay="chord", n=32, bits=16, queries=600, seed=4)
-    defaults.update(overrides)
-    return ExperimentConfig(**defaults)
+@pytest.fixture(scope="session")
+def base_config(stable_config):
+    """Sweep-scale configs via the shared ``stable_config`` factory."""
+
+    def build(**overrides):
+        defaults = dict(overlay="chord", n=32, bits=16, queries=600, seed=4)
+        defaults.update(overrides)
+        return stable_config(**defaults)
+
+    return build
 
 
 class TestSweep:
-    def test_sweeps_requested_values(self):
+    def test_sweeps_requested_values(self, base_config):
         rows = sweep(base_config(), "k", [2, 8])
         assert [row.value for row in rows] == [2, 8]
         assert all(row.parameter == "k" for row in rows)
         # More pointers help the optimal scheme at least as much.
         assert rows[1].optimal_mean_hops <= rows[0].optimal_mean_hops
 
-    def test_alpha_sweep_monotone(self):
+    def test_alpha_sweep_monotone(self, base_config):
         rows = sweep(base_config(), "alpha", [0.8, 1.6])
         assert rows[1].improvement_pct > rows[0].improvement_pct
 
-    def test_unknown_parameter_rejected(self):
+    def test_unknown_parameter_rejected(self, base_config):
         with pytest.raises(ConfigurationError):
             sweep(base_config(), "warp_factor", [1])
 
-    def test_empty_values_rejected(self):
+    def test_empty_values_rejected(self, base_config):
         with pytest.raises(ConfigurationError):
             sweep(base_config(), "k", [])
 
 
 class TestRendering:
     @pytest.fixture(scope="class")
-    def rows(self):
+    def rows(self, base_config):
         return sweep(base_config(), "k", [2, 8])
 
     def test_csv_shape(self, rows):

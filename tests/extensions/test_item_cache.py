@@ -38,6 +38,69 @@ class TestItemCache:
             ItemCache(capacity=0)
 
 
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown cache policy"):
+            ItemCache(capacity=2, policy="mru")
+
+    def test_lfu_evicts_least_frequently_hit(self):
+        cache = ItemCache(capacity=2, policy="lfu")
+        cache.store(1, 0)
+        cache.store(2, 0)
+        cache.lookup(1, 0)
+        cache.lookup(1, 0)
+        cache.lookup(2, 0)  # item 2 has fewer hits than item 1
+        cache.store(3, 0)
+        assert cache.lookup(1, 0)
+        assert not cache.lookup(2, 0)
+
+    def test_lfu_breaks_ties_by_recency(self):
+        cache = ItemCache(capacity=2, policy="lfu")
+        cache.store(1, 0)
+        cache.store(2, 0)
+        # Both at zero hits: the least-recently-stored entry goes first.
+        cache.store(3, 0)
+        assert not cache.lookup(1, 0)
+        assert cache.lookup(2, 0)
+
+    def test_probabilistic_admission_filters_new_items(self):
+        import random
+
+        cache = ItemCache(capacity=8, admission_probability=0.5, rng=random.Random(0))
+        for item in range(200):
+            cache.store(item, 0)
+        admitted = sum(1 for item in range(200) if cache.lookup(item, 0))
+        assert 0 < admitted < 200  # some rejected, some let through
+
+    def test_admission_never_blocks_version_refresh(self):
+        # The admission coin is flipped for *insertions* only; version
+        # refreshes of resident items must always land (ProbCache-style).
+        class ScriptedRng:
+            def __init__(self, values):
+                self.values = list(values)
+
+            def random(self):
+                return self.values.pop(0)
+
+        rng = ScriptedRng([0.1])  # one draw: admit the initial store
+        cache = ItemCache(capacity=2, admission_probability=0.5, rng=rng)
+        cache.store(1, version=0)
+        cache.store(1, version=5)  # refresh: no coin flip
+        assert rng.values == []  # the refresh consumed no randomness
+        assert cache.lookup(1, current_version=5)
+        assert cache.stale_hits == 0
+
+    def test_admission_probability_validated(self):
+        import random
+
+        with pytest.raises(ConfigurationError):
+            ItemCache(capacity=2, admission_probability=0.0, rng=random.Random(0))
+        with pytest.raises(ConfigurationError):
+            ItemCache(capacity=2, admission_probability=1.5, rng=random.Random(0))
+        with pytest.raises(ConfigurationError, match="rng"):
+            ItemCache(capacity=2, admission_probability=0.5)
+
+
 class TestSimulation:
     @pytest.fixture(scope="class")
     def reports(self):

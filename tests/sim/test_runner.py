@@ -12,12 +12,6 @@ from repro.sim.runner import ChurnConfig, ExperimentConfig, run_churn, run_stabl
 from repro.util.errors import ConfigurationError
 
 
-def small_stable(overlay, **overrides):
-    defaults = dict(overlay=overlay, n=64, bits=18, queries=1500, seed=2)
-    defaults.update(overrides)
-    return ExperimentConfig(**defaults)
-
-
 class TestConfig:
     def test_effective_k_defaults_to_log_n(self):
         assert ExperimentConfig(overlay="chord", n=1024).effective_k == 10
@@ -109,13 +103,13 @@ class TestConfig:
 
 
 class TestBudgetedRuns:
-    def test_uniform_plan_at_full_budget_matches_legacy(self):
+    def test_uniform_plan_at_full_budget_matches_legacy(self, stable_config):
         # The explicit uniform plan at K = n * k installs the same quotas
         # through the same recompute walk, so the numbers are identical.
-        legacy = run_stable(small_stable("chord", n=48, bits=16, queries=800))
+        legacy = run_stable(stable_config("chord", n=48, bits=16, queries=800))
         k = ExperimentConfig(overlay="chord", n=48).effective_k
         planned = run_stable(
-            small_stable(
+            stable_config(
                 "chord",
                 n=48,
                 bits=16,
@@ -127,9 +121,9 @@ class TestBudgetedRuns:
         assert planned.optimized.mean_hops == legacy.optimized.mean_hops
         assert planned.baseline.mean_hops == legacy.baseline.mean_hops
 
-    def test_allocated_stable_run_wins_and_labels(self):
+    def test_allocated_stable_run_wins_and_labels(self, stable_config):
         result = run_stable(
-            small_stable(
+            stable_config(
                 "chord",
                 n=48,
                 bits=16,
@@ -162,38 +156,47 @@ class TestBudgetedRuns:
 
 class TestStableRunner:
     @pytest.mark.parametrize("overlay", ["chord", "pastry"])
-    def test_optimal_beats_oblivious(self, overlay):
-        result = run_stable(small_stable(overlay))
+    def test_optimal_beats_oblivious(self, overlay, stable_config):
+        result = run_stable(stable_config(overlay))
         assert result.optimized.failures == 0
         assert result.baseline.failures == 0
         assert result.improvement > 5.0
 
-    def test_reproducible(self):
-        first = run_stable(small_stable("chord"))
-        second = run_stable(small_stable("chord"))
+    def test_reproducible(self, stable_config):
+        first = run_stable(stable_config("chord"))
+        second = run_stable(stable_config("chord"))
         assert first.optimized.mean_hops == second.optimized.mean_hops
         assert first.baseline.mean_hops == second.baseline.mean_hops
 
-    def test_seed_changes_outcome_slightly(self):
-        a = run_stable(small_stable("chord", seed=2))
-        b = run_stable(small_stable("chord", seed=3))
+    def test_seed_changes_outcome_slightly(self, stable_config):
+        a = run_stable(stable_config("chord", seed=2))
+        b = run_stable(stable_config("chord", seed=3))
         # Different universes: identical values would suggest seed plumbing
         # is broken.
         assert a.optimized.mean_hops != b.optimized.mean_hops
 
-    def test_more_pointers_help_more(self):
-        low = run_stable(small_stable("chord", k=2))
-        high = run_stable(small_stable("chord", k=12))
+    def test_more_pointers_help_more(self, stable_config):
+        low = run_stable(stable_config("chord", k=2))
+        high = run_stable(stable_config("chord", k=12))
         assert high.optimized.mean_hops <= low.optimized.mean_hops
 
-    def test_higher_alpha_bigger_improvement(self):
-        mild = run_stable(small_stable("chord", alpha=0.91, seed=5))
-        steep = run_stable(small_stable("chord", alpha=1.4, seed=5))
+    def test_higher_alpha_bigger_improvement(self, stable_config):
+        mild = run_stable(stable_config("chord", alpha=0.91, seed=5))
+        steep = run_stable(stable_config("chord", alpha=1.4, seed=5))
         assert steep.improvement > mild.improvement
 
-    def test_pastry_greedy_mode_runs(self):
-        result = run_stable(small_stable("pastry", pastry_mode="greedy"))
+    def test_pastry_greedy_mode_runs(self, stable_config):
+        result = run_stable(stable_config("pastry", pastry_mode="greedy"))
         assert result.improvement > 0.0
+
+    def test_workload_parameter_threads_through(self, stable_config):
+        static = run_stable(stable_config("chord", queries=800))
+        moving = run_stable(
+            stable_config("chord", queries=800, workload="drifting-zipf:20")
+        )
+        assert "workload=" not in static.label
+        assert "workload=drifting-zipf:20" in moving.label
+        assert moving.baseline.mean_hops != static.baseline.mean_hops
 
 
 class TestChurnRunner:
@@ -230,10 +233,10 @@ class TestChurnRunner:
         assert result.improvement > 0.0
         assert result.optimized.failure_rate < 0.1
 
-    def test_churn_reduces_benefit_versus_stable(self):
+    def test_churn_reduces_benefit_versus_stable(self, stable_config):
         """Figure 5's qualitative claim: high churn shrinks (but does not
         erase) the improvement."""
-        stable = run_stable(small_stable("chord", seed=6, queries=2500))
+        stable = run_stable(stable_config("chord", seed=6, queries=2500))
         churn = run_churn(
             ChurnConfig(
                 overlay="chord",
@@ -250,32 +253,32 @@ class TestChurnRunner:
 
 
 class TestLearnedFrequencies:
-    def test_learned_mode_runs_and_wins(self):
-        config = small_stable("chord", learned_frequencies=True, warmup_queries=1500, seed=8)
+    def test_learned_mode_runs_and_wins(self, stable_config):
+        config = stable_config("chord", learned_frequencies=True, warmup_queries=1500, seed=8)
         result = run_stable(config)
         assert result.improvement > 0.0
 
-    def test_default_warmup_scales_with_n(self):
-        config = small_stable("chord", learned_frequencies=True)
+    def test_default_warmup_scales_with_n(self, stable_config):
+        config = stable_config("chord", learned_frequencies=True)
         assert config.effective_warmup_queries == 40 * config.n
-        explicit = small_stable("chord", learned_frequencies=True, warmup_queries=123)
+        explicit = stable_config("chord", learned_frequencies=True, warmup_queries=123)
         assert explicit.effective_warmup_queries == 123
 
-    def test_learned_knows_less_than_converged(self):
+    def test_learned_knows_less_than_converged(self, stable_config):
         """Finite observation gives the optimal scheme less to work with,
         so its hop count cannot beat the converged-knowledge run."""
-        converged = run_stable(small_stable("chord", seed=9))
+        converged = run_stable(stable_config("chord", seed=9))
         learned = run_stable(
-            small_stable("chord", seed=9, learned_frequencies=True, warmup_queries=600)
+            stable_config("chord", seed=9, learned_frequencies=True, warmup_queries=600)
         )
         assert learned.optimized.mean_hops >= converged.optimized.mean_hops - 0.05
 
 
 class TestFaultInjection:
-    def test_stable_faults_deterministic_and_still_winning(self):
+    def test_stable_faults_deterministic_and_still_winning(self, stable_config):
         from repro.faults import FaultSchedule
 
-        config = small_stable(
+        config = stable_config(
             "chord",
             seed=12,
             faults=FaultSchedule(loss_rate=0.05, crash_burst_size=4, stale_rate=0.01),
@@ -288,20 +291,20 @@ class TestFaultInjection:
         assert first.optimized.timeout_rate > 0.0
         assert "faults" in first.label
 
-    def test_stable_fault_percentiles_available(self):
+    def test_stable_fault_percentiles_available(self, stable_config):
         from repro.faults import FaultSchedule
 
-        result = run_stable(small_stable("pastry", seed=4, faults=FaultSchedule(loss_rate=0.05)))
+        result = run_stable(stable_config("pastry", seed=4, faults=FaultSchedule(loss_rate=0.05)))
         percentiles = result.optimized.latency_percentiles()
         assert percentiles["p50"] <= percentiles["p95"] <= percentiles["p99"]
 
-    def test_inactive_schedule_matches_no_schedule_bit_for_bit(self):
+    def test_inactive_schedule_matches_no_schedule_bit_for_bit(self, stable_config):
         """An attached-but-empty FaultSchedule must take the shared-bench
         fast path and reproduce the fault-free numbers exactly."""
         from repro.faults import FaultSchedule
 
-        plain = run_stable(small_stable("chord", seed=5))
-        empty = run_stable(small_stable("chord", seed=5, faults=FaultSchedule()))
+        plain = run_stable(stable_config("chord", seed=5))
+        empty = run_stable(stable_config("chord", seed=5, faults=FaultSchedule()))
         assert plain.optimized.mean_hops == empty.optimized.mean_hops
         assert plain.baseline.mean_hops == empty.baseline.mean_hops
 

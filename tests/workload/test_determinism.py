@@ -1,0 +1,97 @@
+"""The workload determinism gate — and the mutation test that proves it.
+
+The contract (DESIGN.md §13) says a scenario generator must be a pure
+function of its :class:`WorkloadContext`: rebuild the stream from an
+equal context and you get the same queries, which is what keeps cells
+byte-identical under ``--jobs`` process fan-out. ``assert_deterministic``
+below *is* that gate, distilled; the mutation test registers a generator
+that deliberately leaks RNG state across builds (a module-level
+``random.Random``, exactly the bug the contract bans) and watches the
+gate trip, proving the gate can actually fail. The same gate then passes
+for every real scenario, in-process and across worker processes.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.runner import ExperimentConfig, run_stable
+from repro.util.parallel import run_tasks
+from repro.workload.queries import Query
+from repro.workload.spec import WORKLOADS, WorkloadSpec, WorkloadStream
+
+from tests.workload.test_spec import SCENARIOS, make_context
+
+#: Module-level shared state — the exact defect the contract forbids.
+_LEAKY_RNG = random.Random(1234)
+
+
+class _LeakyStream(WorkloadStream):
+    """Draws from process-global RNG state instead of the context's."""
+
+    def next_query(self, live_sources):
+        items = self.context.catalog.item_ids
+        source = live_sources[_LEAKY_RNG.randrange(len(live_sources))]
+        return Query(source, items[_LEAKY_RNG.randrange(len(items))])
+
+
+def _build_leaky(context, param):
+    return _LeakyStream(context)
+
+
+def emitted(spec, seed, count=120):
+    context = make_context(seed)
+    live = sorted(context.assignment)
+    return list(spec.build(context).stream(count, lambda: live))
+
+
+def assert_deterministic(spec, seed=0, count=120):
+    """The gate: two streams from equal contexts emit identical queries."""
+    first = emitted(spec, seed, count)
+    second = emitted(spec, seed, count)
+    assert first == second, f"workload {spec.label!r} is not context-deterministic"
+
+
+class TestMutation:
+    def test_rng_state_leak_trips_the_gate(self, monkeypatch):
+        monkeypatch.setitem(WORKLOADS, "leaky", _build_leaky)
+        spec = WorkloadSpec("leaky")
+        # The leaky generator keeps consuming the shared RNG, so the
+        # second build sees different draws and the gate must fire.
+        with pytest.raises(AssertionError, match="not context-deterministic"):
+            assert_deterministic(spec)
+
+    def test_every_real_scenario_passes_the_same_gate(self):
+        for spec_text in SCENARIOS:
+            assert_deterministic(WorkloadSpec.parse(spec_text))
+
+
+def _summary(result):
+    return (
+        result.improvement,
+        result.optimized.mean_hops,
+        result.optimized.failure_rate,
+        result.baseline.mean_hops,
+        result.baseline.failure_rate,
+    )
+
+
+class TestProcessFanOut:
+    @pytest.mark.parametrize("spec_text", SCENARIOS)
+    def test_jobs_1_and_4_agree_for_every_scenario(self, spec_text):
+        """Tiny four-cell plan, serial vs four worker processes: every
+        scenario must survive pickling into fresh interpreters bit-for-bit."""
+        configs = [
+            ExperimentConfig(
+                overlay=overlay,
+                n=24,
+                bits=14,
+                queries=200,
+                seed=seed,
+                workload=spec_text,
+            )
+            for overlay, seed in (("chord", 0), ("chord", 1), ("pastry", 0), ("kademlia", 0))
+        ]
+        serial = [_summary(r) for r in run_tasks(run_stable, configs, 1)]
+        fanned = [_summary(r) for r in run_tasks(run_stable, configs, 4)]
+        assert serial == fanned

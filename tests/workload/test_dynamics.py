@@ -25,6 +25,20 @@ class TestFlashCrowd:
         assert crowd.active_at(14.9)
         assert not crowd.active_at(15.0)
 
+    def test_window_is_start_inclusive_end_exclusive(self):
+        # The interval convention is [start, start + duration): a crowd
+        # beginning exactly when another ends never double-counts an
+        # instant, so back-to-back crowds partition the clock cleanly.
+        crowd = FlashCrowd(item=5, start=10.0, duration=5.0)
+        successor = FlashCrowd(item=6, start=15.0, duration=5.0)
+        assert crowd.active_at(10.0) and not successor.active_at(10.0)
+        assert not crowd.active_at(15.0) and successor.active_at(15.0)
+
+    def test_active_at_time_zero(self):
+        crowd = FlashCrowd(item=5, start=0.0, duration=1.0)
+        assert crowd.active_at(0.0)
+        assert not crowd.active_at(1.0)
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             FlashCrowd(item=5, start=-1.0, duration=5.0)
@@ -133,3 +147,31 @@ class TestFlashCrowdIntegration:
 
         frequencies = pop.node_frequencies(responsible)
         assert frequencies[owner] == pytest.approx(pop.distribution.weight(1))
+
+
+class TestNodeFrequencies:
+    def test_without_exclude_covers_full_mass(self):
+        __, pop = make(num_items=10)
+        frequencies = pop.node_frequencies(lambda item: item % 3)
+        assert sum(frequencies.values()) == pytest.approx(1.0)
+        assert set(frequencies) <= {0, 1, 2}
+
+    def test_exclude_drops_exactly_that_nodes_mass(self):
+        __, pop = make(num_items=10)
+        full = pop.node_frequencies(lambda item: item % 3)
+        trimmed = pop.node_frequencies(lambda item: item % 3, exclude=1)
+        assert 1 not in trimmed
+        # Every other node's aggregate is untouched — exclusion filters,
+        # it does not renormalize.
+        for node in (0, 2):
+            assert trimmed[node] == pytest.approx(full[node])
+        assert sum(trimmed.values()) == pytest.approx(1.0 - full[1])
+
+    def test_exclude_unknown_node_is_a_no_op(self):
+        __, pop = make(num_items=10)
+        full = pop.node_frequencies(lambda item: item % 3)
+        assert pop.node_frequencies(lambda item: item % 3, exclude=99) == full
+
+    def test_exclude_sole_owner_yields_empty_table(self):
+        __, pop = make(num_items=10)
+        assert pop.node_frequencies(lambda item: 7, exclude=7) == {}

@@ -76,6 +76,60 @@ class TestPersistence:
         with pytest.raises(ConfigurationError, match="promises"):
             QueryTrace.load(path)
 
+    def test_rejects_headerless_file_with_line_number(self, tmp_path):
+        # A file that starts straight with entries has no header object;
+        # the error must be ConfigurationError (never a raw KeyError) and
+        # must point at line 1.
+        path = tmp_path / "headerless.jsonl"
+        path.write_text('{"t": 0.0, "src": 1, "item": 5}\n')
+        with pytest.raises(ConfigurationError, match=r"headerless\.jsonl:1: not a"):
+            QueryTrace.load(path)
+
+    def test_rejects_unparseable_header_with_line_number(self, tmp_path):
+        # Garbage on line 1 must surface as ConfigurationError, not leak
+        # json.JSONDecodeError to the caller.
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(ConfigurationError, match=r"garbage\.jsonl:1: malformed trace header"):
+            QueryTrace.load(path)
+
+    def test_rejects_non_object_header(self, tmp_path):
+        path = tmp_path / "listheader.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ConfigurationError, match="must be a JSON object, got list"):
+            QueryTrace.load(path)
+
+    def test_wrong_format_version_names_the_expected_format(self, tmp_path):
+        path = tmp_path / "v0.jsonl"
+        path.write_text('{"format": "repro-query-trace-v0", "metadata": {}, "count": 0}\n')
+        with pytest.raises(
+            ConfigurationError,
+            match=r"not a repro-query-trace-v1 file \(format='repro-query-trace-v0'\)",
+        ):
+            QueryTrace.load(path)
+
+    def test_malformed_entry_cites_its_line_number(self, tmp_path):
+        path = tmp_path / "badline.jsonl"
+        path.write_text(
+            '{"format": "repro-query-trace-v1", "metadata": {}, "count": 2}\n'
+            '{"t": 0.0, "src": 1, "item": 5}\n'
+            "not json either\n"
+        )
+        with pytest.raises(ConfigurationError, match=r"badline\.jsonl:3: malformed trace entry"):
+            QueryTrace.load(path)
+
+    def test_non_numeric_entry_payload_is_configuration_error(self, tmp_path):
+        # A schema-valid line with a broken payload (entry is a list, so
+        # indexing by key raises TypeError internally) is still reported
+        # as ConfigurationError with its line number.
+        path = tmp_path / "weird.jsonl"
+        path.write_text(
+            '{"format": "repro-query-trace-v1", "metadata": {}, "count": 1}\n'
+            "[0.0, 1, 5]\n"
+        )
+        with pytest.raises(ConfigurationError, match=r"weird\.jsonl:2: malformed trace entry"):
+            QueryTrace.load(path)
+
 
 class TestReplay:
     def test_replay_reproducible(self, small_universe):
