@@ -88,7 +88,10 @@ def render_sparkline(values: Sequence[float | None]) -> str:
     Missing points (``None`` or NaN — telemetry gauges emit both for
     "no data this round") render as :data:`SPARK_GAP`; an empty or
     all-missing series renders as gaps only / the empty string. A
-    constant series renders at the lowest ramp level.
+    degenerate range — every present value equal, which covers both
+    constant and single-point series — renders at the middle ramp
+    level: a flat gauge is data, not absence, and the bottom glyph
+    falsely reads as "zero" next to rows that do span a range.
     """
     finite = [float(v) for v in values if not _is_missing(v)]
     if not finite:
@@ -101,7 +104,7 @@ def render_sparkline(values: Sequence[float | None]) -> str:
             chars.append(SPARK_GAP)
             continue
         if span == 0.0:
-            chars.append(SPARK_CHARS[0])
+            chars.append(SPARK_CHARS[len(SPARK_CHARS) // 2])
             continue
         level = int((float(value) - lo) / span * (len(SPARK_CHARS) - 1))
         chars.append(SPARK_CHARS[level])

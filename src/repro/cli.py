@@ -26,6 +26,18 @@ Commands
     adaptive refresh stops winning anywhere. ``figure``, ``compare``,
     ``sweep``, ``faults`` and ``metrics`` accept ``--workload
     NAME[:PARAM]`` to swap the query scenario on any cell.
+``cachestats``
+    Run the per-pointer cache attribution grid (:mod:`repro.obs.attribution`):
+    hits/uses per (node, pointer class), staleness-at-use under a churn
+    probe, quota utilization vs the budget allocator's ``k_i``, and
+    per-lookup hop-savings attribution with the conservation law
+    Σ(credits) == oblivious − observed hops machine-checked on every
+    lookup. Prints utilization/load sparklines and a top-N hot-pointer
+    table; ``--json`` writes the CACHESTATS_v1 document. ``repro
+    allocate --loads measured`` threads the same recorder's measured
+    per-node query rates into ``CostCurve(load=...)`` and gates on a
+    strict predicted win; ``repro allocate --workload NAME[:PARAM]``
+    swaps the query scenario on the whole allocation grid.
 ``trace``
     Run one traced cell (:mod:`repro.obs`): per-lookup hop paths with
     pointer-class attribution, a hop-class/verdict breakdown table, and
@@ -259,6 +271,45 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes for grid cells (default: REPRO_JOBS or CPU count)",
+    )
+    allocate.add_argument(
+        "--workload",
+        default="static-zipf",
+        metavar="NAME[:PARAM]",
+        help="query scenario for the plan probe and every grid cell "
+        "(default: static-zipf)",
+    )
+    allocate.add_argument(
+        "--loads",
+        choices=["uniform", "measured"],
+        default="uniform",
+        help="'measured' probes per-node query rates via the attribution "
+        "recorder and plans load-aware CostCurves (gated on a strict "
+        "predicted win over the uniform-load plan)",
+    )
+
+    cachestats = sub.add_parser(
+        "cachestats", help="per-pointer cache attribution grid (repro.obs)"
+    )
+    cachestats.add_argument("--smoke", action="store_true", help="CI-scale grid (seconds)")
+    cachestats.add_argument("--seed", type=int, default=0, help="master random seed")
+    cachestats.add_argument(
+        "--json", default=None, metavar="PATH", help="write the CACHESTATS_v1 document here"
+    )
+    cachestats.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for overlay cells (default: REPRO_JOBS or CPU count)",
+    )
+    cachestats.add_argument(
+        "--top", type=int, default=5, help="hot pointers to print per overlay (default 5)"
+    )
+    cachestats.add_argument(
+        "--workload",
+        default="static-zipf",
+        metavar="NAME[:PARAM]",
+        help="query scenario for every cell (default: static-zipf)",
     )
 
     trace = sub.add_parser("trace", help="trace per-lookup hop paths for one cell")
@@ -550,6 +601,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for key, label in (
         ("obs_overhead", "disabled-tracing"),
         ("telemetry_overhead", "disabled-telemetry"),
+        ("cachestats_overhead", "disabled-cachestats"),
     ):
         overhead = document[key]
         if not overhead["passed"]:
@@ -670,15 +722,15 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
         AllocationPreset,
         allocation,
         gate_messages,
+        load_gate_messages,
         measured_gate_messages,
         plans_to_table,
         rows_to_json,
         rows_to_table,
     )
 
-    preset = (
-        AllocationPreset.smoke(args.seed) if args.smoke else AllocationPreset.quick(args.seed)
-    )
+    factory = AllocationPreset.smoke if args.smoke else AllocationPreset.quick
+    preset = factory(args.seed, workload=args.workload, loads=args.loads)
     watch = Stopwatch()
     plans, rows = allocation(preset, jobs=args.jobs)
     print("predicted eq.-1 network cost at equal total budget:")
@@ -693,9 +745,61 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     print(f"\n[{preset.name} preset, {watch}]")
     # Gates: the allocated plan must strictly beat uniform on predicted
     # cost for every overlay (convexity guarantees it — a miss means a
-    # broken allocator), and must win measured hops on at least one
-    # scenario per overlay.
-    failures = gate_messages(plans) + measured_gate_messages(rows)
+    # broken allocator), must win measured hops on at least one scenario
+    # per overlay, and with --loads measured the load-aware plan must
+    # strictly beat the load-blind plan under the measured curves.
+    failures = (
+        gate_messages(plans) + measured_gate_messages(rows) + load_gate_messages(plans)
+    )
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cachestats(args: argparse.Namespace) -> int:
+    from repro.analysis.ascii_chart import render_series_table
+    from repro.experiments.cachestats import (
+        CachestatsPreset,
+        cells_to_json,
+        cells_to_table,
+        gate_messages,
+        run_cachestats,
+        top_pointers_table,
+        utilization_series,
+    )
+
+    factory = CachestatsPreset.smoke if args.smoke else CachestatsPreset.quick
+    preset = factory(args.seed, workload=args.workload)
+    watch = Stopwatch()
+    cells = run_cachestats(preset, jobs=args.jobs)
+    print("per-pointer-class accounting (clean measurement pass):")
+    print(cells_to_table(cells))
+    print()
+    print("per-node quota utilization and measured load (ascending node id):")
+    print(render_series_table(utilization_series(cells)))
+    print()
+    print(f"top {args.top} pointers by credited hop savings:")
+    print(top_pointers_table(cells, args.top))
+    print()
+    for cell in cells:
+        ledger = cell["conservation"]
+        churn = cell["churn"]
+        print(
+            f"{cell['overlay']}: {ledger['attributed']}/{ledger['lookups']} lookups "
+            f"attributed, credited {ledger['credited']} of "
+            f"{ledger['oblivious_hops'] - ledger['observed_hops']} saved hops "
+            f"(conservation {'exact' if ledger['exact'] else 'VIOLATED'}); "
+            f"churn probe: {churn['crashed']} crashed, "
+            f"{churn['stale_uses']} stale uses in {churn['lookups']} lookups"
+        )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(cells_to_json(cells, preset, wall_time_s=round(watch.elapsed, 3)))
+        print(f"\ncachestats document written to {args.json}")
+    print(f"\n[{preset.name} preset, {watch}]")
+    failures = gate_messages(cells)
     if failures:
         for message in failures:
             print(f"FAIL: {message}", file=sys.stderr)
@@ -1063,6 +1167,7 @@ def main(argv: list[str] | None = None) -> int:
         "faults": _cmd_faults,
         "workload": _cmd_workload,
         "allocate": _cmd_allocate,
+        "cachestats": _cmd_cachestats,
         "trace": _cmd_trace,
         "check": _cmd_check,
         "metrics": _cmd_metrics,

@@ -24,6 +24,21 @@ Skew comes from ``num_rankings > 1``: nodes hold different Zipf rankings
 (and different core tables), so their cost curves — and hence their
 marginal gains — differ, which is exactly the regime where non-uniform
 budgets win.
+
+Two axes thread the workload plane into the study:
+
+* ``--workload NAME[:PARAM]`` swaps the query scenario on every grid
+  cell (the grid ran static-zipf only before PR 10), so allocation is
+  exercised under drifting rankings, flash crowds, or diurnal activity.
+* ``--loads measured`` closes ROADMAP's load-weighted loop: the plan
+  stage first *measures* per-node query rates by routing a probe stream
+  through an :class:`~repro.obs.attribution.AttributionRecorder`
+  (``attribute=False`` — accounting only), threads
+  :meth:`~repro.obs.attribution.AttributionRecorder.measured_loads` into
+  ``CostCurve(load=...)``, and re-plans. The gate demands the
+  load-aware greedy plan strictly beat the uniform-load plan *evaluated
+  under the measured curves* — the predicted value of knowing who
+  actually asks.
 """
 
 from __future__ import annotations
@@ -41,6 +56,7 @@ from repro.sim.runner import ChurnConfig, ExperimentConfig, _Bench, run_churn, r
 from repro.util.errors import ConfigurationError
 from repro.util.parallel import run_tasks
 from repro.util.rng import SeedSequenceRegistry
+from repro.workload.spec import DEFAULT_RATE, WorkloadSpec
 
 __all__ = [
     "AllocationPlan",
@@ -49,6 +65,7 @@ __all__ = [
     "allocation",
     "allocation_plans",
     "gate_messages",
+    "load_gate_messages",
     "measured_gate_messages",
     "plans_to_table",
     "rows_to_json",
@@ -58,6 +75,7 @@ __all__ = [
 OVERLAYS = ("chord", "pastry", "kademlia")
 SCENARIOS = ("stable", "churn", "fault")
 MODES = ("uniform", "allocated")
+LOAD_MODES = ("uniform", "measured")
 
 #: Predicted-cost comparisons tolerate float rounding only.
 _COST_TOL = 1e-9
@@ -79,6 +97,12 @@ class AllocationPreset:
     budget_fraction: float = 0.5
     loss_rate: float = 0.05
     churn_duration: float = 600.0
+    #: Query scenario for every plan probe and grid cell (``NAME[:PARAM]``).
+    workload: str = "static-zipf"
+    #: ``uniform`` = every node weighted equally (the pre-PR-10 study);
+    #: ``measured`` = probe the workload, thread observed per-node query
+    #: rates into ``CostCurve(load=...)``, and plan load-aware.
+    loads: str = "uniform"
     overlays: tuple[str, ...] = OVERLAYS
     scenarios: tuple[str, ...] = SCENARIOS
 
@@ -92,9 +116,16 @@ class AllocationPreset:
                 raise ConfigurationError(
                     f"unknown scenario {scenario!r}; expected one of {SCENARIOS}"
                 )
+        if self.loads not in LOAD_MODES:
+            raise ConfigurationError(
+                f"loads must be one of {LOAD_MODES}, got {self.loads!r}"
+            )
+        WorkloadSpec.parse(self.workload)  # fail fast on a bad selector
 
     @classmethod
-    def quick(cls, seed: int = 0) -> "AllocationPreset":
+    def quick(
+        cls, seed: int = 0, workload: str = "static-zipf", loads: str = "uniform"
+    ) -> "AllocationPreset":
         """Laptop-scale grid (~a couple of minutes)."""
         return cls(
             name="quick",
@@ -104,10 +135,14 @@ class AllocationPreset:
             seed=seed,
             num_rankings=6,
             churn_duration=600.0,
+            workload=workload,
+            loads=loads,
         )
 
     @classmethod
-    def smoke(cls, seed: int = 0) -> "AllocationPreset":
+    def smoke(
+        cls, seed: int = 0, workload: str = "static-zipf", loads: str = "uniform"
+    ) -> "AllocationPreset":
         """CI-scale grid (seconds)."""
         return cls(
             name="smoke",
@@ -117,6 +152,8 @@ class AllocationPreset:
             seed=seed,
             num_rankings=5,
             churn_duration=240.0,
+            workload=workload,
+            loads=loads,
         )
 
     @property
@@ -145,6 +182,17 @@ class AllocationPlan:
     #: ``network_cost`` re-evaluation of the *installed* allocated tables
     #: minus the plan's prediction — honesty check, ~0 up to rounding.
     installed_cost_delta: float
+    workload: str = "static-zipf"
+    loads: str = "uniform"
+    #: Load-aware study (``loads == "measured"`` only, else ``None``):
+    #: greedy plan under the measured-load curves, the uniform-load greedy
+    #: plan *evaluated* under those same curves, and the win of knowing
+    #: the real loads.
+    measured_cost: float | None = None
+    uniform_loads_cost: float | None = None
+    load_win_pct: float | None = None
+    load_min: float | None = None
+    load_max: float | None = None
 
 
 @dataclass(frozen=True)
@@ -161,6 +209,23 @@ class AllocationRow:
     label: str
 
 
+def _measured_loads(bench, preset: AllocationPreset, overlay: str) -> dict[int, float]:
+    """Probe the configured workload through the attribution recorder and
+    return its mean-1 per-node load weights — the measured side of
+    ``CostCurve(load=...)``. Accounting-only (``attribute=False``), and
+    ``record_access=False`` keeps the probe strictly observational."""
+    from repro.obs.attribution import AttributionRecorder
+
+    recorder = AttributionRecorder(
+        overlay, bench.overlay, mode=bench.config.pastry_mode, attribute=False
+    )
+    stream = bench.workload_stream("load-probe", horizon=preset.queries / DEFAULT_RATE)
+    alive = bench.overlay.alive_ids()
+    for query in stream.stream(preset.queries, lambda: alive):
+        bench.lookup(query.source, query.item, record_access=False, trace=recorder)
+    return recorder.measured_loads(bench.overlay.alive_ids())
+
+
 def _plan_one(preset: AllocationPreset, overlay: str) -> AllocationPlan:
     """Plan stage for one overlay: seeded bench, both allocations, the
     shared-evaluation cross-check. Pure function of the preset."""
@@ -172,6 +237,24 @@ def _plan_one(preset: AllocationPreset, overlay: str) -> AllocationPlan:
     curves = budget_mod.curves_for_problems(problems, overlay)
     uniform = budget_mod.allocate_uniform(curves, preset.total_budget)
     allocated = budget_mod.allocate_greedy(curves, preset.total_budget)
+    measured_cost = uniform_loads_cost = load_win_pct = load_min = load_max = None
+    if preset.loads == "measured":
+        loads = _measured_loads(bench, preset, overlay)
+        measured_curves = budget_mod.curves_for_problems(problems, overlay, loads=loads)
+        measured = budget_mod.allocate_greedy(measured_curves, preset.total_budget)
+        measured_cost = measured.total_cost
+        # The uniform-load plan judged by the loads the network actually
+        # carries: Σ_i load_i * C_i(k_i) at the load-blind quotas.
+        uniform_loads_cost = sum(
+            measured_curves[node].cost(allocated.quota(node)) for node in measured_curves
+        )
+        load_win_pct = (
+            100.0 * (uniform_loads_cost - measured_cost) / uniform_loads_cost
+            if uniform_loads_cost
+            else 0.0
+        )
+        load_min = min(loads.values(), default=0.0)
+        load_max = max(loads.values(), default=0.0)
     # Honesty check: install the allocated plan (frequency-aware policy)
     # and re-evaluate with the shared network_cost over the exact demand
     # snapshots the curves were built from.
@@ -195,6 +278,13 @@ def _plan_one(preset: AllocationPreset, overlay: str) -> AllocationPlan:
         max_quota=max(quotas, default=0),
         nodes=len(allocated.quotas),
         installed_cost_delta=installed - allocated.total_cost,
+        workload=preset.workload,
+        loads=preset.loads,
+        measured_cost=measured_cost,
+        uniform_loads_cost=uniform_loads_cost,
+        load_win_pct=load_win_pct,
+        load_min=load_min,
+        load_max=load_max,
     )
 
 
@@ -215,6 +305,7 @@ def _cell_config(
         num_rankings=preset.num_rankings,
         budget_mode=mode,
         budget_total=preset.total_budget,
+        workload=preset.workload,
         engine="objects",
     )
     if scenario == "stable":
@@ -289,6 +380,27 @@ def gate_messages(plans: Sequence[AllocationPlan]) -> list[str]:
     return messages
 
 
+def load_gate_messages(plans: Sequence[AllocationPlan]) -> list[str]:
+    """With ``--loads measured``, the load-aware greedy plan must
+    strictly beat the uniform-load plan under the measured curves on
+    every overlay — the predicted value of measuring who asks. Empty for
+    uniform-loads runs."""
+    messages = []
+    for plan in plans:
+        if plan.loads != "measured":
+            continue
+        if plan.measured_cost is None or plan.uniform_loads_cost is None:
+            messages.append(f"{plan.overlay}: measured-loads plan missing its costs")
+            continue
+        if not plan.measured_cost < plan.uniform_loads_cost - _COST_TOL:
+            messages.append(
+                f"{plan.overlay}: load-aware cost {plan.measured_cost:.6f} does not "
+                f"beat the uniform-load plan {plan.uniform_loads_cost:.6f} under "
+                f"measured loads (workload {plan.workload})"
+            )
+    return messages
+
+
 def measured_gate_messages(rows: Sequence[AllocationRow]) -> list[str]:
     """Per overlay, the allocated budget must deliver lower measured mean
     hops (frequency-aware policy) than uniform on at least one scenario.
@@ -349,9 +461,13 @@ def plans_to_table(plans: Sequence[AllocationPlan]) -> str:
     """Predicted eq.-1 costs at equal total budget, per overlay."""
     if not plans:
         return "(no plans)"
+    measured = any(plan.loads == "measured" for plan in plans)
     header = ["overlay", "K", "uniform", "allocated", "reduction", "quotas"]
-    body = [
-        [
+    if measured:
+        header += ["load-aware", "load-blind", "load win", "loads"]
+    body = []
+    for plan in plans:
+        row = [
             plan.overlay,
             str(plan.total_budget),
             f"{plan.uniform_cost:.2f}",
@@ -359,8 +475,17 @@ def plans_to_table(plans: Sequence[AllocationPlan]) -> str:
             f"{plan.reduction_pct:.2f}%",
             f"{plan.min_quota}..{plan.max_quota}",
         ]
-        for plan in plans
-    ]
+        if measured:
+            if plan.loads == "measured":
+                row += [
+                    f"{plan.measured_cost:.2f}",
+                    f"{plan.uniform_loads_cost:.2f}",
+                    f"{plan.load_win_pct:.2f}%",
+                    f"{plan.load_min:.2f}..{plan.load_max:.2f}",
+                ]
+            else:
+                row += ["-", "-", "-", "-"]
+        body.append(row)
     return _render([header] + body)
 
 

@@ -1,0 +1,425 @@
+"""Cache attribution experiment (``repro cachestats``).
+
+One cell per overlay: build the seeded bench exactly as the runners do,
+learn frequencies from a warmup pass of the configured workload, install
+the budget allocator's greedy quotas, then route a measurement stream
+with an :class:`~repro.obs.attribution.AttributionRecorder` attached —
+the per-(node, class) hit/use accounting, hop-savings credits, measured
+per-node loads and quota utilization the aggregate curves cannot show.
+
+Each cell additionally:
+
+* replays the identical query batch through the columnar engine's
+  batched lanes (chord/pastry; ``record_paths=True``) and attributes
+  them with :func:`~repro.obs.attribution.attribute_batch`, recording
+  whether the two attributions match field for field — the cross-engine
+  honesty bit;
+* crashes a deterministic slice of the population and routes a probe
+  stream over the now-stale tables, measuring staleness-at-use (pointer
+  uses whose target turned out dead) under churn.
+
+Output is a CACHESTATS_v1 JSON document with a MANIFEST_v1 provenance
+block; cells fan out over worker processes and rebuild their own seeded
+registries, so the stripped document is byte-identical at any
+``--jobs`` — the CI determinism gate diffs exactly that.
+
+:func:`gate_messages` holds the experiment to its claims: the
+conservation law must be exact on every cell (clean and churn probes),
+auxiliary pointers must earn strictly positive credited savings on
+every overlay, the columnar attribution must match the object-graph
+attribution wherever the engine supports the overlay, and the churn
+probe must observe at least one stale use (otherwise it measured
+nothing).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+
+from repro.core import budget as budget_mod
+from repro.obs.attribution import AttributionRecorder, attribute_batch
+from repro.obs.manifest import build_manifest
+from repro.sim.metrics import HopStatistics
+from repro.sim.runner import OVERLAYS, ExperimentConfig, _Bench
+from repro.util.parallel import run_tasks
+from repro.util.rng import SeedSequenceRegistry
+from repro.workload.spec import DEFAULT_RATE
+
+__all__ = [
+    "CachestatsCell",
+    "CachestatsPreset",
+    "cells_to_json",
+    "cells_to_table",
+    "gate_messages",
+    "run_cachestats",
+    "top_pointers_table",
+    "utilization_series",
+]
+
+
+@dataclass(frozen=True)
+class CachestatsPreset:
+    """Grid definition for one attribution run (one cell per overlay)."""
+
+    name: str
+    n: int
+    bits: int
+    queries: int
+    warmup: int
+    seed: int
+    num_rankings: int
+    workload: str = "static-zipf"
+    #: Greedy-allocated share of the paper's ``n * k`` budget (matches
+    #: the allocation experiment's default).
+    budget_fraction: float = 0.5
+    #: Fraction of the population crashed before the churn probe.
+    crash_fraction: float = 0.125
+    #: Hot-pointer table depth in the JSON document.
+    top: int = 10
+    overlays: tuple[str, ...] = OVERLAYS
+
+    @classmethod
+    def quick(cls, seed: int = 0, workload: str = "static-zipf") -> "CachestatsPreset":
+        """Laptop-scale run (~a minute)."""
+        return cls(
+            name="quick",
+            n=96,
+            bits=18,
+            queries=3000,
+            warmup=1500,
+            seed=seed,
+            num_rankings=6,
+            workload=workload,
+        )
+
+    @classmethod
+    def smoke(cls, seed: int = 0, workload: str = "static-zipf") -> "CachestatsPreset":
+        """CI-scale run (seconds)."""
+        return cls(
+            name="smoke",
+            n=40,
+            bits=16,
+            queries=1000,
+            warmup=600,
+            seed=seed,
+            num_rankings=4,
+            workload=workload,
+        )
+
+    @property
+    def effective_k(self) -> int:
+        return max(1, self.n.bit_length() - 1)
+
+    @property
+    def total_budget(self) -> int:
+        return max(1, int(self.n * self.effective_k * self.budget_fraction))
+
+
+@dataclass(frozen=True)
+class CachestatsCell:
+    """One overlay's attribution cell — frozen so it pickles for
+    process fan-out."""
+
+    overlay: str
+    n: int
+    bits: int
+    queries: int
+    warmup: int
+    seed: int
+    num_rankings: int
+    workload: str
+    total_budget: int
+    crash_fraction: float
+    top: int
+
+
+def _json_float(value: float) -> float | None:
+    """NaN is not valid strict JSON; degrade it to ``null``."""
+    return None if isinstance(value, float) and math.isnan(value) else value
+
+
+def _columnar_attribution(bench, config, recorder, queries) -> bool | None:
+    """Route the identical query batch through the columnar engine and
+    attribute the lanes; ``True``/``False`` = matches the object-graph
+    attribution, ``None`` = engine does not cover this overlay (or
+    NumPy is absent)."""
+    if config.overlay not in ("chord", "pastry"):
+        return None
+    try:
+        from repro.engine.columnar import snapshot_chord, snapshot_pastry
+        from repro.engine.router import batch_route_chord, batch_route_pastry
+    except ImportError:  # pragma: no cover - NumPy-less environments
+        return None
+    sources = [query.source for query in queries]
+    keys = [query.item for query in queries]
+    if config.overlay == "chord":
+        batch = batch_route_chord(
+            snapshot_chord(bench.overlay), sources, keys, record_paths=True
+        )
+    else:
+        batch = batch_route_pastry(
+            snapshot_pastry(bench.overlay),
+            sources,
+            keys,
+            mode=config.pastry_mode,
+            record_paths=True,
+        )
+    columnar = AttributionRecorder(
+        config.overlay,
+        bench.overlay,
+        mode=config.pastry_mode,
+        quotas=recorder.quotas,
+    )
+    attribute_batch(columnar, batch, sources, keys)
+    return columnar.to_dict() == recorder.to_dict()
+
+
+def _run_cachestats_cell(cell: CachestatsCell) -> dict:
+    """Execute one cell. Module-level so it pickles for ``run_tasks``;
+    rebuilds its own registry from the cell seed, which is what keeps
+    the grid byte-identical at any worker count."""
+    config = ExperimentConfig(
+        overlay=cell.overlay,
+        n=cell.n,
+        bits=cell.bits,
+        queries=cell.queries,
+        seed=cell.seed,
+        num_rankings=cell.num_rankings,
+        workload=cell.workload,
+        engine="objects",
+    )
+    registry = SeedSequenceRegistry(config.seed)
+    bench = _Bench(config, registry)
+    # Learn frequencies from the workload itself (Section III protocol).
+    warmup = bench.workload_stream("warmup-queries", horizon=cell.warmup / DEFAULT_RATE)
+    alive = bench.overlay.alive_ids()
+    for query in warmup.stream(cell.warmup, lambda: alive):
+        bench.lookup(query.source, query.item, record_access=True)
+    # Install the greedy budget allocation — quotas are the ``k_i`` the
+    # utilization section measures against.
+    problems = budget_mod.overlay_problems(
+        cell.overlay, bench.overlay, config.frequency_limit
+    )
+    curves = budget_mod.curves_for_problems(problems, cell.overlay)
+    allocation = budget_mod.allocate_greedy(curves, cell.total_budget)
+    optimal, __ = bench.policies()
+    budget_mod.install_allocation(
+        bench.overlay,
+        allocation,
+        optimal,
+        registry.fresh("policy-rng-optimal"),
+        config.frequency_limit,
+    )
+    recorder = AttributionRecorder(
+        cell.overlay,
+        bench.overlay,
+        mode=config.pastry_mode,
+        quotas=allocation.quotas,
+    )
+    # Clean measurement pass: frozen tables, no faults, so the columnar
+    # replay below sees the identical universe.
+    stream = bench.workload_stream("queries", horizon=cell.queries / DEFAULT_RATE)
+    alive = bench.overlay.alive_ids()
+    queries = list(stream.stream(cell.queries, lambda: alive))
+    stats = HopStatistics()
+    for query in queries:
+        stats.record(
+            bench.lookup(query.source, query.item, record_access=False, trace=recorder)
+        )
+    columnar_match = _columnar_attribution(bench, config, recorder, queries)
+    loads = recorder.measured_loads(bench.overlay.alive_ids())
+    utilization = recorder.quota_utilization()
+    quotas = allocation.quotas.values()
+    # Churn probe: crash a deterministic slice, then measure how often
+    # the survivors' pointers turn out stale at use.
+    crash_rng = registry.fresh("cachestats-churn")
+    alive_now = bench.overlay.alive_ids()
+    crashed = sorted(
+        crash_rng.sample(alive_now, max(1, int(len(alive_now) * cell.crash_fraction)))
+    )
+    for victim in crashed:
+        bench.overlay.crash(victim)
+    churn_recorder = AttributionRecorder(
+        cell.overlay, bench.overlay, mode=config.pastry_mode, quotas=allocation.quotas
+    )
+    probe = bench.workload_stream(
+        "probe-queries", horizon=max(1, cell.queries // 4) / DEFAULT_RATE
+    )
+    probe_stats = HopStatistics()
+    for query in probe.stream(max(1, cell.queries // 4), bench.overlay.alive_ids):
+        probe_stats.record(
+            bench.lookup(
+                query.source, query.item, record_access=False, trace=churn_recorder
+            )
+        )
+    churn_classes = churn_recorder.class_totals()
+    return {
+        "overlay": cell.overlay,
+        "lookups": stats.lookups,
+        "mean_hops": _json_float(stats.mean_hops),
+        "classes": {name: s.to_dict() for name, s in recorder.class_totals().items()},
+        "quota": {
+            "total_budget": cell.total_budget,
+            "spent": allocation.spent,
+            "min": min(quotas, default=0),
+            "max": max(quotas, default=0),
+            "nodes": len(allocation.quotas),
+        },
+        "utilization": {
+            "per_node": {str(node): entry for node, entry in utilization.items()},
+            "mean": sum(e["utilization"] for e in utilization.values())
+            / len(utilization)
+            if utilization
+            else 0.0,
+            "hit_fraction": sum(e["hit"] for e in utilization.values())
+            / max(1, sum(e["installed"] for e in utilization.values())),
+        },
+        "loads": {
+            "per_node": {str(node): load for node, load in loads.items()},
+            "min": min(loads.values(), default=0.0),
+            "max": max(loads.values(), default=0.0),
+        },
+        "top_pointers": recorder.top_pointers(cell.top),
+        "conservation": recorder.conservation(),
+        "columnar_match": columnar_match,
+        "churn": {
+            "crashed": len(crashed),
+            "lookups": probe_stats.lookups,
+            "failure_rate": probe_stats.failure_rate,
+            "classes": {name: s.to_dict() for name, s in churn_classes.items()},
+            "stale_uses": sum(s.stale_uses for s in churn_classes.values()),
+            "conservation": churn_recorder.conservation(),
+        },
+    }
+
+
+def _cells(preset: CachestatsPreset) -> list[CachestatsCell]:
+    return [
+        CachestatsCell(
+            overlay=overlay,
+            n=preset.n,
+            bits=preset.bits,
+            queries=preset.queries,
+            warmup=preset.warmup,
+            seed=preset.seed,
+            num_rankings=preset.num_rankings,
+            workload=preset.workload,
+            total_budget=preset.total_budget,
+            crash_fraction=preset.crash_fraction,
+            top=preset.top,
+        )
+        for overlay in preset.overlays
+    ]
+
+
+def run_cachestats(preset: CachestatsPreset, jobs: int | None = None) -> list[dict]:
+    """One attribution cell per overlay, fanned over worker processes;
+    deterministic plan order regardless of ``jobs``."""
+    return run_tasks(_run_cachestats_cell, _cells(preset), jobs)
+
+
+def gate_messages(cells: list[dict]) -> list[str]:
+    """The claims ``repro cachestats`` guards; empty list = all hold."""
+    messages = []
+    for cell in cells:
+        overlay = cell["overlay"]
+        for label, conservation in (
+            ("clean", cell["conservation"]),
+            ("churn", cell["churn"]["conservation"]),
+        ):
+            if not conservation["exact"]:
+                messages.append(
+                    f"{overlay}: {label} attribution broke the conservation law: "
+                    f"{conservation['failures'][:1] or conservation}"
+                )
+        for name, stats in cell["classes"].items():
+            if stats["hits"] > stats["uses"]:
+                messages.append(
+                    f"{overlay}: class {name} recorded more hits "
+                    f"({stats['hits']}) than uses ({stats['uses']})"
+                )
+        auxiliary = cell["classes"].get("auxiliary", {"credited": 0})
+        if auxiliary["credited"] <= 0:
+            messages.append(
+                f"{overlay}: auxiliary pointers earned no credited hop savings "
+                f"({auxiliary['credited']})"
+            )
+        if cell["columnar_match"] is False:
+            messages.append(
+                f"{overlay}: columnar-lane attribution diverged from the "
+                "object-graph attribution"
+            )
+        if cell["churn"]["stale_uses"] <= 0:
+            messages.append(
+                f"{overlay}: churn probe observed no stale pointer uses "
+                f"after {cell['churn']['crashed']} crashes"
+            )
+    return messages
+
+
+def cells_to_json(
+    cells: list[dict], preset: CachestatsPreset, wall_time_s: float | None = None
+) -> str:
+    """Canonical CACHESTATS_v1 JSON with a MANIFEST_v1 provenance block;
+    strip the manifest's volatile keys before byte-comparing runs."""
+    document = {
+        "schema": "CACHESTATS_v1",
+        "preset": asdict(preset),
+        "manifest": build_manifest(preset, wall_time_s=wall_time_s),
+        "cells": cells,
+    }
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def cells_to_table(cells: list[dict]) -> str:
+    """Per overlay × pointer class: uses, hits, staleness, credit."""
+    lines = [
+        f"{'overlay':<9} {'class':<10} {'uses':>8} {'hits':>8} "
+        f"{'hit %':>7} {'stale':>6} {'credited':>9}"
+    ]
+    for cell in cells:
+        for name, stats in cell["classes"].items():
+            hit_pct = 100.0 * stats["hits"] / stats["uses"] if stats["uses"] else 0.0
+            lines.append(
+                f"{cell['overlay']:<9} {name:<10} {stats['uses']:>8} "
+                f"{stats['hits']:>8} {hit_pct:>6.1f}% {stats['stale_uses']:>6} "
+                f"{stats['credited']:>9}"
+            )
+    return "\n".join(lines)
+
+
+def utilization_series(cells: list[dict]) -> list[tuple[str, list[float]]]:
+    """Sparkline rows for the dashboard: per-node quota utilization and
+    measured load, one row per overlay, nodes in ascending id order."""
+    series: list[tuple[str, list[float]]] = []
+    for cell in cells:
+        per_node = cell["utilization"]["per_node"]
+        ordered = sorted(per_node, key=int)
+        series.append(
+            (
+                f"{cell['overlay']} util",
+                [per_node[node]["utilization"] for node in ordered],
+            )
+        )
+        loads = cell["loads"]["per_node"]
+        series.append(
+            (f"{cell['overlay']} load", [loads[node] for node in sorted(loads, key=int)])
+        )
+    return series
+
+
+def top_pointers_table(cells: list[dict], count: int = 5) -> str:
+    """The hottest concrete pointers by credited hop savings."""
+    lines = [
+        f"{'overlay':<9} {'owner':>12} {'target':>12} {'class':<10} "
+        f"{'hits':>6} {'credited':>9}"
+    ]
+    for cell in cells:
+        for pointer in cell["top_pointers"][:count]:
+            lines.append(
+                f"{cell['overlay']:<9} {pointer['owner']:>12} {pointer['target']:>12} "
+                f"{pointer['class']:<10} {pointer['hits']:>6} {pointer['credited']:>9}"
+            )
+    return "\n".join(lines)

@@ -31,9 +31,19 @@ from repro.obs.recorder import (
 
 # The driver pulls in the experiment runners, which pull in the routing
 # layers, which import ``repro.obs.recorder`` — importing it eagerly here
-# would close that loop. PEP 562 lazy exports break the cycle while
-# keeping ``from repro.obs import trace_cell`` working.
+# would close that loop. The attribution plane imports the routing
+# layers for its oblivious walkers, so it sits in the same cycle. PEP
+# 562 lazy exports break both while keeping ``from repro.obs import
+# trace_cell`` (and ``AttributionRecorder``) working.
 _DRIVER_EXPORTS = ("TRACE_SCHEMA", "trace_cell", "trace_cells")
+_ATTRIBUTION_EXPORTS = (
+    "OVERLAY_KINDS",
+    "AttributionRecorder",
+    "PointerStats",
+    "TeeRecorder",
+    "attribute_batch",
+    "oblivious_route_length",
+)
 
 
 def __getattr__(name):
@@ -41,6 +51,10 @@ def __getattr__(name):
         from repro.obs import driver
 
         return getattr(driver, name)
+    if name in _ATTRIBUTION_EXPORTS:
+        from repro.obs import attribution
+
+        return getattr(attribution, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -55,11 +69,17 @@ __all__ = [
     "NullRecorder",
     "CounterSet",
     "LookupTracer",
+    "OVERLAY_KINDS",
+    "AttributionRecorder",
+    "PointerStats",
+    "TeeRecorder",
+    "attribute_batch",
     "build_manifest",
     "config_digest",
     "config_payload",
     "environment_info",
     "git_revision",
+    "oblivious_route_length",
     "strip_volatile",
     "trace_cell",
     "trace_cells",

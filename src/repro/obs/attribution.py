@@ -1,0 +1,595 @@
+"""Cache attribution plane: per-pointer accounting and hop-savings credit.
+
+The aggregate hop curves say *that* auxiliary pointers help; nothing in
+the repro said *which* cached pointer earned its slot, on which node,
+under which workload. This module answers that with a recorder that
+rides the existing :class:`~repro.obs.recorder.TraceRecorder` protocol —
+zero new hook sites in any routing layer, zero cost when disabled (a
+disabled recorder normalizes to ``None`` at route entry exactly like
+:class:`~repro.obs.recorder.NullRecorder`; the ``cachestats_overhead``
+bench gate certifies < 2%).
+
+Per lookup the :class:`AttributionRecorder` accounts:
+
+* **uses / hits per (node, pointer class)** — one use per attempted
+  forwarding target, one hit per delivered forward, so ``hits <= uses``
+  holds per pointer by construction (the ``cachestats.conservation``
+  invariant re-checks it).
+* **staleness at use** — uses whose target turned out dead (the pointer
+  was stale when consulted), the churn-facing quality signal.
+* **hop-savings attribution** — each delivered hop ``x -> y`` is
+  credited ``R(x) - R(y) - 1`` marginal hops, where ``R(v)`` is the hop
+  count of the *oblivious* route from ``v`` to the key: the same greedy
+  walk the overlay's router takes, restricted to core-plane pointers
+  (fingers / successor list / leaf set / k-buckets) with auxiliary
+  pointers masked out and discovered-dead targets skipped. The credits
+  telescope, so per lookup
+
+  ``sum(credits) == R(source) - R(terminal) - delivered_hops``
+
+  holds *exactly* (integer arithmetic); on a completed lookup
+  ``R(terminal) == 0`` and this is the paper-facing conservation law
+  ``sum(credited savings) == oblivious hops - observed hops``. The
+  recorder machine-checks the telescoped identity on every lookup and
+  keeps any violation message — a double-crediting bug cannot hide.
+  Because the oblivious next hop is, on every overlay, the argmin of the
+  same ranking the real router uses over a *subset* of its candidates,
+  a hop resolved by a core-plane pointer has the oblivious route take
+  the identical hop, so non-auxiliary hops earn exactly zero credit
+  without any special-casing.
+* **measured per-node query rates** — :meth:`measured_loads` exports
+  add-one-smoothed, mean-1 load weights straight into
+  :class:`~repro.core.budget.CostCurve` ``load=``, closing ROADMAP's
+  load-weighted allocation loop (``repro allocate --loads measured``).
+* **quota utilization** — installed auxiliary pointers vs the budget
+  allocator's per-node quota ``k_i``, and how many of them actually
+  resolved a hop.
+
+``R`` values are computed lazily at ``record_lookup`` time against the
+*live* overlay state (routing has already applied this lookup's
+evictions), never post-hoc over stored traces — under churn the tables
+the next lookup sees are not the tables this one saw. Within one lookup
+a single memo reuses walk suffixes, so attribution costs
+``O(path * oblivious-walk)`` only while enabled.
+
+:func:`attribute_batch` feeds the columnar engine's batched lanes
+(``record_paths=True`` results) through the same recorder, which is what
+lets ``tests/obs`` pin object-graph vs columnar attribution equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.obs.recorder import HopEvent
+from repro.pastry.routing import _leaf_geometry, circular_distance
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "OVERLAY_KINDS",
+    "AttributionRecorder",
+    "PointerStats",
+    "TeeRecorder",
+    "attribute_batch",
+    "oblivious_route_length",
+]
+
+OVERLAY_KINDS = ("chord", "pastry", "kademlia")
+
+
+# ----------------------------------------------------------------------
+# Oblivious (auxiliary-masked) next-hop walkers
+# ----------------------------------------------------------------------
+#
+# Each walker answers "where would greedy routing forward from ``node``
+# for ``key`` if only core-plane pointers existed?" — the baseline the
+# marginal credit of every auxiliary pointer is measured against.
+# Targets the overlay already knows to be dead are skipped: the real
+# router discovers them at the cost of a timeout and retries with the
+# next-best entry, and the baseline counts hops, not timeouts.
+
+
+def _chord_next_hop(ring, node, key: int) -> int | None:
+    """Masked :meth:`RingTable.next_hop`: the ring-predecessor of ``key``
+    among the node's live core fingers and successor list — the entry
+    with the largest clockwise gap from the owner not passing the key."""
+    space = node.space
+    mask = space.mask
+    owner = node.node_id
+    key_gap = (key - owner) & mask
+    best = None
+    best_gap = 0
+    for entry in node.core:
+        gap = (entry - owner) & mask
+        if best_gap < gap <= key_gap and ring.node(entry).alive:
+            best = entry
+            best_gap = gap
+    for entry in node.successors:
+        gap = (entry - owner) & mask
+        if best_gap < gap <= key_gap and ring.node(entry).alive:
+            best = entry
+            best_gap = gap
+    return best
+
+
+def _kademlia_next_hop(network, node, key: int) -> int | None:
+    """Masked :func:`repro.kademlia.routing._best_candidate`: the live
+    k-bucket contact strictly XOR-closest to ``key`` (XOR is injective
+    for a fixed key, so no tie-break is needed)."""
+    best = None
+    best_distance = node.node_id ^ key
+    for neighbor in node.core:
+        distance = neighbor ^ key
+        if distance < best_distance and network.node(neighbor).alive:
+            best = neighbor
+            best_distance = distance
+    return best
+
+
+def _pastry_next_hop(network, node, key: int, mode: str) -> int | None:
+    """Masked Pastry stage loop: leaf delivery, then prefix repair over
+    the cell's core/leaf entries, then the numerically-closer fallback —
+    auxiliary pointers removed from stages two and three (the leaf set
+    is core plane and stays)."""
+    space = network.space
+    # Stage 1 — leaf-set delivery, over live known nodes. The coverage
+    # arc itself still spans the full leaf set (matching what the node
+    # believes before it discovers a leaf is dead).
+    if not node.leaves:
+        return None  # isolated node delivers locally: terminal
+    covers_all, arc_start, span, known, radius = _leaf_geometry(network, node)
+    if covers_all or space.gap(arc_start, key) <= span:
+        live = [
+            c
+            for c in known
+            if c == node.node_id or network.node(c).alive
+        ]
+        closest = min(live, key=lambda c: (circular_distance(space, c, key), c))
+        return None if closest == node.node_id else closest
+    # Stage 2 — prefix repair restricted to core/leaf cell entries.
+    pool = [
+        c
+        for c in node.candidates_for(key)
+        if (c in node.core or c in node.leaves) and network.node(c).alive
+    ]
+    if pool:
+        if mode == "greedy":
+            return min(
+                pool,
+                key=lambda c: (
+                    -space.common_prefix_length(c, key),
+                    circular_distance(space, c, key),
+                    c,
+                ),
+            )
+
+        def sort_key(candidate: int):
+            numeric = circular_distance(space, candidate, key)
+            if numeric <= radius:
+                return (0, float(numeric), candidate)
+            return (1, network.proximity.latency(node.node_id, candidate), candidate)
+
+        return min(pool, key=sort_key)
+    # Stage 3 — rare-case fallback: any live core/leaf neighbor strictly
+    # numerically closer to the key.
+    own = circular_distance(space, node.node_id, key)
+    best = None
+    best_distance = own
+    for neighbor in node.core | node.leaves:
+        if not network.node(neighbor).alive:
+            continue
+        distance = circular_distance(space, neighbor, key)
+        if distance < best_distance or (
+            distance == best_distance and best is not None and neighbor < best
+        ):
+            best = neighbor
+            best_distance = distance
+    return best
+
+
+class _ObliviousWalker:
+    """Hop counts of the auxiliary-masked greedy route, with suffix
+    memoization: the masked next hop is a pure function of the overlay
+    state, so every node on a walk shares the walk's suffix lengths."""
+
+    __slots__ = ("kind", "overlay", "mode", "limit")
+
+    def __init__(self, kind: str, overlay, mode: str) -> None:
+        self.kind = kind
+        self.overlay = overlay
+        self.mode = mode
+        self.limit = 4 * overlay.space.bits
+
+    def next_hop(self, node_id: int, key: int) -> int | None:
+        node = self.overlay.node(node_id)
+        if self.kind == "chord":
+            return _chord_next_hop(self.overlay, node, key)
+        if self.kind == "kademlia":
+            return _kademlia_next_hop(self.overlay, node, key)
+        return _pastry_next_hop(self.overlay, node, key, self.mode)
+
+    def route_length(self, start: int, key: int, memo: dict[int, int | None]) -> int | None:
+        """``R(start)`` for ``key``, or ``None`` past the hop limit
+        (the same ``4 * bits`` bound the real routers use)."""
+        path = [start]
+        current = start
+        while current not in memo:
+            nxt = self.next_hop(current, key)
+            if nxt is None:
+                memo[current] = 0
+                break
+            if len(path) > self.limit:
+                memo[current] = None
+                break
+            path.append(nxt)
+            current = nxt
+        tail = memo[current]
+        for depth, visited in enumerate(reversed(path)):
+            memo[visited] = None if tail is None else tail + depth
+        return memo[start]
+
+
+def _credit(r_from: int, r_to: int) -> int:
+    """Marginal hop savings of one delivered hop: the oblivious route
+    shortened by ``r_from - r_to`` at the price of the hop itself.
+    Module-level so the verify-plane mutation test can plant a
+    double-crediting recorder by patching exactly this function."""
+    return r_from - r_to - 1
+
+
+def oblivious_route_length(
+    kind: str, overlay, source: int, key: int, mode: str = "proximity"
+) -> int | None:
+    """Hop count of the oblivious (auxiliary-masked) route from
+    ``source`` to ``key``, or ``None`` when it exceeds the hop limit."""
+    if kind not in OVERLAY_KINDS:
+        raise ConfigurationError(
+            f"unknown overlay kind {kind!r}; expected one of {OVERLAY_KINDS}"
+        )
+    walker = _ObliviousWalker(kind, overlay, mode)
+    return walker.route_length(source, key, {})
+
+
+# ----------------------------------------------------------------------
+# The recorder
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PointerStats:
+    """Accounting bucket for one pointer aggregate (a (node, class) pair
+    or one concrete (owner, target) pointer)."""
+
+    uses: int = 0
+    hits: int = 0
+    stale_uses: int = 0
+    credited: int = 0
+
+    def merge(self, other: "PointerStats") -> None:
+        self.uses += other.uses
+        self.hits += other.hits
+        self.stale_uses += other.stale_uses
+        self.credited += other.credited
+
+    def to_dict(self) -> dict:
+        return {
+            "uses": self.uses,
+            "hits": self.hits,
+            "stale_uses": self.stale_uses,
+            "credited": self.credited,
+        }
+
+
+@dataclass
+class _Totals:
+    lookups: int = 0
+    attributed: int = 0
+    unattributed: int = 0
+    oblivious_hops: int = 0
+    observed_hops: int = 0
+    residual_hops: int = 0
+    credited: int = 0
+
+
+class AttributionRecorder:
+    """Per-node, per-pointer-class cache accounting recorder.
+
+    Implements the :class:`~repro.obs.recorder.TraceRecorder` protocol:
+    ``enabled`` is read once per lookup at route entry and
+    ``record_lookup`` observes the finished result + hop events without
+    touching overlay, RNG, or result state. Construct with
+    ``enabled=False`` to get a recorder the routers normalize away —
+    the disabled path the overhead bench gate measures.
+
+    ``quotas`` (optional) are the budget allocator's per-node auxiliary
+    quotas ``k_i`` for :meth:`quota_utilization`; ``attribute=False``
+    keeps the cheap hit/use/load accounting but skips the oblivious
+    walks (used when only :meth:`measured_loads` is wanted).
+    """
+
+    __slots__ = (
+        "enabled",
+        "kind",
+        "overlay",
+        "attribute",
+        "quotas",
+        "by_node_class",
+        "by_pointer",
+        "source_counts",
+        "totals",
+        "conservation_failures",
+        "_walker",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        overlay,
+        *,
+        mode: str = "proximity",
+        quotas: dict[int, int] | None = None,
+        attribute: bool = True,
+        enabled: bool = True,
+    ) -> None:
+        if kind not in OVERLAY_KINDS:
+            raise ConfigurationError(
+                f"unknown overlay kind {kind!r}; expected one of {OVERLAY_KINDS}"
+            )
+        self.enabled = enabled
+        self.kind = kind
+        self.overlay = overlay
+        self.attribute = attribute
+        self.quotas = dict(quotas) if quotas else {}
+        #: (node id, pointer class) -> PointerStats
+        self.by_node_class: dict[tuple[int, str], PointerStats] = {}
+        #: (owner id, target id, pointer class) -> PointerStats
+        self.by_pointer: dict[tuple[int, int, str], PointerStats] = {}
+        self.source_counts: dict[int, int] = {}
+        self.totals = _Totals()
+        self.conservation_failures: list[str] = []
+        self._walker = _ObliviousWalker(kind, overlay, mode)
+
+    # -- TraceRecorder protocol ----------------------------------------
+
+    def record_lookup(self, result, events: Sequence[HopEvent]) -> None:
+        totals = self.totals
+        totals.lookups += 1
+        source = result.source
+        self.source_counts[source] = self.source_counts.get(source, 0) + 1
+        for event in events:
+            stale = 1 if "dead" in event.verdicts else 0
+            bucket = self._node_class(event.forwarder, event.pointer_class)
+            bucket.uses += 1
+            bucket.stale_uses += stale
+            pointer = self._pointer(event.forwarder, event.target, event.pointer_class)
+            pointer.uses += 1
+            pointer.stale_uses += stale
+            if event.delivered:
+                bucket.hits += 1
+                pointer.hits += 1
+        if self.attribute:
+            self._attribute(result, events)
+
+    # -- hop-savings attribution ---------------------------------------
+
+    def _attribute(self, result, events: Sequence[HopEvent]) -> None:
+        totals = self.totals
+        delivered = [event for event in events if event.delivered]
+        path = [result.source] + [event.target for event in delivered]
+        memo: dict[int, int | None] = {}
+        key = result.key
+        lengths = [self._walker.route_length(node_id, key, memo) for node_id in path]
+        if any(length is None for length in lengths):
+            totals.unattributed += 1
+            return
+        credited = 0
+        for event, r_from, r_to in zip(delivered, lengths, lengths[1:]):
+            credit = _credit(r_from, r_to)
+            credited += credit
+            self._node_class(event.forwarder, event.pointer_class).credited += credit
+            self._pointer(
+                event.forwarder, event.target, event.pointer_class
+            ).credited += credit
+        oblivious = lengths[0]
+        residual = lengths[-1]
+        hops = len(delivered)
+        totals.attributed += 1
+        totals.oblivious_hops += oblivious
+        totals.observed_hops += hops
+        totals.residual_hops += residual
+        totals.credited += credited
+        # The telescoped conservation law, machine-checked per lookup; a
+        # double- (or mis-)crediting recorder trips it immediately.
+        if credited != oblivious - residual - hops:
+            self.conservation_failures.append(
+                f"key {key} from {result.source}: credited {credited} != "
+                f"oblivious {oblivious} - residual {residual} - hops {hops}"
+            )
+
+    def _node_class(self, node_id: int, pointer_class: str) -> PointerStats:
+        bucket = self.by_node_class.get((node_id, pointer_class))
+        if bucket is None:
+            bucket = self.by_node_class[(node_id, pointer_class)] = PointerStats()
+        return bucket
+
+    def _pointer(self, owner: int, target: int, pointer_class: str) -> PointerStats:
+        bucket = self.by_pointer.get((owner, target, pointer_class))
+        if bucket is None:
+            bucket = self.by_pointer[(owner, target, pointer_class)] = PointerStats()
+        return bucket
+
+    # -- exports -------------------------------------------------------
+
+    def class_totals(self) -> dict[str, PointerStats]:
+        """Aggregate accounting per pointer class (sorted by class)."""
+        out: dict[str, PointerStats] = {}
+        for (__, pointer_class), stats in self.by_node_class.items():
+            out.setdefault(pointer_class, PointerStats()).merge(stats)
+        return dict(sorted(out.items()))
+
+    def top_pointers(self, count: int = 10) -> list[dict]:
+        """The ``count`` hottest concrete pointers by credited savings
+        (ties broken by hits, then ids — fully deterministic)."""
+        ranked = sorted(
+            self.by_pointer.items(),
+            key=lambda item: (-item[1].credited, -item[1].hits, item[0]),
+        )
+        return [
+            {
+                "owner": owner,
+                "target": target,
+                "class": pointer_class,
+                **stats.to_dict(),
+            }
+            for (owner, target, pointer_class), stats in ranked[:count]
+        ]
+
+    def measured_loads(self, node_ids: Sequence[int] | None = None) -> dict[int, float]:
+        """Observed per-node query rates as mean-1 load weights for
+        :class:`~repro.core.budget.CostCurve`.
+
+        Add-one smoothing keeps every load strictly positive (the curve
+        validates ``load > 0``) while preserving a mean of exactly 1
+        over the population, so a uniform stream reproduces the
+        uniform-load baseline up to multinomial noise."""
+        nodes = sorted(node_ids) if node_ids is not None else sorted(self.source_counts)
+        if not nodes:
+            return {}
+        total = sum(self.source_counts.get(node, 0) for node in nodes)
+        denominator = (total + len(nodes)) / len(nodes)
+        return {
+            node: (self.source_counts.get(node, 0) + 1) / denominator for node in nodes
+        }
+
+    def quota_utilization(self) -> dict[int, dict]:
+        """Per live node: allocator quota ``k_i``, installed auxiliary
+        pointers, and how many of those resolved at least one hop."""
+        hit_targets: dict[int, set[int]] = {}
+        for (owner, target, pointer_class), stats in self.by_pointer.items():
+            if pointer_class == "auxiliary" and stats.hits:
+                hit_targets.setdefault(owner, set()).add(target)
+        out: dict[int, dict] = {}
+        for node_id in self.overlay.alive_ids():
+            node = self.overlay.node(node_id)
+            installed = len(node.auxiliary)
+            quota = self.quotas.get(node_id, installed)
+            hit = len(hit_targets.get(node_id, set()) & set(node.auxiliary))
+            out[node_id] = {
+                "quota": quota,
+                "installed": installed,
+                "hit": hit,
+                "utilization": installed / quota if quota else 0.0,
+            }
+        return out
+
+    def conservation(self) -> dict:
+        """The conservation ledger: totals plus the exactness verdict."""
+        totals = self.totals
+        return {
+            "lookups": totals.lookups,
+            "attributed": totals.attributed,
+            "unattributed": totals.unattributed,
+            "oblivious_hops": totals.oblivious_hops,
+            "observed_hops": totals.observed_hops,
+            "residual_hops": totals.residual_hops,
+            "credited": totals.credited,
+            "exact": not self.conservation_failures
+            and totals.credited
+            == totals.oblivious_hops - totals.residual_hops - totals.observed_hops,
+            "failures": list(self.conservation_failures),
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot with stable key order (ids as strings)."""
+        per_node: dict[str, dict] = {}
+        for (node_id, pointer_class), stats in sorted(self.by_node_class.items()):
+            node_entry = per_node.setdefault(
+                str(node_id), {"queries": self.source_counts.get(node_id, 0), "classes": {}}
+            )
+            node_entry["classes"][pointer_class] = stats.to_dict()
+        return {
+            "overlay": self.kind,
+            "classes": {
+                name: stats.to_dict() for name, stats in self.class_totals().items()
+            },
+            "per_node": per_node,
+            "conservation": self.conservation(),
+        }
+
+
+class TeeRecorder:
+    """Fan one lookup out to several recorders (all observe-only, so
+    order is irrelevant); disabled members are dropped at construction
+    and an all-disabled tee normalizes away like ``NullRecorder``."""
+
+    __slots__ = ("enabled", "recorders")
+
+    def __init__(self, *recorders) -> None:
+        self.recorders = tuple(r for r in recorders if r is not None and r.enabled)
+        self.enabled = bool(self.recorders)
+
+    def record_lookup(self, result, events: Sequence[HopEvent]) -> None:
+        for recorder in self.recorders:
+            recorder.record_lookup(result, events)
+
+
+# ----------------------------------------------------------------------
+# Columnar lanes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _LaneResult:
+    """Result-shaped view of one batched lane (fault-free by
+    construction: the columnar engine routes live snapshots only)."""
+
+    key: int
+    source: int
+    destination: int | None
+    hops: int
+    succeeded: bool
+    timeouts: int = 0
+    penalty: float = 0.0
+    path: list[int] = field(default_factory=list)
+
+
+def attribute_batch(
+    recorder: AttributionRecorder,
+    result,
+    sources: Sequence[int],
+    keys: Sequence[int],
+) -> None:
+    """Feed a :class:`~repro.engine.router.BatchRouteResult` (run with
+    ``record_paths=True``) through ``recorder``, lane by lane, exactly
+    as the object-graph router would have: one delivered
+    :class:`HopEvent` per forward with the lane's pointer-class labels.
+    ``tests/obs`` pins that this matches object-graph attribution
+    hop for hop."""
+    if not recorder.enabled:
+        return
+    for lane, (source, key) in enumerate(zip(sources, keys)):
+        path = result.lane_path(lane)
+        classes = result.lane_classes(lane, recorder.kind)
+        destination = int(result.destinations[lane])
+        events = [
+            HopEvent(
+                forwarder=int(path[index]),
+                target=int(path[index + 1]),
+                pointer_class=classes[index],
+                delivered=True,
+                attempts=1,
+                timeouts=0,
+                penalty=0.0,
+            )
+            for index in range(len(path) - 1)
+        ]
+        lane_result = _LaneResult(
+            key=int(key),
+            source=int(source),
+            destination=destination if destination >= 0 else None,
+            hops=int(result.hops[lane]),
+            succeeded=bool(result.succeeded[lane]),
+            path=[int(p) for p in path],
+        )
+        recorder.record_lookup(lane_result, events)

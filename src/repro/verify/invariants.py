@@ -50,6 +50,7 @@ __all__ = [
     "REGISTRY",
     "Violation",
     "check_budget_feasibility",
+    "check_cachestats_conservation",
     "check_chord_state",
     "check_chord_successors",
     "check_engine_coherence",
@@ -224,6 +225,17 @@ REGISTRY: dict[str, Invariant] = {
             "Per-hop trace events reconcile exactly with HopStatistics: "
             "lookup/success/failure counts, delivered-hop totals (all "
             "lookups vs successful-only), and timeout totals all match.",
+        ),
+        Invariant(
+            "cachestats.conservation",
+            "cachestats",
+            ("chord", "pastry", "kademlia"),
+            "The attribution plane's accounting is self-consistent: hits <= "
+            "uses and stale_uses <= uses for every concrete pointer, the "
+            "(node, class) aggregates equal an independent re-sum of the "
+            "per-pointer buckets, and the hop-savings credits satisfy the "
+            "conservation law sum(credits) == oblivious hops - residual - "
+            "observed hops, both per lookup and in total.",
         ),
         Invariant(
             "budget.feasibility",
@@ -798,6 +810,71 @@ def check_responsibility(overlay_kind: str, overlay, keys) -> list[str]:
                 f"responsible({key}) returned {fast} but the linear-scan "
                 f"oracle says {oracle}"
             )
+    return messages
+
+
+# ----------------------------------------------------------------------
+# cachestats.*
+# ----------------------------------------------------------------------
+def check_cachestats_conservation(recorder) -> list[str]:
+    """``cachestats.conservation``: the attribution ledger is honest.
+
+    Independent re-derivation: the (node, class) aggregates and the
+    grand credit total are re-summed from the per-pointer buckets rather
+    than read back from the recorder's own ``class_totals``, so a
+    recorder that double-credits (or mis-buckets) cannot satisfy its own
+    checker.
+    """
+    messages: list[str] = []
+    resummed: dict[tuple[int, str], list[int]] = {}
+    for (owner, target, pointer_class), stats in sorted(recorder.by_pointer.items()):
+        label = f"pointer {owner} -> {target} [{pointer_class}]"
+        if stats.hits > stats.uses:
+            messages.append(f"{label} recorded {stats.hits} hits > {stats.uses} uses")
+        if stats.stale_uses > stats.uses:
+            messages.append(
+                f"{label} recorded {stats.stale_uses} stale uses > "
+                f"{stats.uses} uses"
+            )
+        bucket = resummed.setdefault((owner, pointer_class), [0, 0, 0, 0])
+        bucket[0] += stats.uses
+        bucket[1] += stats.hits
+        bucket[2] += stats.stale_uses
+        bucket[3] += stats.credited
+    for (node_id, pointer_class), stats in sorted(recorder.by_node_class.items()):
+        expected = resummed.get((node_id, pointer_class), [0, 0, 0, 0])
+        actual = [stats.uses, stats.hits, stats.stale_uses, stats.credited]
+        if actual != expected:
+            messages.append(
+                f"(node {node_id}, class {pointer_class}) aggregate {actual} "
+                f"!= per-pointer re-sum {expected}"
+            )
+    rogue = sorted(set(resummed) - set(recorder.by_node_class))
+    if rogue:
+        messages.append(f"per-pointer buckets without a (node, class) aggregate: {rogue}")
+    for failure in recorder.conservation_failures:
+        messages.append(f"per-lookup conservation violated: {failure}")
+    totals = recorder.totals
+    credit_total = sum(stats.credited for stats in recorder.by_pointer.values())
+    if credit_total != totals.credited:
+        messages.append(
+            f"per-pointer credits sum to {credit_total} but the ledger "
+            f"records {totals.credited}"
+        )
+    expected_credit = (
+        totals.oblivious_hops - totals.residual_hops - totals.observed_hops
+    )
+    if totals.credited != expected_credit:
+        messages.append(
+            f"conservation law broken in total: credited {totals.credited} != "
+            f"oblivious {totals.oblivious_hops} - residual "
+            f"{totals.residual_hops} - observed {totals.observed_hops}"
+        )
+    if totals.attributed + totals.unattributed != totals.lookups:
+        messages.append(
+            f"attributed {totals.attributed} + unattributed "
+            f"{totals.unattributed} != lookups {totals.lookups}"
+        )
     return messages
 
 

@@ -14,7 +14,10 @@ applicable invariant from :mod:`repro.verify.invariants`:
 * after **recompute** steps: the selection invariants (DP ≡ fast/greedy,
   nesting, monotonicity in k, QoS bounds) on a seeded sample of nodes;
 * during **lookups** steps: per-hop progress, termination-at-responsible,
-  retry accounting, and trace-vs-HopStatistics reconciliation;
+  retry accounting, trace-vs-HopStatistics reconciliation, and the cache
+  attribution plane's conservation law (an
+  :class:`~repro.obs.attribution.AttributionRecorder` rides the same
+  lookups through a tee);
 * after every *snapshot-safe* step (all live pointers live, so the
   columnar image is defined): engine snapshot coherence, plus — on clean
   steps — batched columnar lookups replayed through the same routing
@@ -57,6 +60,7 @@ from repro.engine.dispatch import numpy_or_none
 from repro.verify.invariants import (
     Violation,
     check_budget_feasibility,
+    check_cachestats_conservation,
     check_chord_state,
     check_chord_successors,
     check_engine_coherence,
@@ -371,18 +375,24 @@ class _Engine:
     # ------------------------------------------------------------------
     # Steps
     # ------------------------------------------------------------------
-    def _lookup(self, source: int, key: int, tracer: LookupTracer):
+    def _lookup(self, source: int, key: int, tracer):
         # Pastry keeps its default proximity mode; the signature is shared.
         return self.overlay.lookup(
             source, key, retry=self.retry, faults=self.faults_arg, trace=tracer
         )
 
     def _op_lookups(self, count: int, step: int) -> None:
+        from repro.obs.attribution import AttributionRecorder, TeeRecorder
+
         tracer = LookupTracer()  # sample=None keeps every trace
+        # The attribution recorder rides the same TraceRecorder hook via a
+        # tee — both observe the identical hop events of every lookup.
+        attribution = AttributionRecorder(self.kind, self.overlay)
+        tee = TeeRecorder(tracer, attribution)
         stats = HopStatistics()
         results = []
         for query in self.generator.stream(count, self.overlay.alive_ids):
-            result = self._lookup(query.source, query.item, tracer)
+            result = self._lookup(query.source, query.item, tee)
             stats.record(result)
             results.append(result)
         self.lookups_run += count
@@ -409,6 +419,11 @@ class _Engine:
             "trace.reconciliation",
             step,
             check_trace_reconciliation(tracer.counters, stats, results),
+        )
+        self._record(
+            "cachestats.conservation",
+            step,
+            check_cachestats_conservation(attribution),
         )
 
     def _op_crash_burst(self, size: int, step: int) -> None:

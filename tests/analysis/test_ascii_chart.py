@@ -81,10 +81,30 @@ class TestSparkline:
 
         assert render_sparkline([None, float("nan"), None]) == SPARK_GAP * 3
 
-    def test_constant_series_renders_lowest_level(self):
+    def test_constant_series_renders_mid_level(self):
+        # A flat gauge is data, not absence: the bottom glyph falsely
+        # reads as "zero" next to rows that do span a range.
         from repro.analysis.ascii_chart import SPARK_CHARS, render_sparkline
 
-        assert render_sparkline([4.0, 4.0, 4.0]) == SPARK_CHARS[0] * 3
+        mid = SPARK_CHARS[len(SPARK_CHARS) // 2]
+        assert render_sparkline([4.0, 4.0, 4.0]) == mid * 3
+
+    def test_single_point_series_renders_mid_level(self):
+        from repro.analysis.ascii_chart import SPARK_CHARS, render_sparkline
+
+        assert render_sparkline([7.5]) == SPARK_CHARS[len(SPARK_CHARS) // 2]
+
+    def test_constant_series_with_gaps_keeps_alignment(self):
+        from repro.analysis.ascii_chart import SPARK_CHARS, SPARK_GAP, render_sparkline
+
+        mid = SPARK_CHARS[len(SPARK_CHARS) // 2]
+        assert render_sparkline([2.0, None, 2.0]) == mid + SPARK_GAP + mid
+
+    def test_constant_zero_series_renders_mid_level(self):
+        from repro.analysis.ascii_chart import SPARK_CHARS, render_sparkline
+
+        mid = SPARK_CHARS[len(SPARK_CHARS) // 2]
+        assert render_sparkline([0.0, 0.0]) == mid * 2
 
     def test_monotone_series_uses_full_ramp(self):
         from repro.analysis.ascii_chart import SPARK_CHARS, render_sparkline
@@ -129,3 +149,16 @@ class TestSeriesTable:
 
         table = render_series_table([("rate", [None, float("nan")])])
         assert "-" in table.splitlines()[1]
+
+    def test_constant_row_renders_mid_sparkline(self):
+        from repro.analysis.ascii_chart import SPARK_CHARS, render_series_table
+
+        table = render_series_table([("alive", [32.0, 32.0, 32.0])])
+        assert SPARK_CHARS[len(SPARK_CHARS) // 2] * 3 in table.splitlines()[1]
+
+    def test_single_point_row_has_matching_stats(self):
+        from repro.analysis.ascii_chart import SPARK_CHARS, render_series_table
+
+        line = render_series_table([("util", [0.75])]).splitlines()[1]
+        assert line.count("0.75") == 3  # min == last == max
+        assert SPARK_CHARS[len(SPARK_CHARS) // 2] in line

@@ -10,6 +10,7 @@ from repro.experiments.allocation import (
     allocation,
     allocation_plans,
     gate_messages,
+    load_gate_messages,
     measured_gate_messages,
     plans_to_table,
     rows_to_json,
@@ -127,6 +128,67 @@ class TestTables:
     def test_empty_tables(self):
         assert plans_to_table([]) == "(no plans)"
         assert rows_to_table([]) == "(empty grid)"
+
+
+class TestMeasuredLoads:
+    def measured_preset(self, **overrides):
+        base = dict(workload="diurnal", loads="measured")
+        base.update(overrides)
+        return tiny_preset().__class__(
+            name="tiny",
+            n=24,
+            bits=16,
+            queries=300,
+            seed=3,
+            num_rankings=4,
+            churn_duration=120.0,
+            overlays=("chord",),
+            scenarios=("stable",),
+            **base,
+        )
+
+    def test_measured_allocation_beats_load_blind_on_skewed_sources(self):
+        plans = allocation_plans(self.measured_preset())
+        plan = plans[0]
+        assert plan.loads == "measured"
+        assert plan.workload == "diurnal"
+        assert plan.measured_cost is not None
+        # Under the measured (skewed) loads, reweighting the greedy
+        # allocation strictly beats spending the load-blind quotas.
+        assert plan.measured_cost < plan.uniform_loads_cost
+        assert plan.load_win_pct > 0.0
+        assert plan.load_min < 1.0 < plan.load_max  # genuinely skewed
+        assert load_gate_messages(plans) == []
+
+    def test_uniform_mode_keeps_measured_fields_empty(self):
+        plans = allocation_plans(tiny_preset())
+        assert plans[0].loads == "uniform"
+        assert plans[0].measured_cost is None
+        assert load_gate_messages(plans) == []  # nothing to gate
+
+    def test_load_gate_flags_non_improvement(self):
+        plans = allocation_plans(self.measured_preset())
+        import dataclasses
+
+        losing = [
+            dataclasses.replace(plan, measured_cost=plan.uniform_loads_cost)
+            for plan in plans
+        ]
+        messages = load_gate_messages(losing)
+        assert len(messages) == 1
+        assert "chord" in messages[0]
+
+    def test_table_grows_load_columns_only_when_measured(self):
+        measured = plans_to_table(allocation_plans(self.measured_preset()))
+        assert "load win" in measured
+        uniform = plans_to_table(allocation_plans(tiny_preset()))
+        assert "load win" not in uniform
+
+    def test_rejects_bad_loads_and_workload(self):
+        with pytest.raises(ConfigurationError):
+            self.measured_preset(loads="observed")
+        with pytest.raises(ConfigurationError):
+            self.measured_preset(workload="solar-flare")
 
 
 class TestPresets:

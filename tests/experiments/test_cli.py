@@ -126,6 +126,47 @@ class TestExecution:
         assert target.exists()
         assert '"schema": "ALLOCATION_v1"' in target.read_text()
 
+    def test_allocate_workload_and_loads_arguments(self):
+        args = build_parser().parse_args(
+            ["allocate", "--smoke", "--workload", "diurnal", "--loads", "measured"]
+        )
+        assert args.workload == "diurnal"
+        assert args.loads == "measured"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["allocate", "--loads", "guessed"])
+
+    def test_allocate_measured_smoke_gates_on_load_win(self, capsys):
+        code = main(
+            ["allocate", "--smoke", "--jobs", "2", "--workload", "diurnal",
+             "--loads", "measured"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "load win" in out
+
+    def test_cachestats_parser_arguments(self):
+        args = build_parser().parse_args(
+            ["cachestats", "--smoke", "--seed", "6", "--jobs", "2",
+             "--top", "3", "--workload", "flash-crowd"]
+        )
+        assert args.command == "cachestats"
+        assert args.smoke
+        assert args.seed == 6
+        assert args.jobs == 2
+        assert args.top == 3
+        assert args.workload == "flash-crowd"
+
+    def test_cachestats_smoke_runs_and_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "cachestats.json"
+        code = main(["cachestats", "--smoke", "--jobs", "2", "--json", str(target)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "credited" in out
+        assert "util" in out
+        assert "conservation" in out
+        assert target.exists()
+        assert '"schema": "CACHESTATS_v1"' in target.read_text()
+
     def test_demo_runs(self, capsys):
         assert main(["demo"]) == 0
         out = capsys.readouterr().out

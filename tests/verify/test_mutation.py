@@ -236,6 +236,96 @@ class TestKademliaMutation:
         assert failure["scenario"]["overlay"] == "kademlia"
 
 
+class TestCachestatsMutation:
+    def _scenario_with_credit(self, mutant_active_check, count=12):
+        """First chord scenario whose lookups actually earn auxiliary
+        credit — a scenario where every credit is zero cannot distinguish
+        single from double crediting."""
+        for scenario in generate_scenarios(count, 0, "chord"):
+            if mutant_active_check(scenario):
+                return scenario
+        raise AssertionError("no scenario tripped the planted crediting bug")
+
+    def test_double_crediting_recorder_caught(self, monkeypatch):
+        """A recorder that credits every hop twice must trip
+        ``cachestats.conservation``: the credits no longer telescope to
+        oblivious - residual - observed hops."""
+        from repro.obs import attribution as attribution_module
+
+        monkeypatch.setattr(
+            attribution_module, "_credit", lambda r_from, r_to: 2 * (r_from - r_to - 1)
+        )
+
+        def fires(scenario):
+            report = run_scenario(scenario)
+            return not report.passed and all(
+                violation.invariant == "cachestats.conservation"
+                for violation in report.violations
+            )
+
+        scenario = self._scenario_with_credit(fires)
+        monkeypatch.undo()
+        assert run_scenario(scenario).passed  # bug out -> green again
+
+    def test_double_crediting_shrinks_to_repro_and_replays(self, monkeypatch, tmp_path):
+        from repro.obs import attribution as attribution_module
+
+        monkeypatch.setattr(
+            attribution_module, "_credit", lambda r_from, r_to: 2 * (r_from - r_to - 1)
+        )
+        scenario = self._scenario_with_credit(
+            lambda candidate: not run_scenario(candidate).passed
+        )
+        result = shrink(scenario, "cachestats.conservation", budget=60)
+        assert result.scenario.n <= scenario.n
+        assert len(result.scenario.steps) <= len(scenario.steps)
+        assert result.violation.invariant == "cachestats.conservation"
+
+        document = failure_document(scenario, result)
+        assert document["schema"] == "VERIFY_REPRO_v1"
+        path = tmp_path / "cachestats_failure.json"
+        import json
+
+        path.write_text(json.dumps(document, sort_keys=True, indent=2))
+        loaded = load_failure(path)
+
+        # Bug in: the repro file reproduces the conservation violation.
+        replayed = replay_failure(loaded)
+        assert not replayed.passed
+        assert replayed.violations[0].invariant == "cachestats.conservation"
+
+        # Bug out: the same file replays green.
+        monkeypatch.undo()
+        assert replay_failure(loaded).passed
+
+    def test_hit_inflating_recorder_caught(self, monkeypatch):
+        """A recorder that books phantom hits must trip the hits <= uses
+        side of ``cachestats.conservation``."""
+        from repro.obs import attribution as attribution_module
+
+        original = attribution_module.AttributionRecorder.record_lookup
+
+        def inflating(self, result, events):
+            original(self, result, events)
+            for event in events:
+                if event.delivered:
+                    self._pointer(
+                        event.forwarder, event.target, event.pointer_class
+                    ).hits += 1
+
+        scenario = generate_scenario(0, 0, "chord")
+        assert run_scenario(scenario).passed
+        monkeypatch.setattr(
+            attribution_module.AttributionRecorder, "record_lookup", inflating
+        )
+        report = run_scenario(scenario)
+        assert not report.passed
+        assert any(
+            violation.invariant == "cachestats.conservation"
+            for violation in report.violations
+        )
+
+
 class TestRoutingMutation:
     def test_tampered_recorder_breaks_reconciliation(self, monkeypatch):
         """A recorder that silently drops lookups must trip

@@ -17,7 +17,7 @@ class TestRegistry:
             assert invariant.scope == scope
             assert invariant.description
 
-    def test_covers_the_seven_layers(self):
+    def test_covers_the_eight_layers(self):
         scopes = {invariant.scope for invariant in REGISTRY.values()}
         assert scopes == {
             "selection",
@@ -27,8 +27,9 @@ class TestRegistry:
             "engine",
             "kademlia",
             "budget",
+            "cachestats",
         }
-        assert len(REGISTRY) == 17
+        assert len(REGISTRY) == 18
 
     def test_overlay_applicability(self):
         for invariant in REGISTRY.values():

@@ -39,7 +39,14 @@ class TestRunScenario:
             assert report.lookups == 32
             # Every layer of the registry actually got exercised.
             scopes = {name.split(".")[0] for name, n in report.checks.items() if n}
-            assert scopes == {"selection", "routing", "state", "trace", "engine"}
+            assert scopes == {
+                "selection",
+                "routing",
+                "state",
+                "trace",
+                "engine",
+                "cachestats",
+            }
 
     def test_report_is_deterministic(self):
         scenario = generate_scenario(5, 1)
